@@ -1,0 +1,74 @@
+"""EXT-CHANNEL: paging-channel dimensioning for a shared service area.
+
+For populations of increasing size, sweep the delay bound and report
+the system-level picture: channel utilization, queueing wait, total
+call-setup latency, and cell-polling bandwidth.  Gates the headline
+tension this substrate exposes:
+
+* per-terminal cost strictly falls with ``m`` (the paper's Figure 4/5
+  story), but
+* channel utilization strictly rises with ``m``, and at realistic
+  population sizes the per-terminal-optimal bound is *infeasible* --
+  the queue is unstable -- so the operator's usable ``m`` is capped by
+  capacity, not user preference.
+"""
+
+import math
+
+import pytest
+
+from repro import CostParams, MobilityParams, TwoDimensionalModel
+from repro.analysis import render_table
+from repro.channel import dimension_channel
+
+from conftest import emit
+
+MODEL = TwoDimensionalModel(MobilityParams(0.05, 0.01))
+COSTS = CostParams(100.0, 10.0)
+POPULATIONS = (10, 40, 60, 80)
+DELAYS = (1, 2, 3, math.inf)
+
+
+def _sweep():
+    rows = []
+    summary = {}
+    for n in POPULATIONS:
+        points = dimension_channel(MODEL, COSTS, terminals=n, delays=DELAYS)
+        summary[n] = points
+        for p in points:
+            label = "inf" if p.delay_bound == math.inf else int(p.delay_bound)
+            rows.append(
+                [
+                    n,
+                    label,
+                    p.threshold,
+                    p.per_terminal_cost,
+                    p.utilization,
+                    "-" if not p.feasible else f"{p.mean_wait_slots:.3f}",
+                    "-" if not p.feasible else f"{p.setup_latency:.3f}",
+                    p.polling_bandwidth,
+                    "yes" if p.feasible else "OVERLOAD",
+                ]
+            )
+    return rows, summary
+
+
+@pytest.mark.benchmark(group="channel")
+def test_channel_dimensioning(benchmark, out_dir):
+    rows, summary = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    text = render_table(
+        ["n", "m", "d*", "per-user C_T", "rho", "E[wait]", "setup latency",
+         "poll bandwidth", "feasible"],
+        rows,
+        title="Paging-channel dimensioning (2-D, q=0.05 c=0.01 U=100 V=10)",
+    )
+    emit(out_dir, "channel_dimensioning", text)
+    for n, points in summary.items():
+        costs = [p.per_terminal_cost for p in points]
+        assert costs == sorted(costs, reverse=True)
+        utilizations = [p.utilization for p in points]
+        assert utilizations == sorted(utilizations)
+    # Small populations can afford any delay bound...
+    assert all(p.feasible for p in summary[POPULATIONS[0]])
+    # ...large ones cannot afford the per-terminal optimum.
+    assert not all(p.feasible for p in summary[POPULATIONS[-1]])

@@ -1,0 +1,142 @@
+"""EXT: benches for the repository's paper extensions.
+
+Three extensions beyond the published evaluation, each with a
+quantitative gate:
+
+* **Square grid** -- the framework instantiated on a third geometry;
+  the chain must track the grid walk like the hex model does.
+* **Soft delay** -- the hard bound ``m`` replaced by a per-cycle
+  penalty; the policy family must interpolate monotonically between
+  the paper's per-ring (penalty 0) and blanket (penalty -> inf) limits.
+* **Transient horizon** -- how long after a fresh location fix the
+  steady-state cost model becomes accurate (justifies both the
+  simulation warm-up and the paper's steady-state framing).
+"""
+
+import math
+
+import pytest
+
+from repro import (
+    CostEvaluator,
+    CostParams,
+    MobilityParams,
+    SquareGridModel,
+    TwoDimensionalModel,
+    find_optimal_threshold,
+    mixing_time,
+    optimize_soft_delay,
+    transient_cost,
+)
+from repro.analysis import render_table
+from repro.simulation import validate_against_model
+
+from conftest import emit
+
+MOBILITY = MobilityParams(0.2, 0.02)
+COSTS = CostParams(50.0, 5.0)
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_square_grid_model(benchmark, out_dir):
+    def run():
+        rows = []
+        worst = 0.0
+        for d, m in ((1, 1), (3, 2), (5, 3)):
+            comparison = validate_against_model(
+                SquareGridModel(MOBILITY),
+                COSTS,
+                d=d,
+                m=m,
+                slots=100_000,
+                replications=3,
+                seed=61 + d,
+            )
+            rows.append(
+                [d, m, comparison.predicted_total, comparison.measured_total,
+                 f"{comparison.relative_error:.2%}"]
+            )
+            worst = max(worst, comparison.relative_error)
+        return rows, worst
+
+    rows, worst = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_table(
+        ["d", "m", "predicted C_T", "measured C_T", "rel err"],
+        rows,
+        title="Square-grid extension: model vs grid simulation (q=0.2 c=0.02)",
+    )
+    emit(out_dir, "ext_square", text)
+    assert worst < 0.05
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_soft_delay_frontier(benchmark, out_dir):
+    def run():
+        model = TwoDimensionalModel(MOBILITY)
+        rows = []
+        for penalty in (0.0, 1.0, 5.0, 20.0, 100.0, 1e6):
+            policy = optimize_soft_delay(model, COSTS, penalty, d_max=30)
+            rows.append(
+                [
+                    penalty,
+                    policy.threshold,
+                    policy.expected_delay,
+                    policy.update_cost + policy.paging_cell_cost,
+                    policy.plan.describe(),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_table(
+        ["delay penalty w", "d*", "E[cycles]", "signaling cost", "partition"],
+        rows,
+        title="Soft-delay frontier (2-D exact, q=0.2 c=0.02 U=50 V=5)",
+    )
+    emit(out_dir, "ext_soft_delay", text)
+    delays = [row[2] for row in rows]
+    assert delays == sorted(delays, reverse=True)
+    signaling = [row[3] for row in rows]
+    assert signaling == sorted(signaling)  # cheaper delay = pricier polling
+    # Limits: penalty 0 reproduces unbounded hard delay; huge penalty
+    # reproduces the m=1 blanket optimum.
+    model = TwoDimensionalModel(MOBILITY)
+    unbounded = find_optimal_threshold(model, COSTS, math.inf, d_max=30)
+    blanket = find_optimal_threshold(model, COSTS, 1, d_max=30)
+    assert rows[0][1] == unbounded.threshold
+    assert rows[-1][1] == blanket.threshold
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_transient_horizon(benchmark, out_dir):
+    def run():
+        rows = []
+        for q, c in ((0.05, 0.01), (0.2, 0.02), (0.4, 0.08)):
+            model = TwoDimensionalModel(MobilityParams(q, c))
+            evaluator = CostEvaluator(model, COSTS)
+            d = find_optimal_threshold(model, COSTS, 2).threshold
+            analysis = transient_cost(evaluator, max(d, 1), 2, horizon=3000)
+            rows.append(
+                [
+                    q,
+                    c,
+                    max(d, 1),
+                    mixing_time(model, max(d, 1), tolerance=0.01),
+                    analysis.slots_to_within(0.01),
+                    analysis.per_slot_cost[0],
+                    analysis.steady_state_cost,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_table(
+        ["q", "c", "d", "mixing slots (tv<=1%)", "cost-convergence slots",
+         "cost at t=0", "steady C_T"],
+        rows,
+        title="Transient horizon: slots until the steady-state model is valid",
+    )
+    emit(out_dir, "ext_transient", text)
+    for row in rows:
+        assert row[4] <= 3000  # converged within the horizon
+        assert row[5] <= row[6] + 1e-12  # fresh fix is never pricier

@@ -1,0 +1,33 @@
+"""FIG4A: reproduce Figure 4(a) -- 1-D cost vs probability of moving.
+
+Sweep ``q`` over [0.001, 0.5] (log) with ``c = 0.01, U = 100, V = 1``;
+four curves (delay 1, 2, 3, unbounded).  The paper prints no numbers
+for figures, so the gate is the curve *shape*: monotone in ``q``,
+delay-ordered, and most of the delay-1 gap closed by delay 2-3
+(:func:`repro.analysis.figures.check_figure_shape`).
+"""
+
+import pytest
+
+from repro.analysis import check_figure_shape, compute_figure4, render_ascii_plot, render_table
+
+from conftest import emit
+
+
+@pytest.mark.benchmark(group="figures")
+def test_figure4a_reproduction(benchmark, out_dir):
+    figure = benchmark.pedantic(
+        compute_figure4, args=(1,), kwargs={"points": 13}, rounds=1, iterations=1
+    )
+    problems = check_figure_shape(figure)
+    headers, rows = figure.as_rows()
+    series = {figure.curve_label(m): ys for m, ys in figure.curves.items()}
+    lines = [
+        render_table(headers, rows, title="Figure 4(a): 1-D, c=0.01 U=100 V=1"),
+        "",
+        render_ascii_plot(series, figure.x_values, title="optimal C_T vs q"),
+        "",
+        f"shape violations: {problems or 'none'}",
+    ]
+    emit(out_dir, "fig4a", "\n".join(lines))
+    assert problems == []

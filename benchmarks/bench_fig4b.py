@@ -1,0 +1,44 @@
+"""FIG4B: reproduce Figure 4(b) -- 2-D (exact model) cost vs ``q``.
+
+Same sweep as Figure 4(a) on the exact two-dimensional model.  Extra
+shape facts checked beyond the shared checker: the 2-D curves dominate
+the 1-D ones (hex residing areas are larger), matching the paper's
+y-axis ranges (0-0.5 in 4(a) vs 0-2.5 in 4(b)).
+"""
+
+import pytest
+
+from repro.analysis import (
+    check_figure_shape,
+    compute_figure4,
+    render_ascii_plot,
+    render_table,
+)
+
+from conftest import emit
+
+
+@pytest.mark.benchmark(group="figures")
+def test_figure4b_reproduction(benchmark, out_dir):
+    figure = benchmark.pedantic(
+        compute_figure4, args=(2,), kwargs={"points": 13}, rounds=1, iterations=1
+    )
+    problems = check_figure_shape(figure)
+    reference = compute_figure4(1, points=13)
+    dominated = all(
+        figure.curves[1][i] >= reference.curves[1][i] - 1e-9
+        for i in range(len(figure.x_values))
+    )
+    headers, rows = figure.as_rows()
+    series = {figure.curve_label(m): ys for m, ys in figure.curves.items()}
+    lines = [
+        render_table(headers, rows, title="Figure 4(b): 2-D exact, c=0.01 U=100 V=1"),
+        "",
+        render_ascii_plot(series, figure.x_values, title="optimal C_T vs q"),
+        "",
+        f"shape violations: {problems or 'none'}",
+        f"2-D delay-1 curve dominates 1-D: {dominated}",
+    ]
+    emit(out_dir, "fig4b", "\n".join(lines))
+    assert problems == []
+    assert dominated

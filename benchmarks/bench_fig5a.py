@@ -1,0 +1,50 @@
+"""FIG5A: reproduce Figure 5(a) -- 1-D cost vs call arrival probability.
+
+Sweep ``c`` over [0.001, 0.1] (log) with ``q = 0.05, U = 100, V = 1``.
+Besides the shared shape gates, this bench verifies the discontinuity
+phenomenon the paper points out: the optimal threshold d* jumps at some
+points of the sweep (the cost curve kinks there).
+"""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    check_figure_shape,
+    compute_figure5,
+    render_ascii_plot,
+    render_table,
+)
+
+from conftest import emit
+
+
+@pytest.mark.benchmark(group="figures")
+def test_figure5a_reproduction(benchmark, out_dir):
+    figure = benchmark.pedantic(
+        compute_figure5, args=(1,), kwargs={"points": 17}, rounds=1, iterations=1
+    )
+    problems = check_figure_shape(figure)
+    # "Discontinuities appear in some curves due to the sudden changes
+    # in the optimal threshold distances": thresholds must actually
+    # change along the sweep for at least one delay bound.
+    jumps = sum(
+        1
+        for m in figure.thresholds
+        for i in range(1, len(figure.x_values))
+        if figure.thresholds[m][i] != figure.thresholds[m][i - 1]
+    )
+    headers, rows = figure.as_rows()
+    series = {figure.curve_label(m): ys for m, ys in figure.curves.items()}
+    lines = [
+        render_table(headers, rows, title="Figure 5(a): 1-D, q=0.05 U=100 V=1"),
+        "",
+        render_ascii_plot(series, figure.x_values, title="optimal C_T vs c"),
+        "",
+        f"shape violations: {problems or 'none'}",
+        f"optimal-threshold jumps along the sweep: {jumps}",
+    ]
+    emit(out_dir, "fig5a", "\n".join(lines))
+    assert problems == []
+    assert jumps > 0

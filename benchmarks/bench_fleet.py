@@ -1,0 +1,68 @@
+"""EXT-FLEET: value of per-user tuning over a heterogeneous population.
+
+Samples a realistic subscriber mix (pedestrians / vehicles / static
+terminals with per-user jitter) and compares per-user optimal
+thresholds against the single threshold tuned to the population
+average -- the two deployment modes the paper's Section 8 sketches.
+
+Gated claims:
+
+* per-user tuning saves a meaningful fleet-wide fraction (> 5% here);
+* the pain of one-size-fits-all is concentrated: the median user loses
+  little, the tail (p99) loses a lot -- which is the actual argument
+  for dynamic per-user schemes.
+"""
+
+import pytest
+
+from repro import CostParams, TwoDimensionalModel
+from repro.analysis import render_table
+from repro.workload import DEFAULT_MIX, Population, plan_fleet
+
+from conftest import emit
+
+COSTS = CostParams(update_cost=50.0, poll_cost=2.0)
+
+
+def _plan():
+    population = Population(DEFAULT_MIX)
+    return plan_fleet(
+        population,
+        COSTS,
+        max_delay=2,
+        users=150,
+        seed=11,
+        model_class=TwoDimensionalModel,
+        d_max=40,
+    )
+
+
+@pytest.mark.benchmark(group="fleet")
+def test_fleet_planning(benchmark, out_dir):
+    plan = benchmark.pedantic(_plan, rounds=1, iterations=1)
+    profile_rows = [
+        [name, personal, shared, f"{(shared - personal) / personal:.1%}"]
+        for name, (personal, shared) in sorted(plan.by_profile().items())
+    ]
+    quantiles = plan.regret_quantiles((0.5, 0.9, 0.99))
+    lines = [
+        render_table(
+            ["profile", "per-user C_T", "shared C_T", "profile regret"],
+            profile_rows,
+            title=(
+                f"Fleet of {plan.size} users (hex, U=50 V=2, m=2); "
+                f"shared threshold d={plan.shared_threshold}"
+            ),
+        ),
+        "",
+        f"fleet cost, per-user tuning:   {plan.personal_fleet_cost:.4f} /slot/user",
+        f"fleet cost, shared threshold:  {plan.shared_fleet_cost:.4f} /slot/user",
+        f"fleet-wide saving:             {plan.fleet_saving:.1%}",
+        "per-user relative regret quantiles: "
+        + ", ".join(f"p{int(q * 100)}={v:.0%}" for q, v in quantiles.items()),
+    ]
+    emit(out_dir, "fleet_planning", "\n".join(lines))
+    assert plan.fleet_saving > 0.05
+    assert quantiles[0.99] > 2 * quantiles[0.5]
+    for user in plan.users:
+        assert user.personal_cost <= user.shared_cost + 1e-12

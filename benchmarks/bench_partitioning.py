@@ -1,0 +1,74 @@
+"""ABL-PART: residing-area partitioning ablation (paper future work).
+
+Compares the paper's equal-ring-count SDF partition against the
+DP-optimal contiguous partition and the naive blanket, over a (d, m)
+grid on the exact 2-D model.  Answers the paper's open question "an
+optimal method for partitioning the residing area should be developed"
+with a measured bound on how much the SDF heuristic leaves on the
+table.
+"""
+
+import math
+
+import pytest
+
+from repro import MobilityParams, TwoDimensionalModel
+from repro.analysis import render_table
+from repro.paging import (
+    blanket_partition,
+    optimal_contiguous_partition,
+    sdf_partition,
+)
+
+from conftest import emit
+
+MODEL = TwoDimensionalModel(MobilityParams(0.2, 0.01))
+GRID = [(d, m) for d in (2, 4, 6, 8, 12) for m in (2, 3, 4)]
+
+
+def _run():
+    topo = MODEL.topology
+    rows = []
+    worst_gap = 0.0
+    for d, m in GRID:
+        p = MODEL.steady_state(d)
+        sizes = [topo.ring_size(i) for i in range(d + 1)]
+        sdf = sdf_partition(d, m)
+        opt = optimal_contiguous_partition(d, m, p, sizes)
+        blanket = blanket_partition(d)
+        e_sdf = sdf.expected_polled_cells(topo, p)
+        e_opt = opt.expected_polled_cells(topo, p)
+        e_blanket = blanket.expected_polled_cells(topo, p)
+        gap = (e_sdf - e_opt) / e_opt if e_opt else 0.0
+        worst_gap = max(worst_gap, gap)
+        rows.append(
+            [d, m, e_blanket, e_sdf, e_opt, f"{gap:.1%}", opt.describe()]
+        )
+    return rows, worst_gap
+
+
+@pytest.mark.benchmark(group="partitioning")
+def test_partition_ablation(benchmark, out_dir):
+    rows, worst_gap = benchmark.pedantic(_run, rounds=1, iterations=1)
+    headers = ["d", "m", "E[cells] blanket", "SDF", "DP-opt", "SDF gap", "DP plan"]
+    text = "\n".join(
+        [
+            render_table(
+                headers, rows,
+                title="Partitioning ablation (2-D exact, q=0.2 c=0.01)",
+            ),
+            "",
+            f"worst SDF-vs-optimal gap: {worst_gap:.1%}",
+        ]
+    )
+    emit(out_dir, "partitioning", text)
+    for row in rows:
+        e_blanket, e_sdf, e_opt = row[2], row[3], row[4]
+        assert e_opt <= e_sdf + 1e-9 <= e_blanket + 1e-9
+    # Finding (EXPERIMENTS.md): the SDF heuristic is usually within a
+    # few percent of optimal but can leave ~50% on the table when
+    # gamma = floor((d+1)/l) makes the first subarea much larger than
+    # the probability mass warrants (e.g. d=4, m=2).  This is exactly
+    # the gap the paper's future-work item anticipates.  Gate the
+    # envelope rather than a tight bound.
+    assert worst_gap < 0.75

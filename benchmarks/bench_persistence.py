@@ -1,0 +1,96 @@
+"""EXT-PERSIST: validity boundary of the random-walk assumption.
+
+The paper argues the memoryless random walk fits pedestrians and the
+fluid-flow model fits vehicles.  This bench locates the boundary: it
+drives the distance-based scheme with :class:`PersistentWalk` at
+increasing direction persistence (same move rate ``q``, so the chain
+sees identical parameters) and measures how far reality drifts from
+the model's cost prediction.
+
+Expected structure, gated below:
+
+* at persistence 0 the simulation matches the chain (the standard
+  validation);
+* cost error grows monotonically-ish with persistence, and the model
+  always *underestimates* (persistent walkers escape the residing area
+  faster, so real update costs exceed the chain's);
+* by vehicle-like persistence (0.9) the error is tens of percent --
+  the quantitative version of the paper's "use fluid flow for
+  vehicles" advice.
+"""
+
+import numpy as np
+import pytest
+
+from repro import CostEvaluator, CostParams, MobilityParams, TwoDimensionalModel
+from repro.analysis import render_table
+from repro.geometry import HexTopology
+from repro.mobility import PersistentWalk
+from repro.simulation import SimulationEngine
+from repro.strategies import DistanceStrategy
+
+from conftest import emit
+
+MOBILITY = MobilityParams(0.3, 0.01)
+COSTS = CostParams(50.0, 2.0)
+D, M = 3, 2
+SLOTS = 120_000
+LEVELS = (0.0, 0.3, 0.6, 0.9)
+
+
+def _measure(persistence: float) -> float:
+    costs = []
+    for seed in (1, 2, 3):
+        engine = SimulationEngine(
+            HexTopology(),
+            DistanceStrategy(D, max_delay=M),
+            MOBILITY,
+            COSTS,
+            seed=seed,
+            walker_factory=lambda topo, q, rng, start: PersistentWalk(
+                topo, q, persistence=persistence, rng=rng, start=start
+            ),
+        )
+        costs.append(engine.run(SLOTS).mean_total_cost)
+    return float(np.mean(costs))
+
+
+def _study():
+    evaluator = CostEvaluator(
+        TwoDimensionalModel(MOBILITY), COSTS, convention="physical"
+    )
+    predicted = evaluator.total_cost(D, M)
+    rows = []
+    errors = []
+    for level in LEVELS:
+        measured = _measure(level)
+        error = (measured - predicted) / predicted
+        errors.append(error)
+        rows.append([level, predicted, measured, f"{error:+.1%}"])
+    return rows, errors
+
+
+@pytest.mark.benchmark(group="persistence")
+def test_persistence_validity_boundary(benchmark, out_dir):
+    rows, errors = benchmark.pedantic(_study, rounds=1, iterations=1)
+    text = "\n".join(
+        [
+            render_table(
+                ["persistence", "model C_T", "measured C_T", "model error"],
+                rows,
+                title=(
+                    f"Random-walk assumption vs direction persistence "
+                    f"(hex, q={MOBILITY.q} c={MOBILITY.c} d={D} m={M})"
+                ),
+            ),
+            "",
+            "the chain model assumes memoryless direction; persistent walkers",
+            "escape the residing area faster, so the model underestimates cost",
+        ]
+    )
+    emit(out_dir, "persistence", text)
+    assert abs(errors[0]) < 0.05  # memoryless: model holds
+    assert errors[-1] > 0.15  # vehicle-like: model badly optimistic
+    assert errors[-1] > errors[0]  # error grows with persistence
+    for error in errors[1:]:
+        assert error > -0.02  # underestimation only; never pessimistic

@@ -1,0 +1,76 @@
+"""EXT-SENS: regret surface of parameter misestimation.
+
+How accurately must the network know a user's ``(q, c)`` before the
+paper's optimization is worth running?  The bench computes the regret
+of operating at the threshold tuned for misestimated parameters, over
+a log-spaced grid of error factors, and gates the structure that
+justifies the dynamic scheme's crude estimators:
+
+* zero regret at the perfect estimate (trivially) and *near*-zero along
+  the proportional-error diagonal (the optimum rides the q/c ratio);
+* modest regret for factor-2 errors (< ~20%);
+* large regret only at extreme lopsided errors -- the situations a
+  running EWMA estimator cannot produce for long.
+"""
+
+import pytest
+
+from repro import CostParams, MobilityParams, TwoDimensionalModel, regret_surface
+from repro.analysis import render_table
+
+from conftest import emit
+
+TRUTH = MobilityParams(0.1, 0.01)
+COSTS = CostParams(100.0, 5.0)
+FACTORS = (0.25, 0.5, 1.0, 2.0, 4.0)
+
+
+def _surface():
+    return regret_surface(
+        TwoDimensionalModel, TRUTH, COSTS, 2, factors=FACTORS, d_max=50
+    )
+
+
+@pytest.mark.benchmark(group="sensitivity")
+def test_misestimation_regret_surface(benchmark, out_dir):
+    surface = benchmark.pedantic(_surface, rounds=1, iterations=1)
+    headers = ["q factor \\ c factor"] + [str(f) for f in FACTORS]
+    rows = []
+    for qf in FACTORS:
+        row = [qf]
+        for cf in FACTORS:
+            row.append(f"{surface[qf][cf].regret:.1%}")
+        rows.append(row)
+    thresholds = [
+        [qf] + [surface[qf][cf].assumed_threshold for cf in FACTORS]
+        for qf in FACTORS
+    ]
+    text = "\n".join(
+        [
+            render_table(
+                headers,
+                rows,
+                title=(
+                    "Regret of operating at a misestimated optimum "
+                    "(2-D, truth q=0.1 c=0.01, U=100 V=5, m=2)"
+                ),
+            ),
+            "",
+            render_table(
+                headers, thresholds, title="Chosen threshold per estimate"
+            ),
+        ]
+    )
+    emit(out_dir, "sensitivity", text)
+    assert surface[1.0][1.0].regret == pytest.approx(0.0, abs=1e-12)
+    # Proportional errors ride the ratio: cheap.
+    for factor in (0.5, 2.0, 4.0):
+        if factor in surface and factor in surface[factor]:
+            assert surface[factor][factor].regret < 0.10
+    # Factor-2 single-parameter errors stay modest.
+    assert surface[2.0][1.0].regret < 0.20
+    assert surface[1.0][2.0].regret < 0.20
+    # Regret is always non-negative.
+    for row in surface.values():
+        for point in row.values():
+            assert point.regret >= -1e-12

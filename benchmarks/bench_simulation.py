@@ -1,0 +1,49 @@
+"""SIM-VAL: analytic model vs grid-level simulation.
+
+Runs the validation campaign of
+:mod:`repro.analysis.validate`: for each case the analytical
+``C_u/C_v/C_T`` is compared with a replicated discrete-time simulation
+of the actual protocol on the actual cell grid.  1-D cases must agree
+within CI noise (the chain is exact there); 2-D cases must agree within
+the small systematic ring-aggregation bias (< 3%).
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.analysis.validate import DEFAULT_CASES, run_validation_campaign
+
+from conftest import emit
+
+
+@pytest.mark.benchmark(group="simulation")
+def test_model_vs_simulation(benchmark, out_dir):
+    outcomes = benchmark.pedantic(
+        run_validation_campaign,
+        kwargs={"slots": 120_000, "replications": 4, "seed": 21},
+        rounds=1,
+        iterations=1,
+    )
+    headers = ["case", "d", "m", "predicted C_T", "measured C_T", "95% CI", "rel err", "ok"]
+    rows = []
+    for outcome in outcomes:
+        c = outcome.comparison
+        rows.append(
+            [
+                outcome.case.label,
+                outcome.case.d,
+                "inf" if outcome.case.m == float("inf") else int(outcome.case.m),
+                c.predicted_total,
+                c.measured_total,
+                c.ci_half_width,
+                f"{c.relative_error:.2%}",
+                "yes" if outcome.ok else "NO",
+            ]
+        )
+    text = render_table(
+        headers, rows, title="Model-vs-simulation validation campaign"
+    )
+    emit(out_dir, "simulation_validation", text)
+    assert len(outcomes) == len(DEFAULT_CASES)
+    for outcome in outcomes:
+        assert outcome.ok, f"disagreement in case {outcome.case.label}"

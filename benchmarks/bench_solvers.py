@@ -1,0 +1,86 @@
+"""ABL-SOLVER: steady-state solver ablation.
+
+Compares the three solver implementations (closed form, the paper's
+recursive method, and the reference matrix solve) on agreement and
+speed across a (q, c, d) grid.  This quantifies DESIGN.md's claim that
+the closed form is the cheap path the near-optimal scheme depends on:
+the matrix solver is O(d^3), recursive O(d), closed form O(d) with a
+tiny constant.
+"""
+
+import numpy as np
+import pytest
+
+from repro import MobilityParams, OneDimensionalModel, TwoDimensionalModel
+from repro.analysis import render_table
+
+from conftest import emit
+
+GRID = [
+    (q, c, d)
+    for q in (0.05, 0.3)
+    for c in (0.005, 0.05)
+    for d in (2, 10, 40)
+]
+
+
+def _max_disagreement():
+    worst_1d = worst_2d = 0.0
+    for q, c, d in GRID:
+        model1 = OneDimensionalModel(MobilityParams(q, c))
+        closed = model1.steady_state(d, method="closed_form")
+        matrix = model1.steady_state(d, method="matrix")
+        recursive = model1.steady_state(d, method="recursive")
+        worst_1d = max(
+            worst_1d,
+            float(np.max(np.abs(closed - matrix))),
+            float(np.max(np.abs(recursive - matrix))),
+        )
+        model2 = TwoDimensionalModel(MobilityParams(q, c))
+        worst_2d = max(
+            worst_2d,
+            float(
+                np.max(
+                    np.abs(
+                        model2.steady_state(d, method="recursive")
+                        - model2.steady_state(d, method="matrix")
+                    )
+                )
+            ),
+        )
+    return worst_1d, worst_2d
+
+
+@pytest.mark.benchmark(group="solvers")
+def test_solver_agreement(benchmark, out_dir):
+    worst_1d, worst_2d = benchmark.pedantic(_max_disagreement, rounds=1, iterations=1)
+    text = "\n".join(
+        [
+            "Solver ablation: max |p_i| disagreement vs matrix solve",
+            f"  1-D closed form / recursive: {worst_1d:.3e}",
+            f"  2-D recursive:               {worst_2d:.3e}",
+            f"  grid: {len(GRID)} (q, c, d) points",
+        ]
+    )
+    emit(out_dir, "solvers_agreement", text)
+    assert worst_1d < 1e-10
+    assert worst_2d < 1e-10
+
+
+def _solve_many(model, method, d):
+    # Defeat the per-threshold cache: use the explicit-method path.
+    return model.steady_state(d, method=method)
+
+
+@pytest.mark.benchmark(group="solvers")
+@pytest.mark.parametrize("method", ["closed_form", "recursive", "matrix"])
+def test_solver_speed_1d(benchmark, method):
+    model = OneDimensionalModel(MobilityParams(0.05, 0.01))
+    benchmark(_solve_many, model, method, 50)
+
+
+@pytest.mark.benchmark(group="solvers")
+@pytest.mark.parametrize("method", ["recursive", "matrix"])
+def test_solver_speed_2d(benchmark, method):
+    model = TwoDimensionalModel(MobilityParams(0.05, 0.01))
+    benchmark(_solve_many, model, method, 50)

@@ -1,0 +1,111 @@
+"""ABL-BASELINE: update-strategy shoot-out under simulation.
+
+Pits the paper's distance-based scheme against the related-work
+baselines -- movement-based and time-based [3], static location areas
+[8], and the dynamic adaptive scheme [1] -- on the same hex-grid
+workload (identical mobility/traffic parameters, distinct seeds per
+replication).  Each strategy is given a comparable configuration:
+the distance threshold is the analytic optimum; movement/timer budgets
+and the LA radius are matched to the same uncertainty radius.
+
+The paper's motivating claims gated here:
+
+* distance-based beats movement- and time-based (random walks
+  oscillate);
+* distance-based beats the static LA scheme at equal paging-area size;
+* the dynamic scheme converges to within a few percent of the static
+  optimum without knowing (q, c) a priori.
+"""
+
+import pytest
+
+from repro import (
+    CostParams,
+    MobilityParams,
+    TwoDimensionalModel,
+    find_optimal_threshold,
+)
+from repro.analysis import render_table
+from repro.geometry import HexTopology
+from repro.simulation import run_replicated
+from repro.strategies import (
+    DistanceStrategy,
+    DynamicStrategy,
+    LocationAreaStrategy,
+    MovementStrategy,
+    TimerStrategy,
+)
+
+from conftest import emit
+
+MOBILITY = MobilityParams(0.3, 0.02)
+COSTS = CostParams(update_cost=30.0, poll_cost=1.0)
+SLOTS = 120_000
+M = 2
+
+
+def _optimal_d():
+    return find_optimal_threshold(
+        TwoDimensionalModel(MOBILITY), COSTS, M, convention="physical"
+    ).threshold
+
+
+def _run_shootout():
+    d_star = _optimal_d()
+    factories = {
+        "distance(d*)": lambda: DistanceStrategy(d_star, max_delay=M),
+        "movement(M=d*)": lambda: MovementStrategy(max(d_star, 1), max_delay=M),
+        "timer(T=d*/q)": lambda: TimerStrategy(
+            max(int(round(d_star / MOBILITY.q)), 1), max_delay=M
+        ),
+        "location-area(d*)": lambda: LocationAreaStrategy(d_star),
+        "dynamic": lambda: DynamicStrategy(
+            COSTS, max_delay=M, smoothing=0.005, recompute_interval=10
+        ),
+    }
+    results = {}
+    for name, factory in factories.items():
+        result = run_replicated(
+            HexTopology(),
+            factory,
+            MOBILITY,
+            COSTS,
+            slots=SLOTS,
+            replications=3,
+            seed=31,
+        )
+        results[name] = result
+    return d_star, results
+
+
+@pytest.mark.benchmark(group="strategies")
+def test_strategy_shootout(benchmark, out_dir):
+    d_star, results = benchmark.pedantic(_run_shootout, rounds=1, iterations=1)
+    headers = ["strategy", "mean C_T", "95% CI", "mean C_u", "mean C_v", "page delay"]
+    rows = [
+        [
+            name,
+            r.mean_total_cost,
+            r.total_cost_ci(),
+            r.mean_update_cost,
+            r.mean_paging_cost,
+            r.mean_paging_delay,
+        ]
+        for name, r in results.items()
+    ]
+    text = render_table(
+        headers,
+        rows,
+        title=(
+            f"Strategy shoot-out (hex grid, q={MOBILITY.q} c={MOBILITY.c} "
+            f"U={COSTS.U} V={COSTS.V} m={M}, d*={d_star})"
+        ),
+    )
+    emit(out_dir, "strategies", text)
+
+    distance = results["distance(d*)"].mean_total_cost
+    assert distance < results["movement(M=d*)"].mean_total_cost
+    assert distance < results["timer(T=d*/q)"].mean_total_cost
+    assert distance < results["location-area(d*)"].mean_total_cost
+    # Dynamic adaptation must land within 15% of the static optimum.
+    assert results["dynamic"].mean_total_cost < distance * 1.15

@@ -1,0 +1,46 @@
+"""TAB1: reproduce Table 1 -- optimal threshold and cost, 1-D model.
+
+Paper parameters: ``q = 0.05, c = 0.01, V = 10``, ``U`` from 1 to 1000,
+delay bounds 1, 2, 3, unbounded.  The bench regenerates all 28 x 4
+cells, checks them against the published values, and reports both the
+rows and the worst deviation.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis import compute_table1, render_table, table1_rows
+from repro.analysis.paper_data import TABLE1, TABLE_U_VALUES
+
+from conftest import emit
+
+
+def _check(table):
+    worst = 0.0
+    mismatched_d = []
+    for m, column in TABLE1.items():
+        for U, published in column.items():
+            entry = table[m][U]
+            worst = max(worst, abs(entry.total_cost - published.total_cost))
+            if entry.optimal_d != published.optimal_d:
+                mismatched_d.append((m, U, entry.optimal_d, published.optimal_d))
+    return worst, mismatched_d
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_reproduction(benchmark, out_dir):
+    table = benchmark.pedantic(compute_table1, rounds=1, iterations=1)
+    worst, mismatched = _check(table)
+    headers, rows = table1_rows(table)
+    lines = [
+        render_table(headers, rows, title="Table 1 (1-D): q=0.05 c=0.01 V=10"),
+        "",
+        f"worst |C_T - paper| over {len(TABLE_U_VALUES) * 4} cells: {worst:.4f}",
+        f"d* mismatches vs paper: {mismatched or 'none'}",
+    ]
+    emit(out_dir, "table1", "\n".join(lines))
+    # Reproduction gates: costs to printed precision; thresholds exact
+    # except the documented flat-tie cell (inf, 1000).
+    assert worst < 6e-4
+    assert all((m, U) == (math.inf, 1000) for m, U, _, _ in mismatched)

@@ -1,0 +1,49 @@
+"""TAB2: reproduce Table 2 -- 2-D optimal and near-optimal columns.
+
+Paper parameters: ``q = 0.05, c = 0.01, V = 10``, ``U`` from 1 to 1000,
+delay bounds 1, 3, unbounded.  Checks all four published columns
+(``d*``, ``d'``, ``C_T``, ``C'_T``) cell by cell.
+"""
+
+import pytest
+
+from repro.analysis import compute_table2, render_table, table2_rows
+from repro.analysis.paper_data import TABLE2, TABLE_U_VALUES
+
+from conftest import emit
+
+
+def _check(table):
+    worst_cost = worst_near = 0.0
+    mismatches = []
+    for m, column in TABLE2.items():
+        for U, published in column.items():
+            entry = table[m][U]
+            worst_cost = max(worst_cost, abs(entry.total_cost - published.total_cost))
+            worst_near = max(
+                worst_near,
+                abs(entry.near_optimal_cost - published.near_optimal_cost),
+            )
+            if entry.optimal_d != published.optimal_d:
+                mismatches.append(("d*", m, U))
+            if entry.near_optimal_d != published.near_optimal_d:
+                mismatches.append(("d'", m, U))
+    return worst_cost, worst_near, mismatches
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_reproduction(benchmark, out_dir):
+    table = benchmark.pedantic(compute_table2, rounds=1, iterations=1)
+    worst_cost, worst_near, mismatches = _check(table)
+    headers, rows = table2_rows(table)
+    lines = [
+        render_table(headers, rows, title="Table 2 (2-D): q=0.05 c=0.01 V=10"),
+        "",
+        f"worst |C_T  - paper| over {len(TABLE_U_VALUES) * 3} cells: {worst_cost:.4f}",
+        f"worst |C'_T - paper| over {len(TABLE_U_VALUES) * 3} cells: {worst_near:.4f}",
+        f"threshold mismatches vs paper: {mismatches or 'none'}",
+    ]
+    emit(out_dir, "table2", "\n".join(lines))
+    assert worst_cost < 6e-4
+    assert worst_near < 6e-4
+    assert mismatches == []

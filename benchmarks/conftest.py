@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness.
+
+Each bench regenerates one table or figure of the paper (or one
+ablation) and prints the reproduced rows next to the published values,
+so running ``pytest benchmarks/ --benchmark-only -s`` produces the full
+evaluation section of the paper on stdout.  Output also works without
+``-s``: every bench writes its rendering into ``benchmarks/out/``.
+"""
+
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+def emit(out_dir: Path, name: str, text: str) -> None:
+    """Print a bench's report and persist it under benchmarks/out/."""
+    print()
+    print(text)
+    (out_dir / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,69 @@
+"""Delay-constraint study: what a polling-cycle budget buys.
+
+Reproduces the paper's headline qualitative result ("a small increase
+of the maximum delay from 1 to 2 polling cycles can lower the optimal
+cost to half way between its values when the maximum delays are 1 and
+infinity") as a concrete engineering table: for a grid of user
+profiles, the optimal cost at every delay bound, the fraction of the
+delay-1-to-unbounded gap closed, and the *expected* (not worst-case)
+paging delay actually experienced.
+
+Run:  python examples/delay_tradeoff.py
+"""
+
+import math
+
+from repro import (
+    CostParams,
+    MobilityParams,
+    TwoDimensionalModel,
+    find_optimal_threshold,
+)
+
+PRICES = CostParams(update_cost=100.0, poll_cost=1.0)
+DELAYS = (1, 2, 3, 5, math.inf)
+PROFILES = [
+    ("pedestrian, light traffic", 0.05, 0.005),
+    ("pedestrian, heavy traffic", 0.05, 0.05),
+    ("vehicle, light traffic", 0.4, 0.005),
+    ("vehicle, heavy traffic", 0.4, 0.05),
+]
+
+
+def main() -> None:
+    for label, q, c in PROFILES:
+        model = TwoDimensionalModel(MobilityParams(q, c))
+        solutions = {
+            m: find_optimal_threshold(model, PRICES, m) for m in DELAYS
+        }
+        gap = solutions[1].total_cost - solutions[math.inf].total_cost
+        print(f"\n{label} (q={q}, c={c})")
+        print(f"  {'m':>9} {'d*':>4} {'C_T':>9} {'gap closed':>11} {'E[delay]':>9}")
+        for m in DELAYS:
+            s = solutions[m]
+            closed = (
+                (solutions[1].total_cost - s.total_cost) / gap if gap > 1e-12 else 1.0
+            )
+            name = "unbounded" if m == math.inf else str(m)
+            print(
+                f"  {name:>9} {s.threshold:>4} {s.total_cost:>9.4f} "
+                f"{closed:>10.0%} {s.breakdown.expected_delay:>9.3f}"
+            )
+        two_cycle = (
+            (solutions[1].total_cost - solutions[2].total_cost) / gap
+            if gap > 1e-12
+            else 1.0
+        )
+        print(
+            f"  -> one extra polling cycle already recovers {two_cycle:.0%} of "
+            "everything unbounded delay could ever save"
+        )
+
+    print(
+        "\nNote how the expected delay stays well below the worst-case bound m:"
+        "\nthe SDF order finds most terminals in the first subarea."
+    )
+
+
+if __name__ == "__main__":
+    main()

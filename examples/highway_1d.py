@@ -1,0 +1,85 @@
+"""Highway scenario: 1-D coverage and the LA-scheme comparison.
+
+Terminals on a highway (the paper's one-dimensional model: cells along
+a road, two neighbors each).  The example contrasts the paper's
+distance-based scheme with the static location-area scheme of
+reference [8] at the *same paging-area size*, on the same traces --
+demonstrating the LA boundary ping-pong problem the paper's
+introduction uses to motivate its design -- and then shows how the
+distance threshold adapts per user class while LAs cannot.
+
+Run:  python examples/highway_1d.py
+"""
+
+from repro import (
+    CostParams,
+    MobilityParams,
+    OneDimensionalModel,
+    find_optimal_threshold,
+)
+from repro.geometry import LineTopology
+from repro.simulation import run_replicated
+from repro.strategies import DistanceStrategy, LocationAreaStrategy
+
+SLOTS = 80_000
+PRICES = CostParams(update_cost=25.0, poll_cost=1.0)
+
+
+def measure(factory, mobility, seed):
+    result = run_replicated(
+        LineTopology(),
+        factory,
+        mobility,
+        PRICES,
+        slots=SLOTS,
+        replications=3,
+        seed=seed,
+    )
+    return result
+
+
+def main() -> None:
+    # Commuter traffic: moves often (vehicles), called rarely.
+    commuter = MobilityParams(move_probability=0.5, call_probability=0.01)
+    solution = find_optimal_threshold(
+        OneDimensionalModel(commuter), PRICES, 1, convention="physical"
+    )
+    d_star = solution.threshold
+    print(f"Commuter (q={commuter.q}, c={commuter.c}): analytic d* = {d_star}, "
+          f"predicted C_T = {solution.total_cost:.4f}")
+
+    distance = measure(lambda: DistanceStrategy(d_star, max_delay=1), commuter, 1)
+    la = measure(lambda: LocationAreaStrategy(d_star), commuter, 1)
+
+    print("\nDistance-based vs static LA at equal paging area "
+          f"(g({d_star}) = {2 * d_star + 1} cells):")
+    for label, result in (("distance-based", distance), ("location-area", la)):
+        print(
+            f"  {label:15s} C_T={result.mean_total_cost:.4f} "
+            f"(updates/slot={result.mean_update_cost / PRICES.U:.4f}, "
+            f"paging C_v={result.mean_paging_cost:.4f})"
+        )
+    advantage = 1 - distance.mean_total_cost / la.mean_total_cost
+    print(f"  -> distance-based is {advantage:.1%} cheaper: the LA scheme pays for "
+          "boundary ping-pong updates")
+
+    # Per-user adaptation: the same infrastructure serves a pedestrian
+    # with a very different optimal threshold.
+    print("\nPer-user thresholds on the same highway:")
+    for label, q, c in (
+        ("high-speed vehicle", 0.8, 0.005),
+        ("slow vehicle", 0.3, 0.01),
+        ("pedestrian", 0.05, 0.02),
+        ("roadside kiosk", 0.002, 0.05),
+    ):
+        mobility = MobilityParams(q, c)
+        best = find_optimal_threshold(
+            OneDimensionalModel(mobility), PRICES, 1, convention="physical"
+        )
+        print(f"  {label:20s} -> d*={best.threshold:2d}  C_T={best.total_cost:.4f}")
+    print("\nA static LA scheme must pick ONE area size for all of these users;")
+    print("the distance-based scheme tunes the residing area per terminal.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Quickstart: optimize one user's location-management policy.
+
+The minimal end-to-end use of the library: describe a subscriber by the
+paper's four parameters (move probability ``q``, call probability
+``c``, update cost ``U``, polling cost ``V``), pick a paging delay
+budget ``m``, and ask for the optimal update threshold distance.
+
+Run:  python examples/quickstart.py
+"""
+
+import math
+
+from repro import (
+    CostParams,
+    MobilityParams,
+    OneDimensionalModel,
+    TwoDimensionalModel,
+    find_optimal_threshold,
+)
+
+
+def main() -> None:
+    # A pedestrian in a microcell downtown: moves to a neighboring cell
+    # in 5% of time slots, receives a call in 1% of them.
+    user = MobilityParams(move_probability=0.05, call_probability=0.01)
+
+    # Signaling prices: one location update costs as much wireless
+    # bandwidth/power as polling 10 cells.
+    prices = CostParams(update_cost=100.0, poll_cost=10.0)
+
+    model = TwoDimensionalModel(user)
+
+    print("Two-dimensional (city) coverage, varying the paging delay bound")
+    print(f"{'m':>10} {'d*':>4} {'C_T':>8} {'C_u':>8} {'C_v':>8} {'E[delay]':>9}")
+    for max_delay in (1, 2, 3, math.inf):
+        solution = find_optimal_threshold(model, prices, max_delay)
+        b = solution.breakdown
+        label = "unbounded" if max_delay == math.inf else str(max_delay)
+        print(
+            f"{label:>10} {solution.threshold:>4} {solution.total_cost:>8.3f} "
+            f"{b.update_cost:>8.3f} {b.paging_cost:>8.3f} {b.expected_delay:>9.3f}"
+        )
+
+    # The same user confined to a highway (one-dimensional coverage).
+    print("\nOne-dimensional (highway) coverage")
+    line_model = OneDimensionalModel(user)
+    for max_delay in (1, 3):
+        solution = find_optimal_threshold(line_model, prices, max_delay)
+        print(
+            f"  m={max_delay}: optimal threshold d*={solution.threshold}, "
+            f"average cost {solution.total_cost:.3f} per slot"
+        )
+
+    # Inspect the residence distribution the optimum is built on.
+    solution = find_optimal_threshold(model, prices, 3)
+    p = model.steady_state(solution.threshold)
+    print(f"\nSteady-state ring distribution at d*={solution.threshold}:")
+    for ring, probability in enumerate(p):
+        bar = "#" * int(round(probability * 60))
+        print(f"  ring {ring}: {probability:.3f} {bar}")
+
+
+if __name__ == "__main__":
+    main()

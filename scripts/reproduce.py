@@ -1,0 +1,163 @@
+#!/usr/bin/env python
+"""Regenerate every paper artifact into ``results/`` in one command.
+
+    python scripts/reproduce.py [--outdir results] [--quick]
+
+Produces, under the output directory:
+
+* ``table1.txt`` / ``table1.csv`` -- the full Table 1 reproduction with
+  the published values alongside;
+* ``table2.txt`` / ``table2.csv`` -- same for Table 2;
+* ``fig4a/4b/5a/5b.txt`` / ``.csv`` -- the figure series with ASCII
+  plots;
+* ``validation.txt`` -- the model-vs-simulation campaign;
+* ``SUMMARY.txt`` -- one-page agreement summary.
+
+``--quick`` lowers sweep resolutions and simulation lengths (useful for
+CI smoke runs); the default settings match EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+import time
+from pathlib import Path
+
+from repro.analysis import (
+    check_figure_shape,
+    compute_figure4,
+    compute_figure5,
+    compute_table1,
+    compute_table2,
+    render_ascii_plot,
+    render_table,
+    run_validation_campaign,
+    table1_rows,
+    table2_rows,
+    write_csv,
+)
+from repro.analysis.paper_data import TABLE1, TABLE2
+
+
+def reproduce_tables(outdir: Path, summary: list) -> None:
+    print("reproducing Table 1 ...")
+    table1 = compute_table1()
+    headers, rows = table1_rows(table1)
+    (outdir / "table1.txt").write_text(
+        render_table(headers, rows, title="Table 1 (1-D): q=0.05 c=0.01 V=10") + "\n"
+    )
+    write_csv(outdir / "table1.csv", headers, rows)
+    worst = max(
+        abs(table1[m][U].total_cost - published.total_cost)
+        for m, column in TABLE1.items()
+        for U, published in column.items()
+    )
+    summary.append(f"Table 1: worst |C_T - paper| = {worst:.4f} over 112 cells")
+
+    print("reproducing Table 2 ...")
+    table2 = compute_table2()
+    headers, rows = table2_rows(table2)
+    (outdir / "table2.txt").write_text(
+        render_table(headers, rows, title="Table 2 (2-D): q=0.05 c=0.01 V=10") + "\n"
+    )
+    write_csv(outdir / "table2.csv", headers, rows)
+    worst = max(
+        max(
+            abs(table2[m][U].total_cost - published.total_cost),
+            abs(table2[m][U].near_optimal_cost - published.near_optimal_cost),
+        )
+        for m, column in TABLE2.items()
+        for U, published in column.items()
+    )
+    mismatches = sum(
+        (table2[m][U].optimal_d != published.optimal_d)
+        + (table2[m][U].near_optimal_d != published.near_optimal_d)
+        for m, column in TABLE2.items()
+        for U, published in column.items()
+    )
+    summary.append(
+        f"Table 2: worst cost delta = {worst:.4f}, threshold mismatches = {mismatches}"
+    )
+
+
+def reproduce_figures(outdir: Path, summary: list, points: int) -> None:
+    jobs = [
+        ("fig4a", lambda: compute_figure4(1, points=points)),
+        ("fig4b", lambda: compute_figure4(2, points=points)),
+        ("fig5a", lambda: compute_figure5(1, points=points)),
+        ("fig5b", lambda: compute_figure5(2, points=points)),
+    ]
+    for name, job in jobs:
+        print(f"reproducing {name} ...")
+        figure = job()
+        problems = check_figure_shape(figure)
+        headers, rows = figure.as_rows()
+        series = {figure.curve_label(m): ys for m, ys in figure.curves.items()}
+        text = "\n".join(
+            [
+                render_table(headers, rows, title=figure.name),
+                "",
+                render_ascii_plot(
+                    series,
+                    figure.x_values,
+                    title=f"optimal C_T vs {figure.x_label}",
+                ),
+                "",
+                f"shape violations: {problems or 'none'}",
+            ]
+        )
+        (outdir / f"{name}.txt").write_text(text + "\n")
+        write_csv(outdir / f"{name}.csv", headers, rows)
+        summary.append(f"{name}: shape violations = {len(problems)}")
+
+
+def reproduce_validation(outdir: Path, summary: list, slots: int) -> None:
+    print("running model-vs-simulation validation ...")
+    outcomes = run_validation_campaign(slots=slots, replications=3, seed=11)
+    headers = ["case", "predicted", "measured", "rel err", "ok"]
+    rows = [
+        [
+            o.case.label,
+            o.comparison.predicted_total,
+            o.comparison.measured_total,
+            f"{o.comparison.relative_error:.2%}",
+            "yes" if o.ok else "NO",
+        ]
+        for o in outcomes
+    ]
+    (outdir / "validation.txt").write_text(
+        render_table(headers, rows, title="model vs simulation") + "\n"
+    )
+    failures = sum(not o.ok for o in outcomes)
+    summary.append(f"validation: {len(outcomes) - failures}/{len(outcomes)} cases agree")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--outdir", default="results")
+    parser.add_argument(
+        "--quick", action="store_true", help="reduced resolution for smoke runs"
+    )
+    args = parser.parse_args(argv)
+    outdir = Path(args.outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+
+    started = time.time()
+    summary: list = []
+    reproduce_tables(outdir, summary)
+    reproduce_figures(outdir, summary, points=5 if args.quick else 13)
+    reproduce_validation(outdir, summary, slots=30_000 if args.quick else 120_000)
+
+    elapsed = time.time() - started
+    summary.append(f"total wall time: {elapsed:.1f}s")
+    text = "Reproduction summary\n" + "\n".join(f"  - {line}" for line in summary)
+    (outdir / "SUMMARY.txt").write_text(text + "\n")
+    print()
+    print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

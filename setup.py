@@ -1,0 +1,11 @@
+"""Legacy setuptools shim.
+
+Allows ``pip install -e . --no-build-isolation --no-use-pep517`` in
+offline environments that lack the ``wheel`` package (the PEP 517
+editable path needs ``bdist_wheel``).  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,131 @@
+"""Scheme-crossover maps over the (q, c) parameter plane.
+
+The baseline ablation found that the paper's distance-based scheme does
+not dominate movement-based updating everywhere at delay bound 1 (see
+EXPERIMENTS.md, ABL-ANALYTIC): the winner depends on where a user sits
+in the ``(q, c)`` plane.  This module computes the winner over a log
+grid and renders the region map, turning a scatter of comparisons into
+the actual decision boundary an operator could use.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..core.baselines import (
+    optimal_la_radius,
+    optimal_movement_threshold,
+    optimal_timer_period,
+)
+from ..core.movement_chain import optimal_staged_movement_threshold
+from ..core.models import MobilityModel, TwoDimensionalModel
+from ..core.parameters import CostParams, MobilityParams
+from ..core.threshold import find_optimal_threshold
+from ..exceptions import ParameterError
+from ..geometry import HexTopology
+
+__all__ = ["CrossoverMap", "compute_crossover_map"]
+
+#: Scheme name -> single-character map glyph.
+_GLYPHS = {"distance": "D", "movement": "M", "timer": "T", "location-area": "L"}
+
+
+@dataclass(frozen=True)
+class CrossoverMap:
+    """Winner-per-cell map over a (q, c) grid."""
+
+    q_values: List[float]
+    c_values: List[float]
+    #: ``winners[i][j]`` is the cheapest scheme at ``(q_values[i], c_values[j])``.
+    winners: List[List[str]]
+    #: Parallel structure with the winner's total cost.
+    costs: List[List[float]]
+
+    def winner_at(self, qi: int, cj: int) -> str:
+        return self.winners[qi][cj]
+
+    def share(self, scheme: str) -> float:
+        """Fraction of grid cells won by ``scheme``."""
+        cells = [w for row in self.winners for w in row]
+        return cells.count(scheme) / len(cells)
+
+    def render(self) -> str:
+        """ASCII region map: rows = q (descending), columns = c."""
+        lines: List[str] = []
+        header = "q \\ c   " + " ".join(f"{c:7.3f}" for c in self.c_values)
+        lines.append(header)
+        for qi in range(len(self.q_values) - 1, -1, -1):
+            glyphs = "       ".join(
+                _GLYPHS.get(self.winners[qi][cj], "?")
+                for cj in range(len(self.c_values))
+            )
+            lines.append(f"{self.q_values[qi]:6.3f}  {glyphs}")
+        legend = "  ".join(f"{glyph}={name}" for name, glyph in _GLYPHS.items())
+        lines.append(legend)
+        return "\n".join(lines)
+
+
+def compute_crossover_map(
+    costs: CostParams,
+    q_values: Sequence[float],
+    c_values: Sequence[float],
+    max_delay=1,
+    d_max: int = 50,
+) -> CrossoverMap:
+    """Winner map over the grid, hex geometry, each scheme optimally tuned.
+
+    The comparison is fair at every delay bound: the distance scheme
+    uses its SDF partition at ``max_delay`` and the movement scheme
+    uses the joint (count, ring) chain of
+    :mod:`repro.core.movement_chain` with SDF paging at the same bound.
+    Timer and LA keep their natural blanket/whole-LA paging (staging an
+    elapsed-time disk or an LA is possible but those schemes never win
+    regardless).
+    """
+    if not q_values or not c_values:
+        raise ParameterError("q_values and c_values must be non-empty")
+    topology = HexTopology()
+    winners: List[List[str]] = []
+    cost_grid: List[List[float]] = []
+    for q in q_values:
+        winner_row: List[str] = []
+        cost_row: List[float] = []
+        for c in c_values:
+            if q + c > 1.0:
+                raise ParameterError(f"infeasible grid point q={q}, c={c}")
+            mobility = MobilityParams(q, c)
+            candidates: Dict[str, float] = {}
+            candidates["distance"] = find_optimal_threshold(
+                TwoDimensionalModel(mobility),
+                costs,
+                max_delay,
+                d_max=d_max,
+                convention="physical",
+            ).total_cost
+            if max_delay == 1:
+                candidates["movement"] = optimal_movement_threshold(
+                    topology, mobility, costs
+                ).total_cost
+            else:
+                candidates["movement"] = optimal_staged_movement_threshold(
+                    topology, mobility, costs, max_delay, max_threshold=40
+                ).total_cost
+            candidates["timer"] = optimal_timer_period(
+                topology, mobility, costs
+            ).total_cost
+            candidates["location-area"] = optimal_la_radius(
+                topology, mobility, costs
+            ).total_cost
+            best = min(candidates, key=lambda name: (candidates[name], name))
+            winner_row.append(best)
+            cost_row.append(candidates[best])
+        winners.append(winner_row)
+        cost_grid.append(cost_row)
+    return CrossoverMap(
+        q_values=list(q_values),
+        c_values=list(c_values),
+        winners=winners,
+        costs=cost_grid,
+    )

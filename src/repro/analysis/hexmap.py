@@ -1,0 +1,116 @@
+"""ASCII rendering of hex-grid state around a center cell.
+
+Terminal-friendly visualization of per-cell quantities on the paper's
+hexagonal geometry: the steady-state residence distribution, a paging
+plan's polling order, or any user-supplied cell->value mapping.  Used
+by the CLI (`repro-lm show`) and the examples; staying ASCII keeps the
+library dependency-free and the output diff-able in tests.
+
+Axial cell ``(q, r)`` is drawn at column ``2q + r`` and row ``r`` (the
+standard "double-width" hex layout), one character per cell, so rings
+render as visually hexagonal bands::
+
+        2 2 2
+       2 1 1 2
+      2 1 0 1 2
+       2 1 1 2
+        2 2 2
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core.models import MobilityModel
+from ..exceptions import ParameterError
+from ..geometry import HexTopology
+from ..paging.plan import PagingPlan
+
+__all__ = ["render_hex_map", "render_ring_distances", "render_paging_order", "render_occupancy"]
+
+#: Glyph ramp for quantized [0, 1] intensities, light to dark.
+_RAMP = " .:-=+*#%@"
+
+
+def render_hex_map(
+    radius: int,
+    cell_char: Callable[[tuple], str],
+    center: tuple = (0, 0),
+) -> str:
+    """Render the radius-``radius`` hex disk with one glyph per cell.
+
+    ``cell_char`` maps an axial cell to a single display character;
+    longer strings are truncated to their first character and empty
+    strings render as a space.
+    """
+    if radius < 0:
+        raise ParameterError(f"radius must be >= 0, got {radius}")
+    topo = HexTopology()
+    rows: Dict[int, Dict[int, str]] = {}
+    for cell in topo.disk(center, radius):
+        q, r = cell[0] - center[0], cell[1] - center[1]
+        col = 2 * q + r
+        glyph = cell_char(cell)
+        glyph = glyph[0] if glyph else " "
+        rows.setdefault(r, {})[col] = glyph
+    lines: List[str] = []
+    min_col = min(col for row in rows.values() for col in row)
+    for r in sorted(rows):
+        row = rows[r]
+        line = []
+        for col in range(min_col, max(row) + 1):
+            line.append(row.get(col, " "))
+        lines.append("".join(line).rstrip())
+    return "\n".join(lines)
+
+
+def render_ring_distances(radius: int) -> str:
+    """Figure 1(b) of the paper: each cell labeled with its ring index."""
+    topo = HexTopology()
+
+    def char(cell: tuple) -> str:
+        distance = topo.distance((0, 0), cell)
+        if distance < 10:
+            return str(distance)
+        return chr(ord("a") + distance - 10)
+
+    return render_hex_map(radius, char)
+
+
+def render_paging_order(plan: PagingPlan) -> str:
+    """Each cell labeled with the polling cycle (1-based) that reaches it."""
+    topo = HexTopology()
+
+    def char(cell: tuple) -> str:
+        ring = topo.distance((0, 0), cell)
+        return str(plan.subarea_of_ring(ring) + 1)
+
+    return render_hex_map(plan.threshold, char)
+
+
+def render_occupancy(
+    model: MobilityModel,
+    d: int,
+    ramp: str = _RAMP,
+) -> str:
+    """Per-cell steady-state occupancy of the residing area, as a heat map.
+
+    Ring probability is divided by ring size (per-cell density) and
+    normalized to the densest cell, then quantized onto ``ramp``.
+    """
+    if model.topology != HexTopology():
+        raise ParameterError("occupancy rendering supports the hex geometry only")
+    if not ramp:
+        raise ParameterError("ramp must be non-empty")
+    p = model.steady_state(d)
+    densities = [p[i] / model.ring_size(i) for i in range(d + 1)]
+    peak = max(densities)
+    topo = model.topology
+
+    def char(cell: tuple) -> str:
+        ring = topo.distance((0, 0), cell)
+        level = densities[ring] / peak if peak > 0 else 0.0
+        index = min(int(level * (len(ramp) - 1) + 0.5), len(ramp) - 1)
+        return ramp[index]
+
+    return render_hex_map(d, char)

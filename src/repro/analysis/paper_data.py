@@ -1,0 +1,176 @@
+"""The paper's published numerical results, transcribed verbatim.
+
+Embedding the originals lets the table benches and the regression tests
+compare reproduction output cell-by-cell instead of eyeballing, and
+lets EXPERIMENTS.md report exact deltas.
+
+Sources: Table 1 ("Optimal Threshold Distance and Average Total Cost
+for One-Dimensional Mobility Model") and Table 2 (same, two-dimensional)
+of Akyildiz & Ho, SIGCOMM '95.  Shared parameters for both tables:
+``c = 0.01``, ``q = 0.05``, ``V = 10``, ``U`` varying per row.
+
+Figures 4 and 5 are curve plots without printed values; only their
+parameterization is recorded here (used by the figure benches).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = [
+    "TABLE1_PARAMS",
+    "TABLE1",
+    "TABLE2_PARAMS",
+    "TABLE2",
+    "TABLE_U_VALUES",
+    "FIGURE4_PARAMS",
+    "FIGURE5_PARAMS",
+    "Table1Row",
+    "Table2Cell",
+]
+
+#: The U column shared by both tables.
+TABLE_U_VALUES: Tuple[int, ...] = (
+    1, 2, 3, 4, 5, 6, 7, 8, 9, 10,
+    20, 30, 40, 50, 60, 70, 80, 90, 100,
+    200, 300, 400, 500, 600, 700, 800, 900, 1000,
+)
+
+#: Fixed parameters of Tables 1 and 2.
+TABLE1_PARAMS: Dict[str, float] = {"q": 0.05, "c": 0.01, "V": 10.0}
+TABLE2_PARAMS: Dict[str, float] = {"q": 0.05, "c": 0.01, "V": 10.0}
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One (delay, U) entry of Table 1: optimal distance and cost."""
+
+    optimal_d: int
+    total_cost: float
+
+
+@dataclass(frozen=True)
+class Table2Cell:
+    """One (delay, U) entry of Table 2: exact and near-optimal columns."""
+
+    optimal_d: int
+    near_optimal_d: int
+    total_cost: float
+    near_optimal_cost: float
+
+
+def _t1(rows) -> Dict[float, Dict[int, Table1Row]]:
+    delays = (1, 2, 3, math.inf)
+    out: Dict[float, Dict[int, Table1Row]] = {m: {} for m in delays}
+    for U, *cells in rows:
+        for m, (d_star, cost) in zip(delays, cells):
+            out[m][U] = Table1Row(optimal_d=d_star, total_cost=cost)
+    return out
+
+
+#: Table 1, keyed as ``TABLE1[delay][U] -> Table1Row``.
+#: delay keys: 1, 2, 3, math.inf.
+TABLE1: Dict[float, Dict[int, Table1Row]] = _t1(
+    [
+        (1, (0, 0.125), (0, 0.125), (0, 0.125), (0, 0.125)),
+        (2, (0, 0.150), (0, 0.150), (0, 0.150), (0, 0.150)),
+        (3, (0, 0.175), (0, 0.175), (0, 0.175), (0, 0.175)),
+        (4, (0, 0.200), (0, 0.200), (0, 0.200), (0, 0.200)),
+        (5, (0, 0.225), (0, 0.225), (0, 0.225), (0, 0.225)),
+        (6, (0, 0.250), (0, 0.250), (0, 0.250), (0, 0.250)),
+        (7, (0, 0.275), (1, 0.270), (1, 0.270), (1, 0.270)),
+        (8, (0, 0.300), (1, 0.282), (1, 0.282), (1, 0.282)),
+        (9, (0, 0.325), (1, 0.293), (2, 0.291), (2, 0.291)),
+        (10, (0, 0.350), (1, 0.305), (2, 0.296), (2, 0.296)),
+        (20, (1, 0.527), (1, 0.418), (2, 0.339), (3, 0.338)),
+        (30, (2, 0.630), (2, 0.465), (2, 0.382), (3, 0.357)),
+        (40, (2, 0.673), (3, 0.486), (3, 0.415), (4, 0.371)),
+        (50, (2, 0.716), (3, 0.506), (3, 0.435), (4, 0.381)),
+        (60, (2, 0.760), (3, 0.526), (3, 0.454), (5, 0.386)),
+        (70, (2, 0.803), (3, 0.545), (3, 0.474), (6, 0.391)),
+        (80, (2, 0.846), (3, 0.565), (3, 0.494), (6, 0.394)),
+        (90, (3, 0.878), (4, 0.579), (5, 0.510), (7, 0.396)),
+        (100, (3, 0.897), (4, 0.589), (5, 0.515), (7, 0.397)),
+        (200, (3, 1.095), (4, 0.686), (6, 0.548), (12, 0.401)),
+        (300, (4, 1.193), (6, 0.724), (7, 0.565), (17, 0.402)),
+        (400, (4, 1.290), (6, 0.750), (7, 0.579), (22, 0.402)),
+        (500, (5, 1.351), (6, 0.776), (7, 0.593), (27, 0.402)),
+        (600, (5, 1.401), (6, 0.803), (7, 0.607), (32, 0.402)),
+        (700, (5, 1.451), (6, 0.829), (7, 0.621), (37, 0.402)),
+        (800, (5, 1.501), (6, 0.855), (7, 0.635), (42, 0.402)),
+        (900, (6, 1.537), (8, 0.868), (7, 0.649), (47, 0.402)),
+        (1000, (6, 1.563), (8, 0.876), (7, 0.663), (52, 0.402)),
+    ]
+)
+
+
+def _t2(rows) -> Dict[float, Dict[int, Table2Cell]]:
+    delays = (1, 3, math.inf)
+    out: Dict[float, Dict[int, Table2Cell]] = {m: {} for m in delays}
+    for U, *cells in rows:
+        for m, (d_star, d_prime, cost, near_cost) in zip(delays, cells):
+            out[m][U] = Table2Cell(
+                optimal_d=d_star,
+                near_optimal_d=d_prime,
+                total_cost=cost,
+                near_optimal_cost=near_cost,
+            )
+    return out
+
+
+#: Table 2, keyed as ``TABLE2[delay][U] -> Table2Cell``.
+#: delay keys: 1, 3, math.inf.
+TABLE2: Dict[float, Dict[int, Table2Cell]] = _t2(
+    [
+        (1, (0, 0, 0.150, 0.150), (0, 0, 0.150, 0.150), (0, 0, 0.150, 0.150)),
+        (2, (0, 0, 0.200, 0.200), (0, 0, 0.200, 0.200), (0, 0, 0.200, 0.200)),
+        (3, (0, 0, 0.250, 0.250), (0, 0, 0.250, 0.250), (0, 0, 0.250, 0.250)),
+        (4, (0, 0, 0.300, 0.300), (0, 0, 0.300, 0.300), (0, 0, 0.300, 0.300)),
+        (5, (0, 0, 0.350, 0.350), (0, 0, 0.350, 0.350), (0, 0, 0.350, 0.350)),
+        (6, (0, 0, 0.400, 0.400), (0, 0, 0.400, 0.400), (0, 0, 0.400, 0.400)),
+        (7, (0, 0, 0.450, 0.450), (0, 0, 0.450, 0.450), (0, 0, 0.450, 0.450)),
+        (8, (0, 0, 0.500, 0.500), (0, 0, 0.500, 0.500), (0, 0, 0.500, 0.500)),
+        (9, (0, 0, 0.550, 0.550), (1, 0, 0.542, 0.550), (1, 0, 0.542, 0.550)),
+        (10, (0, 0, 0.600, 0.600), (1, 0, 0.555, 0.600), (1, 0, 0.555, 0.600)),
+        (20, (1, 0, 0.968, 1.100), (1, 0, 0.689, 1.100), (1, 0, 0.689, 1.100)),
+        (30, (1, 0, 1.102, 1.600), (1, 0, 0.823, 1.600), (1, 0, 0.823, 1.600)),
+        (40, (1, 0, 1.236, 2.100), (1, 0, 0.957, 2.100), (1, 0, 0.957, 2.100)),
+        (50, (1, 0, 1.370, 2.600), (2, 2, 1.074, 1.074), (2, 2, 1.074, 1.074)),
+        (60, (1, 0, 1.504, 3.100), (2, 2, 1.126, 1.126), (2, 2, 1.126, 1.126)),
+        (70, (1, 0, 1.638, 3.600), (2, 2, 1.178, 1.178), (2, 2, 1.178, 1.178)),
+        (80, (1, 1, 1.771, 1.771), (2, 2, 1.231, 1.231), (2, 2, 1.231, 1.231)),
+        (90, (1, 1, 1.905, 1.905), (2, 2, 1.283, 1.283), (2, 2, 1.283, 1.283)),
+        (100, (1, 1, 2.039, 2.039), (2, 2, 1.335, 1.335), (2, 2, 1.335, 1.335)),
+        (200, (2, 1, 2.945, 3.379), (2, 2, 1.858, 1.858), (3, 3, 1.683, 1.683)),
+        (300, (2, 2, 3.468, 3.468), (3, 2, 2.372, 2.381), (4, 3, 1.912, 1.918)),
+        (400, (2, 2, 3.991, 3.991), (3, 3, 2.608, 2.608), (4, 4, 2.025, 2.025)),
+        (500, (2, 2, 4.514, 4.514), (3, 3, 2.843, 2.843), (4, 4, 2.138, 2.138)),
+        (600, (2, 2, 5.036, 5.036), (5, 3, 2.955, 3.079), (5, 5, 2.204, 2.204)),
+        (700, (3, 2, 5.349, 5.559), (5, 5, 3.011, 3.011), (5, 5, 2.260, 2.260)),
+        (800, (3, 2, 5.585, 6.082), (5, 5, 3.066, 3.066), (5, 5, 2.315, 2.315)),
+        (900, (3, 2, 5.820, 6.604), (5, 5, 3.122, 3.122), (6, 6, 2.346, 2.346)),
+        (1000, (3, 2, 6.056, 7.127), (5, 5, 3.177, 3.177), (6, 6, 2.374, 2.374)),
+    ]
+)
+
+#: Figure 4: average total cost vs probability of moving, q in
+#: [0.001, 0.5] (log axis); fixed c, U, V; delays 1, 2, 3, unbounded.
+FIGURE4_PARAMS: Dict[str, float] = {
+    "c": 0.01,
+    "U": 100.0,
+    "V": 1.0,
+    "q_min": 0.001,
+    "q_max": 0.5,
+}
+
+#: Figure 5: average total cost vs call arrival probability, c in
+#: [0.001, 0.1] (log axis); fixed q, U, V; delays 1, 2, 3, unbounded.
+FIGURE5_PARAMS: Dict[str, float] = {
+    "q": 0.05,
+    "U": 100.0,
+    "V": 1.0,
+    "c_min": 0.001,
+    "c_max": 0.1,
+}

@@ -1,0 +1,123 @@
+"""Plain-text rendering of tables, series, and ASCII plots.
+
+Everything the benches print flows through here, so reproduction output
+has one consistent look: fixed-width aligned tables with a title line,
+and log-x ASCII line charts for the figure series (the closest honest
+terminal rendering of the paper's log-axis plots).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["render_table", "render_ascii_plot", "format_delay", "write_csv"]
+
+
+def format_delay(m) -> str:
+    """Human-readable delay bound: ``inf`` prints as 'unbounded'."""
+    return "unbounded" if m == math.inf else str(int(m))
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned fixed-width table.
+
+    Floats are shown with 3 decimals (matching the paper's precision);
+    everything else uses ``str``.
+    """
+    def fmt(value: object) -> str:
+        if isinstance(value, bool):
+            return str(value)
+        if isinstance(value, float):
+            return "-" if math.isnan(value) else f"{value:.3f}"
+        return str(value)
+
+    cells = [[fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.rjust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in cells:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_ascii_plot(
+    series: Dict[str, List[float]],
+    x_values: Sequence[float],
+    title: str = "",
+    width: int = 72,
+    height: int = 20,
+    log_x: bool = True,
+) -> str:
+    """Render multiple series as an ASCII line chart.
+
+    Each series gets a marker character; x may be log-scaled (the
+    paper's figures use log axes for ``q`` and ``c``).
+    """
+    markers = "ox+*#@%&"
+    xs = list(x_values)
+    if not xs or not series:
+        return title
+    if log_x and any(x <= 0 for x in xs):
+        raise ValueError("log_x requires strictly positive x values")
+    tx = [math.log10(x) for x in xs] if log_x else list(xs)
+    x_lo, x_hi = min(tx), max(tx)
+    ys_all = [y for ys in series.values() for y in ys if not math.isnan(y)]
+    y_lo, y_hi = min(ys_all), max(ys_all)
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, ys), marker in zip(series.items(), markers):
+        for x, y in zip(tx, ys):
+            if math.isnan(y):
+                continue
+            col = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_hi:10.3f} +" + "-" * width + "+")
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row) + "|")
+    lines.append(f"{y_lo:10.3f} +" + "-" * width + "+")
+    left = f"{xs[0]:g}"
+    right = f"{xs[-1]:g}"
+    axis_label = " " * 12 + left + " " * max(1, width - len(left) - len(right)) + right
+    lines.append(axis_label + ("   (log x)" if log_x else ""))
+    legend = "   ".join(
+        f"{marker}={name}" for (name, _), marker in zip(series.items(), markers)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)
+
+
+def write_csv(
+    path,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> None:
+    """Write rows to ``path`` as a simple CSV (no quoting needed here)."""
+    import csv
+    from pathlib import Path
+
+    with Path(path).open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        for row in rows:
+            writer.writerow(row)

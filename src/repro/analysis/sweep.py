@@ -1,0 +1,128 @@
+"""Generic parameter sweeps over the analytical model.
+
+The figure/table modules cover the paper's published experiments; this
+module provides the free-form sweep used by the ablation benches and by
+downstream users exploring their own parameter regions: any of
+``(q, c, U, V, m)`` can vary, the rest stay fixed, and each grid point
+is solved for its optimal threshold and cost decomposition.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..core.costs import CostEvaluator, PlanFactory
+from ..core.models import (
+    MobilityModel,
+    OneDimensionalModel,
+    SquareGridApproximateModel,
+    SquareGridModel,
+    TwoDimensionalApproximateModel,
+    TwoDimensionalModel,
+)
+from ..core.parameters import CostParams, MobilityParams
+from ..core.threshold import find_optimal_threshold
+from ..exceptions import ParameterError
+
+__all__ = ["SweepPoint", "SweepResult", "sweep", "MODEL_CLASSES"]
+
+MODEL_CLASSES: Dict[str, type] = {
+    "1d": OneDimensionalModel,
+    "2d-exact": TwoDimensionalModel,
+    "2d-approx": TwoDimensionalApproximateModel,
+    "square-exact": SquareGridModel,
+    "square-approx": SquareGridApproximateModel,
+}
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One solved grid point of a sweep."""
+
+    q: float
+    c: float
+    update_cost: float
+    poll_cost: float
+    max_delay: float
+    optimal_d: int
+    total_cost: float
+    update_component: float
+    paging_component: float
+    expected_delay: float
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """All solved points plus the sweep's metadata."""
+
+    model_name: str
+    varied: str
+    points: List[SweepPoint]
+
+    def series(self, attribute: str) -> List[float]:
+        """Extract one attribute across points (e.g. ``"total_cost"``)."""
+        return [getattr(p, attribute) for p in self.points]
+
+
+def sweep(
+    model_name: str,
+    varied: str,
+    values: Sequence[float],
+    q: float = 0.05,
+    c: float = 0.01,
+    update_cost: float = 100.0,
+    poll_cost: float = 10.0,
+    max_delay=1,
+    d_max: int = 100,
+    plan_factory: Optional[PlanFactory] = None,
+) -> SweepResult:
+    """Solve the optimal threshold along one varied parameter.
+
+    Parameters
+    ----------
+    model_name:
+        One of ``"1d"``, ``"2d-exact"``, ``"2d-approx"``.
+    varied:
+        Which parameter the ``values`` list replaces: ``"q"``, ``"c"``,
+        ``"U"``, ``"V"``, or ``"m"``.
+    values:
+        The grid for the varied parameter.
+    """
+    if model_name not in MODEL_CLASSES:
+        raise ParameterError(
+            f"unknown model {model_name!r}; known: {sorted(MODEL_CLASSES)}"
+        )
+    if varied not in ("q", "c", "U", "V", "m"):
+        raise ParameterError(f"varied must be one of q/c/U/V/m, got {varied!r}")
+    model_cls = MODEL_CLASSES[model_name]
+    points: List[SweepPoint] = []
+    for value in values:
+        point_q = value if varied == "q" else q
+        point_c = value if varied == "c" else c
+        point_u = value if varied == "U" else update_cost
+        point_v = value if varied == "V" else poll_cost
+        point_m = value if varied == "m" else max_delay
+        model: MobilityModel = model_cls(
+            MobilityParams(move_probability=point_q, call_probability=point_c)
+        )
+        costs = CostParams(update_cost=point_u, poll_cost=point_v)
+        solution = find_optimal_threshold(
+            model, costs, point_m, d_max=d_max, plan_factory=plan_factory
+        )
+        points.append(
+            SweepPoint(
+                q=point_q,
+                c=point_c,
+                update_cost=point_u,
+                poll_cost=point_v,
+                max_delay=point_m if point_m == math.inf else float(point_m),
+                optimal_d=solution.threshold,
+                total_cost=solution.total_cost,
+                update_component=solution.update_cost,
+                paging_component=solution.paging_cost,
+                expected_delay=solution.breakdown.expected_delay,
+            )
+        )
+    return SweepResult(model_name=model_name, varied=varied, points=points)

@@ -1,0 +1,24 @@
+"""Shared paging-channel capacity model (Geo/G/1) and dimensioning.
+
+Turns the paper's per-call polling-cycle counts into system-level
+quantities -- channel utilization, queueing wait, call-setup latency,
+and cell-polling bandwidth -- for a population of terminals sharing one
+paging channel.
+"""
+
+from .paging_channel import (
+    ChannelOperatingPoint,
+    channel_operating_point,
+    dimension_channel,
+)
+from .queue import QueueAnalysis, ServiceDistribution, analyze_queue, simulate_queue
+
+__all__ = [
+    "ChannelOperatingPoint",
+    "QueueAnalysis",
+    "ServiceDistribution",
+    "analyze_queue",
+    "channel_operating_point",
+    "dimension_channel",
+    "simulate_queue",
+]

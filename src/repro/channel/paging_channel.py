@@ -1,0 +1,130 @@
+"""Paging-channel dimensioning for a population of terminals.
+
+Connects the paper's per-terminal delay bound ``m`` to the system-level
+resource it trades against.  For ``n`` statistically identical
+terminals sharing one service area's paging channel:
+
+* each paging operation occupies the channel for its polling-cycle
+  count, distributed as the subarea-index distribution ``alpha_j`` of
+  the paging plan;
+* requests arrive at aggregate rate ``n * c`` per slot;
+* queueing (Geo/G/1) adds waiting time on top of the polling cycles,
+  so the *true* call-setup latency is ``E[W] + E[S]`` -- which can
+  invert the naive preference for large ``m``: staging paging finely
+  saves polled cells but holds the channel longer, and past the
+  stability knee the queueing wait dwarfs the polling time;
+* the per-slot cell-polling bandwidth is ``n * c * E[cells polled]``,
+  the wireless-side cost that small ``m`` inflates.
+
+:func:`dimension_channel` sweeps delay bounds for a given population
+size and reports, per ``m``: utilization, mean wait, total setup
+latency, and polling bandwidth -- the table an operator actually needs
+when choosing ``m`` ("the maximum paging delay can be selected based on
+the particular system requirement", Section 8).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..core.costs import CostEvaluator
+from ..core.models import MobilityModel
+from ..core.parameters import CostParams, validate_delay, validate_threshold
+from ..core.threshold import find_optimal_threshold
+from ..exceptions import ParameterError
+from .queue import QueueAnalysis, ServiceDistribution, analyze_queue
+
+__all__ = ["ChannelOperatingPoint", "channel_operating_point", "dimension_channel"]
+
+
+@dataclass(frozen=True)
+class ChannelOperatingPoint:
+    """System-level consequences of one ``(d, m)`` policy for ``n`` users."""
+
+    terminals: int
+    threshold: int
+    delay_bound: float
+    feasible: bool
+    utilization: float
+    mean_wait_slots: float
+    mean_paging_cycles: float
+    polling_bandwidth: float
+    per_terminal_cost: float
+
+    @property
+    def setup_latency(self) -> float:
+        """Mean slots from call arrival to terminal located.
+
+        ``inf`` for infeasible (overloaded) configurations.
+        """
+        if not self.feasible:
+            return math.inf
+        return self.mean_wait_slots + self.mean_paging_cycles
+
+
+def channel_operating_point(
+    model: MobilityModel,
+    costs: CostParams,
+    d: int,
+    m,
+    terminals: int,
+) -> ChannelOperatingPoint:
+    """Evaluate the shared channel for ``terminals`` users at ``(d, m)``."""
+    d = validate_threshold(d)
+    m = validate_delay(m)
+    if terminals < 1:
+        raise ParameterError(f"terminals must be >= 1, got {terminals}")
+    evaluator = CostEvaluator(model, costs)
+    breakdown = evaluator.breakdown(d, m)
+    plan = evaluator.plan(d, m)
+    p = model.steady_state(d)
+    alpha = plan.subarea_probabilities(p)
+    service = ServiceDistribution(pmf=list(alpha))
+    arrival = terminals * model.c
+    if arrival >= 1.0:
+        raise ParameterError(
+            f"aggregate call probability {arrival:.3f} per slot exceeds the "
+            "one-arrival-per-slot Bernoulli model; shard the service area"
+        )
+    bandwidth = terminals * model.c * breakdown.expected_polled_cells
+    try:
+        queue: Optional[QueueAnalysis] = analyze_queue(arrival, service)
+    except ParameterError:
+        queue = None  # overloaded: rho >= 1
+    return ChannelOperatingPoint(
+        terminals=terminals,
+        threshold=d,
+        delay_bound=m,
+        feasible=queue is not None,
+        utilization=queue.utilization if queue else arrival * service.mean,
+        mean_wait_slots=queue.mean_wait if queue else math.inf,
+        mean_paging_cycles=breakdown.expected_delay,
+        polling_bandwidth=bandwidth,
+        per_terminal_cost=breakdown.total_cost,
+    )
+
+
+def dimension_channel(
+    model: MobilityModel,
+    costs: CostParams,
+    terminals: int,
+    delays: Sequence[float] = (1, 2, 3, 5, math.inf),
+    d_max: int = 60,
+) -> List[ChannelOperatingPoint]:
+    """Sweep delay bounds, using each bound's own optimal threshold.
+
+    Overloaded configurations are returned with ``feasible=False``
+    rather than raised, so a dimensioning table can show *why* a bound
+    is unusable.
+    """
+    points: List[ChannelOperatingPoint] = []
+    for m in delays:
+        solution = find_optimal_threshold(model, costs, m, d_max=d_max)
+        points.append(
+            channel_operating_point(
+                model, costs, solution.threshold, m, terminals
+            )
+        )
+    return points

@@ -1,0 +1,442 @@
+"""Command-line interface: ``repro-lm`` / ``python -m repro``.
+
+Subcommands map one-to-one onto the paper's experiments plus the
+library's own validation tooling::
+
+    repro-lm table1                 # reproduce Table 1 (1-D)
+    repro-lm table2                 # reproduce Table 2 (2-D + near-opt)
+    repro-lm fig4 --dimensions 2    # Figure 4(b) series + ASCII plot
+    repro-lm fig5 --dimensions 1    # Figure 5(a)
+    repro-lm optimize --q 0.05 --c 0.01 --update-cost 100 \\
+             --poll-cost 10 --max-delay 3 --model 2d-exact
+    repro-lm simulate --q 0.05 --c 0.01 --threshold 3 --slots 100000
+    repro-lm validate               # simulation-vs-model campaign
+
+Every data-producing command accepts ``--csv PATH`` to also write the
+rows as CSV.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from typing import List, Optional
+
+from .analysis import (
+    compute_figure4,
+    compute_figure5,
+    compute_table1,
+    compute_table2,
+    render_ascii_plot,
+    render_table,
+    run_validation_campaign,
+    table1_rows,
+    table2_rows,
+    write_csv,
+)
+from .analysis.sweep import MODEL_CLASSES
+from .core.parameters import CostParams, MobilityParams
+from .core.threshold import find_optimal_threshold
+from .exceptions import ReproError
+from .simulation.runner import run_replicated
+from .strategies.distance import DistanceStrategy
+
+__all__ = ["main", "build_parser"]
+
+
+def _delay(value: str) -> float:
+    if value in ("inf", "unbounded", "none"):
+        return math.inf
+    return int(value)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lm",
+        description="Akyildiz & Ho '95 location update / paging reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name in ("table1", "table2"):
+        p = sub.add_parser(name, help=f"reproduce the paper's {name}")
+        p.add_argument("--csv", help="also write the rows to this CSV path")
+
+    for name in ("fig4", "fig5"):
+        p = sub.add_parser(name, help=f"reproduce the paper's {name} curves")
+        p.add_argument("--dimensions", type=int, choices=(1, 2), default=1)
+        p.add_argument("--points", type=int, default=13, help="sweep resolution")
+        p.add_argument("--csv", help="also write the series to this CSV path")
+        p.add_argument("--no-plot", action="store_true", help="skip the ASCII plot")
+
+    p = sub.add_parser("optimize", help="optimal threshold for one user")
+    p.add_argument("--model", choices=sorted(MODEL_CLASSES), default="2d-exact")
+    p.add_argument("--q", type=float, required=True, help="move probability")
+    p.add_argument("--c", type=float, required=True, help="call probability")
+    p.add_argument("--update-cost", type=float, required=True, help="U")
+    p.add_argument("--poll-cost", type=float, required=True, help="V")
+    p.add_argument("--max-delay", type=_delay, default=1, help="m (int or 'inf')")
+    p.add_argument("--d-max", type=int, default=100, help="search bound D")
+    p.add_argument(
+        "--method", choices=("exhaustive", "annealing", "hill"), default="exhaustive"
+    )
+
+    p = sub.add_parser("simulate", help="simulate the distance-based scheme")
+    p.add_argument("--dimensions", type=int, choices=(1, 2), default=2)
+    p.add_argument("--q", type=float, required=True)
+    p.add_argument("--c", type=float, required=True)
+    p.add_argument("--update-cost", type=float, default=100.0)
+    p.add_argument("--poll-cost", type=float, default=10.0)
+    p.add_argument("--threshold", type=int, required=True, help="d")
+    p.add_argument("--max-delay", type=_delay, default=1)
+    p.add_argument("--slots", type=int, default=100_000)
+    p.add_argument("--replications", type=int, default=3)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--warmup", type=int, default=0,
+        help="slots discarded before metering (fresh-fix transient)",
+    )
+
+    p = sub.add_parser("validate", help="simulation-vs-model campaign")
+    p.add_argument("--slots", type=int, default=100_000)
+    p.add_argument("--replications", type=int, default=3)
+
+    p = sub.add_parser(
+        "soft-delay",
+        help="jointly optimize threshold and partition under a delay penalty",
+    )
+    p.add_argument("--model", choices=sorted(MODEL_CLASSES), default="2d-exact")
+    p.add_argument("--q", type=float, required=True)
+    p.add_argument("--c", type=float, required=True)
+    p.add_argument("--update-cost", type=float, required=True)
+    p.add_argument("--poll-cost", type=float, required=True)
+    p.add_argument(
+        "--penalty", type=float, required=True, help="cost per polling cycle per call"
+    )
+    p.add_argument("--d-max", type=int, default=50)
+
+    p = sub.add_parser(
+        "policy",
+        help="optimize a user's threshold and export the deployable policy JSON",
+    )
+    p.add_argument("--model", choices=sorted(MODEL_CLASSES), default="2d-exact")
+    p.add_argument("--q", type=float, required=True)
+    p.add_argument("--c", type=float, required=True)
+    p.add_argument("--update-cost", type=float, required=True)
+    p.add_argument("--poll-cost", type=float, required=True)
+    p.add_argument("--max-delay", type=_delay, default=1)
+    p.add_argument("--output", help="write the policy JSON here (default: stdout)")
+
+    p = sub.add_parser(
+        "metrics",
+        help="derived operating characteristics of one (d, m) policy",
+    )
+    p.add_argument("--model", choices=sorted(MODEL_CLASSES), default="2d-exact")
+    p.add_argument("--q", type=float, required=True)
+    p.add_argument("--c", type=float, required=True)
+    p.add_argument("--threshold", type=int, required=True, help="d")
+    p.add_argument("--max-delay", type=_delay, default=1, help="m (int or 'inf')")
+
+    p = sub.add_parser(
+        "show",
+        help="ASCII hex map: ring distances, paging order, or occupancy",
+    )
+    p.add_argument(
+        "what", choices=("rings", "paging", "occupancy"),
+        help="rings: Figure 1(b); paging: polling cycles; occupancy: steady state",
+    )
+    p.add_argument("--threshold", type=int, default=4, help="d (map radius)")
+    p.add_argument("--max-delay", type=_delay, default=2, help="m (paging map)")
+    p.add_argument("--q", type=float, default=0.1, help="q (occupancy map)")
+    p.add_argument("--c", type=float, default=0.01, help="c (occupancy map)")
+
+    p = sub.add_parser(
+        "compare",
+        help="analytic comparison of distance/movement/timer/LA schemes",
+    )
+    p.add_argument("--dimensions", type=int, choices=(1, 2), default=2)
+    p.add_argument("--q", type=float, required=True)
+    p.add_argument("--c", type=float, required=True)
+    p.add_argument("--update-cost", type=float, required=True)
+    p.add_argument("--poll-cost", type=float, required=True)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        handler = {
+            "table1": _cmd_table1,
+            "table2": _cmd_table2,
+            "fig4": _cmd_fig4,
+            "fig5": _cmd_fig5,
+            "optimize": _cmd_optimize,
+            "simulate": _cmd_simulate,
+            "validate": _cmd_validate,
+            "soft-delay": _cmd_soft_delay,
+            "compare": _cmd_compare,
+            "show": _cmd_show,
+            "metrics": _cmd_metrics,
+            "policy": _cmd_policy,
+        }[args.command]
+        return handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _cmd_table1(args) -> int:
+    headers, rows = table1_rows(compute_table1())
+    print(render_table(headers, rows, title="Table 1 (1-D), q=0.05 c=0.01 V=10"))
+    if args.csv:
+        write_csv(args.csv, headers, rows)
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    headers, rows = table2_rows(compute_table2())
+    print(render_table(headers, rows, title="Table 2 (2-D), q=0.05 c=0.01 V=10"))
+    if args.csv:
+        write_csv(args.csv, headers, rows)
+    return 0
+
+
+def _figure_output(figure, args) -> int:
+    headers, rows = figure.as_rows()
+    print(render_table(headers, rows, title=figure.name))
+    if not args.no_plot:
+        series = {figure.curve_label(m): ys for m, ys in figure.curves.items()}
+        print()
+        print(
+            render_ascii_plot(
+                series,
+                figure.x_values,
+                title=f"{figure.name}: optimal C_T vs {figure.x_label}",
+            )
+        )
+    if args.csv:
+        write_csv(args.csv, headers, rows)
+    return 0
+
+
+def _cmd_fig4(args) -> int:
+    return _figure_output(compute_figure4(args.dimensions, points=args.points), args)
+
+
+def _cmd_fig5(args) -> int:
+    return _figure_output(compute_figure5(args.dimensions, points=args.points), args)
+
+
+def _cmd_optimize(args) -> int:
+    model = MODEL_CLASSES[args.model](
+        MobilityParams(move_probability=args.q, call_probability=args.c)
+    )
+    costs = CostParams(update_cost=args.update_cost, poll_cost=args.poll_cost)
+    solution = find_optimal_threshold(
+        model, costs, args.max_delay, d_max=args.d_max, method=args.method
+    )
+    b = solution.breakdown
+    print(f"model:            {args.model}")
+    print(f"optimal d*:       {solution.threshold}")
+    print(f"total cost C_T:   {solution.total_cost:.6f}")
+    print(f"  update C_u:     {b.update_cost:.6f}")
+    print(f"  paging C_v:     {b.paging_cost:.6f}")
+    print(f"expected delay:   {b.expected_delay:.3f} polling cycles")
+    print(f"evaluations:      {solution.search.evaluations}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from .geometry import HexTopology, LineTopology
+
+    topology = LineTopology() if args.dimensions == 1 else HexTopology()
+    mobility = MobilityParams(move_probability=args.q, call_probability=args.c)
+    costs = CostParams(update_cost=args.update_cost, poll_cost=args.poll_cost)
+    result = run_replicated(
+        topology=topology,
+        strategy_factory=lambda: DistanceStrategy(args.threshold, max_delay=args.max_delay),
+        mobility=mobility,
+        costs=costs,
+        slots=args.slots,
+        replications=args.replications,
+        seed=args.seed,
+        warmup_slots=args.warmup,
+    )
+    print(f"replications:     {result.replications} x {args.slots} slots")
+    print(f"mean C_T:         {result.mean_total_cost:.6f} "
+          f"(+/- {result.total_cost_ci():.6f} at 95%)")
+    print(f"  mean C_u:       {result.mean_update_cost:.6f}")
+    print(f"  mean C_v:       {result.mean_paging_cost:.6f}")
+    print(f"mean page delay:  {result.mean_paging_delay:.3f} cycles")
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    outcomes = run_validation_campaign(
+        slots=args.slots, replications=args.replications
+    )
+    headers = ["case", "predicted", "measured", "ci", "rel.err", "ok"]
+    rows = []
+    failures = 0
+    for outcome in outcomes:
+        c = outcome.comparison
+        rows.append(
+            [
+                outcome.case.label,
+                c.predicted_total,
+                c.measured_total,
+                c.ci_half_width,
+                c.relative_error,
+                "yes" if outcome.ok else "NO",
+            ]
+        )
+        if not outcome.ok:
+            failures += 1
+    print(render_table(headers, rows, title="model-vs-simulation validation"))
+    return 1 if failures else 0
+
+
+def _cmd_soft_delay(args) -> int:
+    from .core.delay_penalty import optimize_soft_delay
+
+    model = MODEL_CLASSES[args.model](
+        MobilityParams(move_probability=args.q, call_probability=args.c)
+    )
+    costs = CostParams(update_cost=args.update_cost, poll_cost=args.poll_cost)
+    policy = optimize_soft_delay(model, costs, args.penalty, d_max=args.d_max)
+    print(f"model:             {args.model}")
+    print(f"optimal d*:        {policy.threshold}")
+    print(f"partition:         {policy.plan.describe()}")
+    print(f"expected delay:    {policy.expected_delay:.3f} polling cycles")
+    print(f"total cost:        {policy.total_cost:.6f}")
+    print(f"  update C_u:      {policy.update_cost:.6f}")
+    print(f"  polling cost:    {policy.paging_cell_cost:.6f}")
+    print(f"  delay cost:      {policy.delay_cost:.6f}")
+    return 0
+
+
+def _cmd_policy(args) -> int:
+    from .core.policy_io import Policy
+
+    model = MODEL_CLASSES[args.model](
+        MobilityParams(move_probability=args.q, call_probability=args.c)
+    )
+    costs = CostParams(update_cost=args.update_cost, poll_cost=args.poll_cost)
+    solution = find_optimal_threshold(model, costs, args.max_delay)
+    policy = Policy.sdf(model.topology, solution.threshold, args.max_delay)
+    text = policy.to_json()
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(text + "\n")
+        print(
+            f"wrote policy (d={solution.threshold}, "
+            f"C_T={solution.total_cost:.4f}) to {args.output}"
+        )
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    from .core.costs import CostEvaluator
+    from .core.derived import derive_metrics
+
+    model = MODEL_CLASSES[args.model](
+        MobilityParams(move_probability=args.q, call_probability=args.c)
+    )
+    evaluator = CostEvaluator(model, CostParams(update_cost=1.0, poll_cost=1.0))
+    metrics = derive_metrics(evaluator, args.threshold, args.max_delay)
+    print(f"model:                      {args.model}  (d={args.threshold}, "
+          f"m={args.max_delay})")
+    print(f"update rate:                {metrics.update_rate:.6f} /slot")
+    print(f"mean slots between updates: {metrics.mean_slots_between_updates:.1f}")
+    print(f"register fix rate:          {metrics.fix_rate:.6f} /slot")
+    print(f"mean fix gap:               {metrics.mean_fix_gap:.1f} slots")
+    print(f"mean register staleness:    {metrics.mean_register_staleness:.1f} slots")
+    print(f"mean distance from center:  {metrics.mean_distance:.3f} rings")
+    print(f"P(at center ring):          {metrics.at_center_probability:.3f}")
+    print(f"cells polled per call:      {metrics.cells_per_call:.3f}")
+    print(f"polling cycles per call:    {metrics.cycles_per_call:.3f}")
+    return 0
+
+
+def _cmd_show(args) -> int:
+    from .analysis.hexmap import (
+        render_occupancy,
+        render_paging_order,
+        render_ring_distances,
+    )
+    from .core.models import TwoDimensionalModel
+    from .paging import sdf_partition
+
+    if args.what == "rings":
+        print(f"Ring distances within d={args.threshold} (paper Figure 1(b)):")
+        print(render_ring_distances(args.threshold))
+    elif args.what == "paging":
+        plan = sdf_partition(args.threshold, args.max_delay)
+        print(
+            f"Polling cycle per cell, d={args.threshold}, "
+            f"m={args.max_delay} ({plan.describe()}):"
+        )
+        print(render_paging_order(plan))
+    else:
+        model = TwoDimensionalModel(
+            MobilityParams(move_probability=args.q, call_probability=args.c)
+        )
+        print(
+            f"Steady-state per-cell occupancy, d={args.threshold}, "
+            f"q={args.q}, c={args.c} (darker = more likely):"
+        )
+        print(render_occupancy(model, args.threshold))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from .core.baselines import (
+        optimal_la_radius,
+        optimal_movement_threshold,
+        optimal_timer_period,
+    )
+    from .core.models import OneDimensionalModel, TwoDimensionalModel
+    from .geometry import HexTopology, LineTopology
+
+    mobility = MobilityParams(move_probability=args.q, call_probability=args.c)
+    costs = CostParams(update_cost=args.update_cost, poll_cost=args.poll_cost)
+    if args.dimensions == 1:
+        topology, model = LineTopology(), OneDimensionalModel(mobility)
+    else:
+        topology, model = HexTopology(), TwoDimensionalModel(mobility)
+    distance = find_optimal_threshold(model, costs, 1, convention="physical")
+    movement = optimal_movement_threshold(topology, mobility, costs)
+    timer = optimal_timer_period(topology, mobility, costs)
+    la = optimal_la_radius(topology, mobility, costs)
+    rows = [
+        ["distance (paper)", f"d={distance.threshold}", distance.update_cost,
+         distance.paging_cost, distance.total_cost],
+        ["movement [3]", f"M={movement.parameter}", movement.update_cost,
+         movement.paging_cost, movement.total_cost],
+        ["timer [3]", f"T={timer.parameter}", timer.update_cost,
+         timer.paging_cost, timer.total_cost],
+        ["location-area [8]", f"n={la.parameter}", la.update_cost,
+         la.paging_cost, la.total_cost],
+    ]
+    print(
+        render_table(
+            ["scheme", "best param", "C_u", "C_v", "C_T"],
+            rows,
+            title=(
+                f"Analytic scheme comparison ({args.dimensions}-D, q={args.q}, "
+                f"c={args.c}, U={args.update_cost}, V={args.poll_cost}, delay 1)"
+            ),
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,231 @@
+"""Generic solver for the paper's "birth-death with reset" Markov chain.
+
+Sections 3 and 4 of the paper model the ring distance of a terminal
+from its center cell as a discrete-time Markov chain on states
+``0 .. d``:
+
+* from state ``i`` the distance grows to ``i + 1`` with probability
+  ``a_i`` and shrinks to ``i - 1`` with probability ``b_i``;
+* from any state a call arrival (probability ``c``) resets the chain to
+  state 0 (the network learns the location while paging, so the center
+  cell becomes the current cell);
+* from the boundary state ``d`` an outward move (probability ``a_d``)
+  triggers a location update, which also resets the chain to 0.
+
+The three model variants (1-D, 2-D exact, 2-D approximate) differ only
+in the rate arrays ``a`` and ``b``; everything else is shared.  This
+module provides two *independent* steady-state solvers:
+
+:func:`solve_steady_state_matrix`
+    builds the full transition matrix and solves the linear system with
+    :func:`numpy.linalg.solve` -- the brute-force reference;
+:func:`solve_steady_state_recursive`
+    the paper's Section 4.1 approach: express every probability in
+    terms of ``p_d`` through the balance equations, then normalize.
+
+The closed forms of Sections 3.2 and 4.2 live in
+:mod:`repro.core.closed_form`.  Tests cross-check all three.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import ParameterError, SolverError
+
+__all__ = [
+    "ResetChain",
+    "solve_steady_state_matrix",
+    "solve_steady_state_recursive",
+]
+
+#: Tolerance for the internal consistency check of the recursive solver
+#: (residual of the state-0 balance equation, relative to 1).
+_BALANCE_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class ResetChain:
+    """A birth-death-with-reset chain on states ``0 .. d``.
+
+    Parameters
+    ----------
+    outward:
+        Array ``a_0 .. a_d``; ``a_i`` is the probability of moving from
+        state ``i`` to ``i + 1`` in one slot.  ``a_d`` is the
+        boundary-crossing (location update) probability.
+    inward:
+        Array ``b_0 .. b_d``; ``b_i`` is the probability of moving from
+        ``i`` to ``i - 1``.  ``b_0`` must be zero.
+    reset:
+        The call-arrival probability ``c``; every state resets to 0
+        with this probability.
+    """
+
+    outward: Sequence[float]
+    inward: Sequence[float]
+    reset: float
+    _a: np.ndarray = field(init=False, repr=False, compare=False)
+    _b: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        a = np.asarray(self.outward, dtype=float)
+        b = np.asarray(self.inward, dtype=float)
+        if a.ndim != 1 or b.ndim != 1 or a.shape != b.shape:
+            raise ParameterError(
+                f"outward/inward must be equal-length 1-D arrays, got shapes "
+                f"{a.shape} and {b.shape}"
+            )
+        if a.size == 0:
+            raise ParameterError("the chain needs at least one state")
+        c = self.reset
+        if not 0.0 <= c < 1.0:
+            raise ParameterError(f"reset probability must be in [0, 1), got {c}")
+        if np.any(a < 0) or np.any(b < 0):
+            raise ParameterError("transition probabilities must be >= 0")
+        if b[0] != 0.0:
+            raise ParameterError(f"b_0 must be 0 (state 0 has no inward move), got {b[0]}")
+        if a.size > 1 and np.any(a[:-1] <= 0):
+            # a_d may be zero (absorbing-ish boundary) but interior
+            # outward rates must be positive or upper states would be
+            # unreachable and the recursive solver would divide by zero.
+            raise ParameterError("interior outward probabilities a_0..a_{d-1} must be > 0")
+        if np.any(a + b + c > 1.0 + 1e-12):
+            raise ParameterError("a_i + b_i + c must not exceed 1 for any state")
+        object.__setattr__(self, "_a", a)
+        object.__setattr__(self, "_b", b)
+
+    @property
+    def size(self) -> int:
+        """Number of states, ``d + 1``."""
+        return self._a.size
+
+    @property
+    def threshold(self) -> int:
+        """The boundary state index ``d``."""
+        return self._a.size - 1
+
+    @property
+    def a(self) -> np.ndarray:
+        """Outward rates as a read-only numpy array."""
+        view = self._a.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def b(self) -> np.ndarray:
+        """Inward rates as a read-only numpy array."""
+        view = self._b.view()
+        view.flags.writeable = False
+        return view
+
+    def transition_matrix(self) -> np.ndarray:
+        """Return the full ``(d+1) x (d+1)`` one-step transition matrix.
+
+        Row ``i`` is the distribution of the next state given the
+        current state is ``i``.  Every row sums to one.
+        """
+        a, b, c = self._a, self._b, self.reset
+        n = self.size
+        P = np.zeros((n, n))
+        for i in range(n):
+            stay = 1.0 - c
+            if i > 0:
+                P[i, 0] += c
+            else:
+                stay += c  # a call in state 0 leaves the chain in state 0
+            if i < n - 1:
+                P[i, i + 1] += a[i]
+                stay -= a[i]
+            else:
+                P[i, 0] += a[i]  # boundary crossing = update = reset
+                stay -= a[i]
+            if i > 0:
+                P[i, i - 1] += b[i]
+                stay -= b[i]
+            P[i, i] += stay
+        return P
+
+
+def solve_steady_state_matrix(chain: ResetChain) -> np.ndarray:
+    """Solve ``pi = pi P`` by direct linear algebra.
+
+    Replaces the last balance equation with the normalization
+    ``sum(pi) = 1`` to obtain a non-singular system.  O(d^3) but exact
+    up to floating point; used as the reference implementation.
+    """
+    P = chain.transition_matrix()
+    n = chain.size
+    A = P.T - np.eye(n)
+    A[-1, :] = 1.0
+    rhs = np.zeros(n)
+    rhs[-1] = 1.0
+    try:
+        pi = np.linalg.solve(A, rhs)
+    except np.linalg.LinAlgError as exc:  # pragma: no cover - defensive
+        raise SolverError(f"steady-state system is singular: {exc}") from exc
+    if np.any(pi < -1e-10):
+        raise SolverError(f"steady state has negative component: min={pi.min()}")
+    pi = np.clip(pi, 0.0, None)
+    total = pi.sum()
+    if not np.isfinite(total) or total <= 0:
+        raise SolverError(f"steady state failed to normalize (sum={total})")
+    return pi / total
+
+
+def solve_steady_state_recursive(chain: ResetChain) -> np.ndarray:
+    """Solve the chain by the paper's recursive method (Section 4.1).
+
+    Starting from an unnormalized ``u_d = 1``, the balance equation of
+    state ``d`` gives ``u_{d-1}``, the interior balance equations give
+    ``u_{d-2} .. u_1`` top-down, the state-1 balance gives ``u_0``, and
+    the law of total probability normalizes.  O(d) time.
+
+    The state-0 balance equation, which is not used in the construction,
+    is evaluated afterwards as a consistency check.
+    """
+    a, b, c = chain._a, chain._b, chain.reset
+    d = chain.threshold
+    if d == 0:
+        return np.ones(1)
+    u = np.zeros(d + 1)
+    u[d] = 1.0
+    # State-d balance: u_d (a_d + b_d + c) = u_{d-1} a_{d-1}.
+    u[d - 1] = u[d] * (a[d] + b[d] + c) / a[d - 1]
+    # Interior balance for i = d-1 .. 2 yields u_{i-1}:
+    #   u_i (a_i + b_i + c) = u_{i-1} a_{i-1} + u_{i+1} b_{i+1}
+    for i in range(d - 1, 1, -1):
+        u[i - 1] = (u[i] * (a[i] + b[i] + c) - u[i + 1] * b[i + 1]) / a[i - 1]
+    if d >= 2:
+        # State-1 balance yields u_0 (its inflow from state 2 exists).
+        u[0] = (u[1] * (a[1] + b[1] + c) - u[2] * b[2]) / a[0]
+    else:
+        # d == 1: state-1 balance has no state-2 term.
+        u[0] = u[1] * (a[1] + b[1] + c) / a[0]
+    if np.any(u < 0) or not np.all(np.isfinite(u)):
+        raise SolverError(
+            "recursive solve produced an invalid unnormalized vector; "
+            "the chain parameters are numerically pathological"
+        )
+    pi = u / u.sum()
+    _check_reset_balance(chain, pi)
+    return pi
+
+
+def _check_reset_balance(chain: ResetChain, pi: np.ndarray) -> None:
+    """Verify the (unused) state-0 balance equation, paper eqn (5).
+
+    ``p_0 a_0 = p_1 b_1 + p_d a_d + c * sum_{k>=1} p_k``.
+    """
+    a, b, c = chain._a, chain._b, chain.reset
+    d = chain.threshold
+    lhs = pi[0] * a[0]
+    rhs = pi[1] * b[1] + pi[d] * a[d] + c * pi[1:].sum()
+    if abs(lhs - rhs) > _BALANCE_TOLERANCE:
+        raise SolverError(
+            f"state-0 balance violated by {abs(lhs - rhs):.3e}; "
+            "recursive steady-state solve is inconsistent"
+        )

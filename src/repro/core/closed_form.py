@@ -1,0 +1,171 @@
+"""Closed-form steady-state probabilities (paper Sections 3.2 and 4.2).
+
+For the 1-D chain and for the approximate 2-D chain the interior
+transition rates are state-independent, so the balance equations reduce
+to a second-order linear recurrence
+
+    p_{i+1} = beta * p_i - p_{i-1},        2 <= i <= d - 1,
+
+with ``beta = 2 + 2c/q`` in 1-D (paper eqn (10)) and ``beta = 2 + 3c/q``
+for the approximate 2-D model (eqn (50)).  The characteristic roots are
+
+    e1 = (beta + sqrt(beta^2 - 4)) / 2,    e2 = 1 / e1,
+
+(paper eqns (16)-(17)) and the general solution on ``1 <= i <= d`` is
+``p_i = A e1^i + B e2^i``.  The boundary balance at state ``d`` forces
+``A = -B e2^{2(d+1)}``, giving the numerically stable form
+
+    p_i  proportional to  e2^i * (1 - e2^{2 (d + 1 - i)}),
+
+in which every power is of ``e2 < 1`` -- no overflow for any ``d``.
+``p_0`` follows from the state-1 balance (the rate out of state 0 is
+``q``, not the interior rate, which is why state 0 is special), and the
+law of total probability normalizes.
+
+When ``c = 0`` the roots coincide (``beta = 2``) and the recurrence
+solution is linear in ``i``; a dedicated branch handles it.
+
+The paper's printed equations (23)-(32) and (45)-(49) express the same
+solution through the quantities ``R_i = e1^{d-i} - e2^{d-i}`` and a
+Chebyshev-like sequence ``S_i``; dividing numerator and denominator by
+``e1^{d+1}`` turns them into the form used here.  The boundary cases
+``d = 0, 1, 2`` are the paper's equations (33)-(38) and (55)-(60)
+verbatim.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..exceptions import ParameterError
+
+__all__ = [
+    "beta_1d",
+    "beta_2d_approx",
+    "characteristic_roots",
+    "solve_1d",
+    "solve_2d_approx",
+]
+
+
+def beta_1d(q: float, c: float) -> float:
+    """Paper equation (10): ``beta = 2 + 2c/q`` for the 1-D chain."""
+    if q <= 0:
+        raise ParameterError(f"q must be > 0, got {q}")
+    return 2.0 + 2.0 * c / q
+
+
+def beta_2d_approx(q: float, c: float) -> float:
+    """Paper equation (50): ``beta = 2 + 3c/q`` for the approximate 2-D chain."""
+    if q <= 0:
+        raise ParameterError(f"q must be > 0, got {q}")
+    return 2.0 + 3.0 * c / q
+
+
+def characteristic_roots(beta: float) -> tuple:
+    """Paper equations (16)-(17): roots of ``x^2 - beta x + 1 = 0``.
+
+    Returns ``(e1, e2)`` with ``e1 >= 1 >= e2 = 1/e1``.  Requires
+    ``beta >= 2``, which always holds since ``beta = 2 + k c / q`` with
+    ``c >= 0``.
+    """
+    if beta < 2.0:
+        raise ParameterError(f"beta must be >= 2, got {beta}")
+    disc = math.sqrt(beta * beta - 4.0)
+    e1 = (beta + disc) / 2.0
+    return e1, 1.0 / e1
+
+
+def _solve_uniform_interior(beta: float, d: int, neighbor_count: float) -> np.ndarray:
+    """Shared closed form for a chain with uniform interior rates.
+
+    ``neighbor_count`` is the reciprocal of the interior outward rate in
+    units of ``q``: 2 for 1-D (rates ``q/2``), 3 for approximate 2-D
+    (rates ``q/3``).  The state-1 balance is
+
+        p_1 (2 q/k + c) = p_0 q + p_2 q/k
+        =>  p_0 = (beta p_1 - p_2) / k          with k = neighbor_count,
+
+    using ``beta = 2 + k c / q``.
+    """
+    if d < 3:
+        raise AssertionError("boundary cases d <= 2 are handled by the callers")
+    k = neighbor_count
+    p = np.zeros(d + 1)
+    if beta == 2.0:  # c == 0: repeated root, solution linear in i
+        # p_i = K (d + 1 - i) for 1 <= i <= d satisfies the interior
+        # recurrence and the boundary condition 2 p_d = p_{d-1}.
+        i = np.arange(1, d + 1, dtype=float)
+        p[1:] = (d + 1) - i
+        p[0] = (beta * p[1] - p[2]) / k
+        return p / p.sum()
+    _, e2 = characteristic_roots(beta)
+    i = np.arange(1, d + 1, dtype=float)
+    # p_i proportional to e2^i (1 - e2^{2(d+1-i)}): all powers of e2 < 1.
+    p[1:] = np.power(e2, i) * (1.0 - np.power(e2, 2.0 * ((d + 1) - i)))
+    p[0] = (beta * p[1] - p[2]) / k
+    return p / p.sum()
+
+
+def solve_1d(q: float, c: float, d: int) -> np.ndarray:
+    """Closed-form steady state of the 1-D chain (paper Section 3.2).
+
+    Returns the array ``p_{0,d} .. p_{d,d}``.  Boundary cases follow the
+    paper's equations (33)-(38); ``d >= 3`` uses the stable form of the
+    general solution described in the module docstring.
+    """
+    _validate(q, c, d)
+    if d == 0:
+        return np.ones(1)  # eqn (33)
+    if d == 1:
+        denom = 2.0 * q + c
+        return np.array([(q + c) / denom, q / denom])  # eqns (34)-(35)
+    if d == 2:
+        denom = 9.0 * q * q + 12.0 * q * c + 4.0 * c * c
+        return np.array(
+            [
+                (2.0 * c + q) / (2.0 * c + 3.0 * q),  # eqn (36)
+                4.0 * q * (c + q) / denom,  # eqn (37)
+                2.0 * q * q / denom,  # eqn (38)
+            ]
+        )
+    return _solve_uniform_interior(beta_1d(q, c), d, neighbor_count=2.0)
+
+
+def solve_2d_approx(q: float, c: float, d: int) -> np.ndarray:
+    """Closed-form steady state of the approximate 2-D chain (Section 4.2).
+
+    The approximation replaces the state-dependent rates
+    ``q (1/3 +- 1/(6i))`` with ``q/3`` (paper eqns (43)-(44)); the rate
+    out of state 0 remains ``q``.  Boundary cases are the paper's
+    equations (55)-(60).
+    """
+    _validate(q, c, d)
+    if d == 0:
+        return np.ones(1)  # eqn (55)
+    if d == 1:
+        denom = 5.0 * q + 3.0 * c
+        return np.array([(2.0 * q + 3.0 * c) / denom, 3.0 * q / denom])  # (56)-(57)
+    if d == 2:
+        denom = 4.0 * q * q + 7.0 * q * c + 3.0 * c * c
+        return np.array(
+            [
+                (3.0 * c + q) / (3.0 * c + 4.0 * q),  # eqn (58)
+                q * (3.0 * c + 2.0 * q) / denom,  # eqn (59)
+                q * q / denom,  # eqn (60)
+            ]
+        )
+    return _solve_uniform_interior(beta_2d_approx(q, c), d, neighbor_count=3.0)
+
+
+def _validate(q: float, c: float, d: int) -> None:
+    if isinstance(d, bool) or not isinstance(d, (int, np.integer)):
+        raise ParameterError(f"threshold distance must be an int, got {d!r}")
+    if d < 0:
+        raise ParameterError(f"threshold distance must be >= 0, got {d}")
+    if not 0.0 < q <= 1.0:
+        raise ParameterError(f"q must be in (0, 1], got {q}")
+    if not 0.0 <= c < 1.0:
+        raise ParameterError(f"c must be in [0, 1), got {c}")

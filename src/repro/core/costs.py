@@ -1,0 +1,142 @@
+"""Location update and terminal paging costs (paper Section 5).
+
+Given a mobility model, threshold ``d``, delay bound ``m``, and cost
+weights ``(U, V)``:
+
+* average location update cost per slot (eqn (61)):
+  ``C_u(d) = p_{d,d} * a_{d,d+1} * U``;
+* average paging cost per slot (eqns (62)-(65)):
+  ``C_v(d, m) = c V sum_j alpha_j w_j`` for the chosen partition, which
+  reduces to ``c g(d) V`` when ``m = 1`` (blanket polling);
+* average total cost (eqn (66)): ``C_T(d, m) = C_u(d) + C_v(d, m)``.
+
+The partition defaults to the paper's SDF scheme but any
+:class:`~repro.paging.PagingPlan` factory can be supplied, which is how
+the optimal-partition ablation is wired up.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..paging import PagingPlan, sdf_partition
+from .models import MobilityModel
+from .parameters import CostParams, validate_delay, validate_threshold
+
+__all__ = ["CostBreakdown", "CostEvaluator", "PlanFactory"]
+
+#: Signature of a partition factory: maps (model, d, m) to a plan.
+#: ``model`` is passed so factories can use the steady-state
+#: distribution (the DP-optimal partition needs it).
+PlanFactory = Callable[[MobilityModel, int, object], PagingPlan]
+
+
+def _sdf_factory(model: MobilityModel, d: int, m) -> PagingPlan:
+    return sdf_partition(d, m)
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """The cost components of one ``(d, m)`` operating point."""
+
+    threshold: int
+    delay_bound: float
+    update_cost: float
+    paging_cost: float
+    expected_polled_cells: float
+    expected_delay: float
+
+    @property
+    def total_cost(self) -> float:
+        """``C_T = C_u + C_v`` (paper eqn (66))."""
+        return self.update_cost + self.paging_cost
+
+
+class CostEvaluator:
+    """Evaluates ``C_u``, ``C_v``, and ``C_T`` for one model and cost pair.
+
+    Parameters
+    ----------
+    model:
+        A :class:`~repro.core.models.MobilityModel` (fixes ``q, c`` and
+        the geometry).
+    costs:
+        The ``(U, V)`` weights.
+    plan_factory:
+        Optional partition factory; defaults to the paper's SDF scheme.
+    convention:
+        Boundary-rate convention for ``C_u`` at ``d = 0``; ``"paper"``
+        reproduces the published tables (see models module docstring).
+    """
+
+    def __init__(
+        self,
+        model: MobilityModel,
+        costs: CostParams,
+        plan_factory: Optional[PlanFactory] = None,
+        convention: str = "paper",
+    ) -> None:
+        self.model = model
+        self.costs = costs
+        self.plan_factory = plan_factory or _sdf_factory
+        self.convention = convention
+
+    # ------------------------------------------------------------------
+
+    def update_cost(self, d: int) -> float:
+        """``C_u(d)`` -- average location update cost per slot (eqn (61))."""
+        d = validate_threshold(d)
+        p = self.model.steady_state(d)
+        rate = self.model.update_rate(d, convention=self.convention)
+        return float(p[d]) * rate * self.costs.update_cost
+
+    def plan(self, d: int, m) -> PagingPlan:
+        """The paging plan this evaluator uses at ``(d, m)``."""
+        return self.plan_factory(self.model, validate_threshold(d), validate_delay(m))
+
+    def paging_cost(self, d: int, m) -> float:
+        """``C_v(d, m)`` -- average paging cost per slot (eqn (65))."""
+        return self.breakdown(d, m).paging_cost
+
+    def total_cost(self, d: int, m) -> float:
+        """``C_T(d, m) = C_u(d) + C_v(d, m)`` (eqn (66))."""
+        return self.breakdown(d, m).total_cost
+
+    def breakdown(self, d: int, m) -> CostBreakdown:
+        """Full cost decomposition at one operating point."""
+        d = validate_threshold(d)
+        m = validate_delay(m)
+        p = self.model.steady_state(d)
+        plan = self.plan(d, m)
+        topo = self.model.topology
+        cells = plan.expected_polled_cells(topo, p)
+        delay = plan.expected_delay(p)
+        c = self.model.c
+        paging = c * self.costs.poll_cost * cells
+        rate = self.model.update_rate(d, convention=self.convention)
+        update = float(p[d]) * rate * self.costs.update_cost
+        return CostBreakdown(
+            threshold=d,
+            delay_bound=m if m == math.inf else int(m),
+            update_cost=update,
+            paging_cost=paging,
+            expected_polled_cells=cells,
+            expected_delay=delay,
+        )
+
+    def cost_curve(self, m, d_max: int):
+        """Return ``[C_T(0, m), ..., C_T(d_max, m)]`` as a list of floats.
+
+        The raw material for both the exhaustive optimizer and the
+        figure benches.
+        """
+        d_max = validate_threshold(d_max)
+        return [self.total_cost(d, m) for d in range(d_max + 1)]
+
+    def __repr__(self) -> str:
+        return (
+            f"CostEvaluator(model={self.model!r}, U={self.costs.update_cost}, "
+            f"V={self.costs.poll_cost}, convention={self.convention!r})"
+        )

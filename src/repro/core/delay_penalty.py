@@ -1,0 +1,141 @@
+"""Joint threshold/partition optimization under a *soft* delay cost.
+
+The paper treats paging delay as a hard bound ``m``.  Real systems
+often price delay instead: every extra polling cycle postpones call
+setup, which has a cost but not an absolute ceiling.  This extension
+replaces the bound with a penalty ``w`` per polling cycle per call and
+minimizes
+
+    C(d, plan) = C_u(d) + c * [ V * E[cells polled] + w * E[cycles] ]
+
+jointly over the threshold *and* the partition, with no constraint on
+the subarea count -- the penalty itself limits how finely paging is
+staged.
+
+The partition subproblem stays a clean dynamic program because both
+terms telescope over groups: a group starting at ring ``s`` costs
+``tail_p(s) * (V * N(group) + w)`` (every terminal not yet found pays
+the group's cells *and* one more cycle), so the optimal unconstrained
+partition for threshold ``d`` is an O(d^2) DP.  As ``w -> 0`` the
+solution approaches per-ring polling; as ``w -> inf`` it approaches
+blanket polling -- both limits are tested.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..exceptions import ParameterError
+from ..paging.plan import PagingPlan, partition_from_sizes
+from .models import MobilityModel
+from .parameters import CostParams, validate_threshold
+
+__all__ = ["SoftDelayPolicy", "optimal_soft_delay_partition", "optimize_soft_delay"]
+
+
+@dataclass(frozen=True)
+class SoftDelayPolicy:
+    """A jointly optimized operating point under a delay penalty."""
+
+    threshold: int
+    plan: PagingPlan
+    update_cost: float
+    paging_cell_cost: float
+    delay_cost: float
+    expected_delay: float
+
+    @property
+    def total_cost(self) -> float:
+        return self.update_cost + self.paging_cell_cost + self.delay_cost
+
+
+def optimal_soft_delay_partition(
+    ring_probabilities,
+    ring_sizes,
+    poll_cost: float,
+    delay_penalty: float,
+) -> Tuple[PagingPlan, float, float]:
+    """Unconstrained-group DP for the soft-delay partition.
+
+    Returns ``(plan, expected_cells, expected_cycles)`` minimizing
+    ``poll_cost * E[cells] + delay_penalty * E[cycles]``.
+    """
+    if poll_cost < 0 or delay_penalty < 0:
+        raise ParameterError(
+            f"costs must be >= 0, got V={poll_cost}, penalty={delay_penalty}"
+        )
+    p = np.asarray(ring_probabilities, dtype=float)
+    n = np.asarray(ring_sizes, dtype=float)
+    if p.shape != n.shape or p.ndim != 1 or p.size == 0:
+        raise ParameterError("probabilities and sizes must be equal-length 1-D")
+    size = p.size
+    tail_p = np.concatenate([np.cumsum(p[::-1])[::-1], [0.0]])
+    pref_n = np.concatenate([[0.0], np.cumsum(n)])
+    best = [math.inf] * (size + 1)
+    choice = [-1] * (size + 1)
+    best[size] = 0.0
+    for s in range(size - 1, -1, -1):
+        acc, pick = math.inf, -1
+        for e in range(s, size):
+            cost = (
+                tail_p[s]
+                * (poll_cost * (pref_n[e + 1] - pref_n[s]) + delay_penalty)
+                + best[e + 1]
+            )
+            if cost < acc - 1e-15:
+                acc, pick = cost, e
+        best[s] = acc
+        choice[s] = pick
+    sizes: List[int] = []
+    s = 0
+    while s < size:
+        e = choice[s]
+        sizes.append(e - s + 1)
+        s = e + 1
+    plan = partition_from_sizes(size - 1, sizes)
+    # Recover the two expectations separately for reporting.
+    alpha = plan.subarea_probabilities(p)
+    w = np.cumsum([n[list(group)].sum() for group in plan.subareas])
+    expected_cells = float(alpha @ w)
+    expected_cycles = float(alpha @ np.arange(1, len(alpha) + 1))
+    return plan, expected_cells, expected_cycles
+
+
+def optimize_soft_delay(
+    model: MobilityModel,
+    costs: CostParams,
+    delay_penalty: float,
+    d_max: int = 100,
+    convention: str = "paper",
+) -> SoftDelayPolicy:
+    """Jointly optimal ``(d, plan)`` under the per-cycle delay penalty."""
+    d_max = validate_threshold(d_max)
+    if delay_penalty < 0:
+        raise ParameterError(f"delay_penalty must be >= 0, got {delay_penalty}")
+    topo = model.topology
+    c = model.c
+    U = costs.update_cost
+    V = costs.poll_cost
+    best: SoftDelayPolicy = None  # type: ignore[assignment]
+    for d in range(d_max + 1):
+        p = model.steady_state(d)
+        sizes = [topo.ring_size(i) for i in range(d + 1)]
+        plan, cells, cycles = optimal_soft_delay_partition(
+            p, sizes, poll_cost=V, delay_penalty=delay_penalty
+        )
+        update = float(p[d]) * model.update_rate(d, convention=convention) * U
+        policy = SoftDelayPolicy(
+            threshold=d,
+            plan=plan,
+            update_cost=update,
+            paging_cell_cost=c * V * cells,
+            delay_cost=c * delay_penalty * cycles,
+            expected_delay=cycles,
+        )
+        if best is None or policy.total_cost < best.total_cost - 1e-15:
+            best = policy
+    return best

@@ -1,0 +1,163 @@
+"""Derived steady-state quantities of a policy.
+
+The paper reports costs; an operator also wants the physical quantities
+behind them, all of which drop out of the same chain:
+
+* update rate and its reciprocal, the mean time between updates;
+* location-fix rate (updates *or* calls -- how often the register is
+  refreshed), the full fix-gap moments, and the exact mean register
+  staleness (stationary age of the register entry);
+* the mean ring distance from the center at a random slot;
+* per-call paging expectations (cells, cycles) for the active plan.
+
+Everything is exact given the model's chain; no simulation involved.
+The test suite cross-checks several of these against the simulator's
+event counts.
+
+Fix-gap mathematics
+-------------------
+
+Every *fix* (location update or located call) resets the chain to
+state 0, so fixes renew the process and the gap ``G`` between fixes is
+the absorption time of the chain restricted to non-fix transitions:
+with ``Q`` the sub-stochastic matrix of non-fix moves and
+``N = (I - Q)^{-1}`` its fundamental matrix, starting from state 0,
+
+    E[G]        = e0 N 1,
+    E[G (G-1)]  = 2 e0 N Q N 1,
+
+and the stationary *age* of the register entry (discrete backward
+recurrence time, 0 in the slot right after a fix) is the inspection-
+paradox value ``E[A] = E[G (G-1)] / (2 E[G])``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import SolverError
+from .costs import CostEvaluator
+from .parameters import validate_delay, validate_threshold
+
+__all__ = ["PolicyMetrics", "derive_metrics"]
+
+
+@dataclass(frozen=True)
+class PolicyMetrics:
+    """Exact steady-state operating characteristics of one ``(d, m)``."""
+
+    threshold: int
+    delay_bound: float
+    #: Location updates per slot (boundary crossings).
+    update_rate: float
+    #: Calls per slot (= ``c``).
+    call_rate: float
+    #: Mean ring distance from the center at a random slot.
+    mean_distance: float
+    #: Probability the terminal is at its center cell's ring (state 0).
+    at_center_probability: float
+    #: Expected cells polled per call under the active plan.
+    cells_per_call: float
+    #: Expected polling cycles per call.
+    cycles_per_call: float
+    #: Mean slots between register fixes (updates or calls).
+    mean_fix_gap: float
+    #: Exact stationary age of the register entry, in slots.
+    mean_register_staleness: float
+
+    @property
+    def mean_slots_between_updates(self) -> float:
+        """``1 / update_rate`` (inf when the terminal never updates)."""
+        if self.update_rate == 0:
+            return math.inf
+        return 1.0 / self.update_rate
+
+    @property
+    def fix_rate(self) -> float:
+        """Register refreshes per slot: updates plus located calls.
+
+        Exact because in the chain's competing-event semantics an
+        update and a call never happen in the same slot.
+        """
+        return self.update_rate + self.call_rate
+
+
+def _fix_gap_moments(chain) -> tuple:
+    """``(E[G], E[G(G-1)])`` for the gap between register fixes.
+
+    ``Q`` keeps every transition that is not a fix: interior moves,
+    stays, and nothing out of the reset/boundary flows.
+    """
+    a, b, c = chain.a, chain.b, chain.reset
+    n = chain.size
+    d = chain.threshold
+    Q = np.zeros((n, n))
+    for i in range(n):
+        stay = 1.0 - c  # the call (fix) branch is excluded entirely
+        if i < d:
+            Q[i, i + 1] = a[i]
+            stay -= a[i]
+        else:
+            stay -= a[i]  # boundary crossing is a fix: excluded
+        if i > 0:
+            Q[i, i - 1] = b[i]
+            stay -= b[i]
+        Q[i, i] = stay
+    identity = np.eye(n)
+    try:
+        N = np.linalg.inv(identity - Q)
+    except np.linalg.LinAlgError as exc:  # pragma: no cover - c>0 or a_d>0
+        raise SolverError(f"fix-gap system is singular: {exc}") from exc
+    ones = np.ones(n)
+    start = np.zeros(n)
+    start[0] = 1.0
+    mean = float(start @ N @ ones)
+    second_factorial = float(2.0 * (start @ N @ Q @ N @ ones))
+    return mean, second_factorial
+
+
+def derive_metrics(evaluator: CostEvaluator, d: int, m) -> PolicyMetrics:
+    """Compute :class:`PolicyMetrics` from a cost evaluator's model.
+
+    The update rate uses the *physical* boundary convention (rate ``q``
+    out of a single-cell residing area) regardless of the evaluator's
+    cost convention, because these are physical event rates, not the
+    paper's tabulation quirks.
+    """
+    d = validate_threshold(d)
+    m = validate_delay(m)
+    model = evaluator.model
+    p = model.steady_state(d)
+    plan = evaluator.plan(d, m)
+    update_rate = float(p[d]) * model.update_rate(d, convention="physical")
+    distances = np.arange(d + 1, dtype=float)
+
+    chain = model.chain(d)
+    if model.c == 0 and update_rate == 0:
+        mean_gap = math.inf
+        staleness = math.inf
+    else:
+        if d == 0:
+            # Chain 'a' rates at d=0 carry the boundary flow q; the
+            # physical fix events are calls and any move.
+            fix_prob = model.c + model.q
+            mean_gap = 1.0 / fix_prob
+            staleness = (1.0 - fix_prob) / fix_prob
+        else:
+            mean_gap, second_factorial = _fix_gap_moments(chain)
+            staleness = second_factorial / (2.0 * mean_gap)
+    return PolicyMetrics(
+        threshold=d,
+        delay_bound=m,
+        update_rate=update_rate,
+        call_rate=model.c,
+        mean_distance=float(p @ distances),
+        at_center_probability=float(p[0]),
+        cells_per_call=plan.expected_polled_cells(model.topology, p),
+        cycles_per_call=plan.expected_delay(p),
+        mean_fix_gap=mean_gap,
+        mean_register_staleness=staleness,
+    )

@@ -1,0 +1,225 @@
+"""Optimal-threshold search (paper Section 6).
+
+The total cost ``C_T(d, m)`` as a function of the integer threshold
+``d`` may have local minima (the partition changes discontinuously with
+``d``), so gradient methods are out.  The paper offers two approaches,
+both implemented here:
+
+:func:`exhaustive_search`
+    evaluate every ``d in 0..D`` and take the argmin -- always finds
+    the global optimum in ``D + 1`` evaluations ("for typical call
+    arrival and mobility values, the optimal distance rarely exceeds
+    50");
+:func:`simulated_annealing`
+    the paper's iterative algorithm: propose a nearby threshold, accept
+    improvements always and regressions with probability
+    ``exp(delta / T)`` under the cooling schedule ``T = y / (y + k)``.
+
+A greedy :func:`hill_climb` is included as an ablation baseline to
+demonstrate *why* the paper rejects pure descent (it gets caught on the
+local minima the paper mentions).
+
+All searchers share the :class:`OptimizationResult` record and count
+cost evaluations, so the optimizer bench can compare accuracy against
+work performed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..exceptions import ParameterError
+
+__all__ = [
+    "OptimizationResult",
+    "exhaustive_search",
+    "simulated_annealing",
+    "hill_climb",
+]
+
+CostFunction = Callable[[int], float]
+
+
+@dataclass(frozen=True)
+class OptimizationResult:
+    """Outcome of a threshold search.
+
+    ``evaluations`` counts *distinct* thresholds whose cost was
+    computed (cost lookups are memoized in every searcher, matching how
+    an implementation on a power-limited terminal would behave).
+    """
+
+    optimal_threshold: int
+    optimal_cost: float
+    evaluations: int
+    method: str
+    curve: Dict[int, float] = field(default_factory=dict, repr=False)
+
+    def cost_at(self, d: int) -> Optional[float]:
+        """Cost of threshold ``d`` if it was evaluated during the search."""
+        return self.curve.get(d)
+
+
+class _MemoizedCost:
+    """Wrap a cost function with memoization and an evaluation counter."""
+
+    def __init__(self, fn: CostFunction) -> None:
+        self._fn = fn
+        self.cache: Dict[int, float] = {}
+
+    def __call__(self, d: int) -> float:
+        if d not in self.cache:
+            self.cache[d] = self._fn(d)
+        return self.cache[d]
+
+    @property
+    def evaluations(self) -> int:
+        return len(self.cache)
+
+
+def _validate_bound(d_max: int) -> int:
+    if isinstance(d_max, bool) or not isinstance(d_max, int) or d_max < 0:
+        raise ParameterError(f"d_max must be a non-negative int, got {d_max!r}")
+    return d_max
+
+
+def exhaustive_search(cost: CostFunction, d_max: int) -> OptimizationResult:
+    """Evaluate every threshold in ``0..d_max`` and return the best.
+
+    Ties are broken toward the *smaller* threshold, matching the paper's
+    tables (a smaller residing area at equal cost means less paging
+    latency exposure).
+    """
+    d_max = _validate_bound(d_max)
+    memo = _MemoizedCost(cost)
+    best_d = 0
+    best_cost = math.inf
+    for d in range(d_max + 1):
+        value = memo(d)
+        if value < best_cost - 1e-15:
+            best_cost = value
+            best_d = d
+    return OptimizationResult(
+        optimal_threshold=best_d,
+        optimal_cost=best_cost,
+        evaluations=memo.evaluations,
+        method="exhaustive",
+        curve=dict(memo.cache),
+    )
+
+
+def simulated_annealing(
+    cost: CostFunction,
+    d_max: int,
+    seed: int = 0,
+    y: float = 8.0,
+    exit_temperature: float = 0.05,
+    neighborhood: int = 3,
+) -> OptimizationResult:
+    """The paper's simulated-annealing threshold search (Section 6).
+
+    Follows the pseudo-code: start from a random threshold, propose a
+    neighbor ``d'`` of the current ``d``, compute
+    ``delta = cost(d) - cost(d')``, accept improvements outright and
+    regressions with probability ``exp(delta / T)`` (``delta < 0``),
+    and cool with ``T = y / (y + k)`` until ``T <= exit_temperature``.
+
+    Parameters
+    ----------
+    seed:
+        Seeds the private RNG; runs are fully deterministic per seed.
+    y, exit_temperature:
+        The paper's accuracy knobs: larger ``y`` and smaller
+        ``exit_temperature`` mean more iterations.
+    neighborhood:
+        ``generate(d)`` proposes uniformly from
+        ``[d - neighborhood, d + neighborhood]`` clipped to ``[0, d_max]``
+        and excluding ``d`` itself.
+    """
+    d_max = _validate_bound(d_max)
+    if y <= 0 or exit_temperature <= 0 or exit_temperature >= 1:
+        raise ParameterError(
+            f"need y > 0 and 0 < exit_temperature < 1, got y={y}, "
+            f"exit_temperature={exit_temperature}"
+        )
+    if neighborhood < 1:
+        raise ParameterError(f"neighborhood must be >= 1, got {neighborhood}")
+    rng = random.Random(seed)
+    memo = _MemoizedCost(cost)
+
+    current = rng.randint(0, d_max)  # Random_Init()
+    best = current
+    temperature = 1.0
+    k = 1
+    while temperature > exit_temperature:
+        proposal = _generate_neighbor(rng, current, d_max, neighborhood)
+        delta = memo(current) - memo(proposal)
+        if delta >= 0 or rng.random() < math.exp(delta / temperature):
+            current = proposal
+        if memo(current) < memo(best):
+            best = current
+        temperature = y / (y + k)
+        k += 1
+    # Report the best threshold *seen*, not merely the final state: the
+    # chain may end on an uphill excursion at low temperature.
+    for d, value in memo.cache.items():
+        if value < memo.cache[best] - 1e-15 or (
+            abs(value - memo.cache[best]) <= 1e-15 and d < best
+        ):
+            best = d
+    return OptimizationResult(
+        optimal_threshold=best,
+        optimal_cost=memo.cache[best],
+        evaluations=memo.evaluations,
+        method="simulated-annealing",
+        curve=dict(memo.cache),
+    )
+
+
+def _generate_neighbor(
+    rng: random.Random, d: int, d_max: int, spread: int
+) -> int:
+    """The paper's ``generate(d)``: a random threshold near ``d``."""
+    if d_max == 0:
+        return 0
+    lo = max(0, d - spread)
+    hi = min(d_max, d + spread)
+    candidates: List[int] = [x for x in range(lo, hi + 1) if x != d]
+    if not candidates:  # pragma: no cover - only if spread clipped to nothing
+        return d
+    return rng.choice(candidates)
+
+
+def hill_climb(
+    cost: CostFunction, d_max: int, start: int = 0
+) -> OptimizationResult:
+    """Greedy descent baseline: move to the better adjacent threshold.
+
+    Stops at the first local minimum.  Included to demonstrate the
+    paper's observation that the cost curve "may have local minimum"
+    and gradient descent is unsafe; the optimizer ablation bench counts
+    how often this diverges from :func:`exhaustive_search`.
+    """
+    d_max = _validate_bound(d_max)
+    if not 0 <= start <= d_max:
+        raise ParameterError(f"start must be in [0, {d_max}], got {start}")
+    memo = _MemoizedCost(cost)
+    current = start
+    while True:
+        here = memo(current)
+        candidates = [d for d in (current - 1, current + 1) if 0 <= d <= d_max]
+        values = {d: memo(d) for d in candidates}
+        best_neighbor = min(values, key=lambda d: (values[d], d))
+        if values[best_neighbor] < here - 1e-15:
+            current = best_neighbor
+            continue
+        return OptimizationResult(
+            optimal_threshold=current,
+            optimal_cost=here,
+            evaluations=memo.evaluations,
+            method="hill-climb",
+            curve=dict(memo.cache),
+        )

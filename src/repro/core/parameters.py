@@ -1,0 +1,158 @@
+"""Validated parameter objects shared across the library.
+
+The paper's model has four scalar inputs:
+
+``q``
+    probability that the terminal moves to a neighboring cell during a
+    discrete time slot (Section 2.1);
+``c``
+    probability that a call arrives for the terminal during a slot
+    (geometrically distributed interarrival times);
+``U``
+    cost of performing one location update (Section 5);
+``V``
+    cost of polling one cell during paging (Section 5).
+
+Plus two integers chosen by the network:
+
+``d``
+    the location-update threshold distance (in rings), and
+``m``
+    the maximum paging delay in polling cycles.
+
+Parameters are validated eagerly at construction so that solvers never
+see out-of-range values.  ``q + c <= 1`` is required because the Markov
+chain of Section 3 treats "move" and "call arrival" as competing events
+within one slot: from state ``i`` the out-probabilities ``a + b + c``
+must not exceed one.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..exceptions import ParameterError
+
+__all__ = ["MobilityParams", "CostParams", "validate_threshold", "validate_delay"]
+
+
+def _require_finite(name: str, value: float) -> None:
+    if not math.isfinite(value):
+        raise ParameterError(f"{name} must be finite, got {value!r}")
+
+
+@dataclass(frozen=True)
+class MobilityParams:
+    """Per-terminal mobility and traffic probabilities ``(q, c)``.
+
+    Parameters
+    ----------
+    move_probability:
+        ``q``, probability of moving to a neighbor per slot.  Must lie
+        in ``(0, 1]``: a terminal that never moves has no location
+        management problem and would make the chain's closed forms
+        degenerate (``beta`` divides by ``q``).
+    call_probability:
+        ``c``, probability of a call arrival per slot, in ``[0, 1)``.
+        ``c = 0`` is allowed (the paging cost is then zero and only the
+        update cost matters); the closed-form solvers have a dedicated
+        branch for it.
+    """
+
+    move_probability: float
+    call_probability: float
+
+    def __post_init__(self) -> None:
+        q = self.move_probability
+        c = self.call_probability
+        _require_finite("move_probability", q)
+        _require_finite("call_probability", c)
+        if not 0.0 < q <= 1.0:
+            raise ParameterError(f"move_probability must be in (0, 1], got {q}")
+        if not 0.0 <= c < 1.0:
+            raise ParameterError(f"call_probability must be in [0, 1), got {c}")
+        if q + c > 1.0 + 1e-12:
+            raise ParameterError(
+                "move_probability + call_probability must not exceed 1 "
+                f"(competing per-slot events), got q={q}, c={c}"
+            )
+
+    @property
+    def q(self) -> float:
+        """Alias matching the paper's notation."""
+        return self.move_probability
+
+    @property
+    def c(self) -> float:
+        """Alias matching the paper's notation."""
+        return self.call_probability
+
+
+@dataclass(frozen=True)
+class CostParams:
+    """Relative costs ``(U, V)`` of the two signaling operations.
+
+    Only the ratio ``U / V`` affects the optimal threshold; both are
+    kept so reproduced tables can report absolute numbers like the
+    paper's.
+    """
+
+    update_cost: float
+    poll_cost: float
+
+    def __post_init__(self) -> None:
+        _require_finite("update_cost", self.update_cost)
+        _require_finite("poll_cost", self.poll_cost)
+        if self.update_cost < 0:
+            raise ParameterError(f"update_cost must be >= 0, got {self.update_cost}")
+        if self.poll_cost < 0:
+            raise ParameterError(f"poll_cost must be >= 0, got {self.poll_cost}")
+
+    @property
+    def U(self) -> float:
+        """Alias matching the paper's notation."""
+        return self.update_cost
+
+    @property
+    def V(self) -> float:
+        """Alias matching the paper's notation."""
+        return self.poll_cost
+
+    @property
+    def ratio(self) -> float:
+        """``U / V``; infinite when polling is free."""
+        if self.poll_cost == 0:
+            return math.inf
+        return self.update_cost / self.poll_cost
+
+
+def validate_threshold(d: int) -> int:
+    """Validate a location-update threshold distance and return it.
+
+    The threshold counts rings and must be a non-negative integer;
+    ``d = 0`` means "update on every cell change".
+    """
+    if isinstance(d, bool) or not isinstance(d, int):
+        raise ParameterError(f"threshold distance must be an int, got {d!r}")
+    if d < 0:
+        raise ParameterError(f"threshold distance must be >= 0, got {d}")
+    return d
+
+
+def validate_delay(m: object) -> float:
+    """Validate a maximum paging delay and return it.
+
+    ``m`` is a positive integer number of polling cycles, or
+    ``math.inf`` for the unconstrained case (the paper's "no delay
+    bound", where each ring forms its own subarea).
+    """
+    if m == math.inf:
+        return math.inf
+    if isinstance(m, bool) or not isinstance(m, int):
+        raise ParameterError(
+            f"maximum paging delay must be a positive int or math.inf, got {m!r}"
+        )
+    if m < 1:
+        raise ParameterError(f"maximum paging delay must be >= 1, got {m}")
+    return m

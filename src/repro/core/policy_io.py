@@ -1,0 +1,151 @@
+"""Serialization of operating policies.
+
+A *policy* is everything a terminal and the network need to agree on to
+run the paper's scheme: the geometry, the threshold ``d``, the delay
+bound ``m``, and the exact paging partition.  In a deployment these are
+provisioned to terminals over the air and stored next to the location
+register, so they need a stable wire format; this module provides a
+versioned JSON one, with strict validation on load (a malformed policy
+must fail loudly at provisioning time, not as a paging miss later).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Union
+
+from ..exceptions import ParameterError
+from ..geometry import HexTopology, LineTopology, SquareTopology
+from ..geometry.topology import CellTopology
+from ..paging.plan import PagingPlan, sdf_partition
+from .parameters import validate_delay, validate_threshold
+
+__all__ = ["Policy", "policy_from_solution"]
+
+_FORMAT_VERSION = 1
+_TOPOLOGIES = {"line": LineTopology, "hex": HexTopology, "square": SquareTopology}
+
+
+def _topology_name(topology: CellTopology) -> str:
+    for name, cls in _TOPOLOGIES.items():
+        if isinstance(topology, cls):
+            return name
+    raise ParameterError(f"unsupported topology for serialization: {topology!r}")
+
+
+@dataclass(frozen=True)
+class Policy:
+    """A complete, deployable location-management policy."""
+
+    topology: CellTopology
+    threshold: int
+    max_delay: float
+    plan: PagingPlan
+
+    def __post_init__(self) -> None:
+        validate_threshold(self.threshold)
+        validate_delay(self.max_delay)
+        if self.plan.threshold != self.threshold:
+            raise ParameterError(
+                f"plan covers d={self.plan.threshold}, policy says d={self.threshold}"
+            )
+        if self.max_delay != math.inf and self.plan.delay_bound > self.max_delay:
+            raise ParameterError(
+                f"plan needs {self.plan.delay_bound} cycles, bound is {self.max_delay}"
+            )
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def sdf(cls, topology: CellTopology, threshold: int, max_delay) -> "Policy":
+        """The paper's default policy: SDF partition at ``(d, m)``."""
+        return cls(
+            topology=topology,
+            threshold=validate_threshold(threshold),
+            max_delay=validate_delay(max_delay),
+            plan=sdf_partition(threshold, max_delay),
+        )
+
+    # -- wire format -------------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialize to the versioned JSON wire format."""
+        payload = {
+            "version": _FORMAT_VERSION,
+            "topology": _topology_name(self.topology),
+            "threshold": self.threshold,
+            "max_delay": "inf" if self.max_delay == math.inf else int(self.max_delay),
+            "subareas": [list(group) for group in self.plan.subareas],
+        }
+        return json.dumps(payload, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Policy":
+        """Parse and validate the wire format.
+
+        Raises :class:`ParameterError` on any structural problem:
+        unknown version or topology, rings not covering ``0..d``, or a
+        partition exceeding the declared delay bound.
+        """
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ParameterError(f"malformed policy JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ParameterError("policy JSON must be an object")
+        version = payload.get("version")
+        if version != _FORMAT_VERSION:
+            raise ParameterError(
+                f"unsupported policy version {version!r} "
+                f"(this library reads version {_FORMAT_VERSION})"
+            )
+        try:
+            topology = _TOPOLOGIES[payload["topology"]]()
+            threshold = payload["threshold"]
+            raw_delay = payload["max_delay"]
+            subareas = payload["subareas"]
+        except KeyError as exc:
+            raise ParameterError(f"policy JSON missing field {exc}") from exc
+        max_delay = math.inf if raw_delay == "inf" else raw_delay
+        validate_threshold(threshold)
+        validate_delay(max_delay)
+        try:
+            plan = PagingPlan(
+                threshold=threshold,
+                subareas=tuple(tuple(int(r) for r in group) for group in subareas),
+            )
+        except (TypeError, ValueError) as exc:
+            raise ParameterError(f"invalid policy partition: {exc}") from exc
+        return cls(
+            topology=topology,
+            threshold=threshold,
+            max_delay=max_delay,
+            plan=plan,
+        )
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the policy to ``path``."""
+        Path(path).write_text(self.to_json())
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Policy":
+        """Read a policy previously written by :meth:`save`."""
+        return cls.from_json(Path(path).read_text())
+
+    # -- deployment --------------------------------------------------------
+
+    def build_strategy(self):
+        """Instantiate the distance strategy this policy describes."""
+        from ..strategies.distance import DistanceStrategy  # avoid cycle
+
+        return DistanceStrategy(
+            self.threshold, max_delay=self.max_delay, plan=self.plan
+        )
+
+
+def policy_from_solution(topology: CellTopology, solution) -> Policy:
+    """Build a policy from a :class:`~repro.core.threshold.ThresholdSolution`."""
+    return Policy.sdf(topology, solution.threshold, solution.delay_bound)

@@ -1,0 +1,126 @@
+"""Sensitivity of the optimal policy to parameter misestimation.
+
+The static deployment mode tunes the threshold to estimates
+``(q_hat, c_hat)``; real users differ.  This module prices that
+mismatch: the **regret** of operating a user whose true parameters are
+``(q, c)`` at the threshold optimal for ``(q_hat, c_hat)``,
+
+    regret(q_hat, c_hat | q, c)
+        = C_T(d*(q_hat, c_hat); q, c) / C_T(d*(q, c); q, c)  -  1,
+
+where both costs are evaluated with the *true* parameters.  The regret
+surface over estimation-error factors is what decides how accurate the
+dynamic scheme's estimators (reference [1], ``strategies/dynamic.py``)
+actually need to be -- the flat basin around 1.0x means crude EWMA
+estimates suffice, which is why the paper can claim the dynamic scheme
+needs "minimal" computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Type
+
+from ..exceptions import ParameterError
+from .costs import CostEvaluator
+from .models import MobilityModel
+from .parameters import CostParams, MobilityParams, validate_delay
+from .threshold import find_optimal_threshold
+
+__all__ = ["RegretPoint", "misestimation_regret", "regret_surface"]
+
+
+@dataclass(frozen=True)
+class RegretPoint:
+    """Regret of one (estimation error, truth) combination."""
+
+    q_factor: float
+    c_factor: float
+    assumed_threshold: int
+    true_threshold: int
+    true_optimal_cost: float
+    achieved_cost: float
+
+    @property
+    def regret(self) -> float:
+        """Relative extra cost caused by the misestimated threshold."""
+        if self.true_optimal_cost == 0:
+            return 0.0
+        return self.achieved_cost / self.true_optimal_cost - 1.0
+
+
+def _scaled(mobility: MobilityParams, q_factor: float, c_factor: float) -> MobilityParams:
+    q = min(max(mobility.q * q_factor, 1e-6), 0.95)
+    c = min(max(mobility.c * c_factor, 0.0), 0.5)
+    if q + c > 1.0:
+        q = 1.0 - c
+    return MobilityParams(move_probability=q, call_probability=c)
+
+
+def misestimation_regret(
+    model_class: Type[MobilityModel],
+    truth: MobilityParams,
+    costs: CostParams,
+    max_delay,
+    q_factor: float,
+    c_factor: float,
+    d_max: int = 60,
+    convention: str = "physical",
+) -> RegretPoint:
+    """Regret when the operator believes ``(q*qf, c*cf)`` but truth is ``(q, c)``."""
+    if q_factor <= 0 or c_factor <= 0:
+        raise ParameterError(
+            f"misestimation factors must be > 0, got {q_factor}, {c_factor}"
+        )
+    m = validate_delay(max_delay)
+    believed = _scaled(truth, q_factor, c_factor)
+    assumed = find_optimal_threshold(
+        model_class(believed), costs, m, d_max=d_max, convention=convention
+    ).threshold
+    true_model = model_class(truth)
+    optimal = find_optimal_threshold(
+        true_model, costs, m, d_max=d_max, convention=convention
+    )
+    evaluator = CostEvaluator(true_model, costs, convention=convention)
+    return RegretPoint(
+        q_factor=q_factor,
+        c_factor=c_factor,
+        assumed_threshold=assumed,
+        true_threshold=optimal.threshold,
+        true_optimal_cost=optimal.total_cost,
+        achieved_cost=evaluator.total_cost(assumed, m),
+    )
+
+
+def regret_surface(
+    model_class: Type[MobilityModel],
+    truth: MobilityParams,
+    costs: CostParams,
+    max_delay,
+    factors: Sequence[float] = (0.25, 0.5, 1.0, 2.0, 4.0),
+    d_max: int = 60,
+    convention: str = "physical",
+) -> Dict[float, Dict[float, RegretPoint]]:
+    """Regret over a grid of (q_factor, c_factor) estimation errors.
+
+    Returns ``surface[q_factor][c_factor]``.  The diagonal
+    ``q_factor == c_factor`` has near-zero regret: the optimal
+    threshold depends on the parameters mostly through ratios, so
+    *proportional* misestimation is nearly free.
+    """
+    surface: Dict[float, Dict[float, RegretPoint]] = {}
+    for q_factor in factors:
+        row: Dict[float, RegretPoint] = {}
+        for c_factor in factors:
+            row[c_factor] = misestimation_regret(
+                model_class,
+                truth,
+                costs,
+                max_delay,
+                q_factor,
+                c_factor,
+                d_max=d_max,
+                convention=convention,
+            )
+        surface[q_factor] = row
+    return surface

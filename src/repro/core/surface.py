@@ -1,0 +1,120 @@
+"""Cost-surface exploration over ``(d, m)``.
+
+Section 6 justifies global search with one sentence: "depending on the
+method used to partition the residing area of the terminal, the total
+cost curve may have local minimum".  This module makes that claim
+inspectable: it evaluates ``C_T`` over a threshold range (for one or
+many delay bounds), locates every local minimum, and reports where
+greedy descent would be trapped.  The optimizer ablation bench and the
+``local-minima`` tests are built on it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..exceptions import ParameterError
+from .costs import CostEvaluator
+from .parameters import validate_delay, validate_threshold
+
+__all__ = ["CostCurve", "CostSurface", "compute_surface"]
+
+
+@dataclass(frozen=True)
+class CostCurve:
+    """``C_T(d, m)`` for fixed ``m`` over ``d = 0 .. d_max``."""
+
+    delay_bound: float
+    values: List[float]
+
+    @property
+    def d_max(self) -> int:
+        return len(self.values) - 1
+
+    @property
+    def global_minimum(self) -> int:
+        """Smallest argmin over the range."""
+        best = 0
+        for d, value in enumerate(self.values):
+            if value < self.values[best] - 1e-15:
+                best = d
+        return best
+
+    def local_minima(self, tolerance: float = 1e-12) -> List[int]:
+        """Thresholds that no adjacent threshold strictly improves on.
+
+        Plateau interiors are not reported; the first index of each
+        plateau that qualifies is.
+        """
+        minima: List[int] = []
+        n = len(self.values)
+        previous_candidate = None  # last qualifying index (plateau tail)
+        for d in range(n):
+            left_ok = d == 0 or self.values[d - 1] >= self.values[d] - tolerance
+            right_ok = d == n - 1 or self.values[d + 1] >= self.values[d] - tolerance
+            if not (left_ok and right_ok):
+                continue
+            continues_plateau = (
+                previous_candidate == d - 1
+                and abs(self.values[d] - self.values[d - 1]) <= tolerance
+            )
+            if not continues_plateau:
+                minima.append(d)
+            previous_candidate = d
+        return minima
+
+    def is_multimodal(self, tolerance: float = 1e-9) -> bool:
+        """True if a greedy descent from some start misses the optimum.
+
+        Stricter than "more than one local minimum": plateaus and
+        numerically-tied basins do not count; the basins must differ in
+        value by more than ``tolerance``.
+        """
+        minima = self.local_minima()
+        if len(minima) < 2:
+            return False
+        best = min(self.values[d] for d in minima)
+        return any(self.values[d] > best + tolerance for d in minima)
+
+
+@dataclass(frozen=True)
+class CostSurface:
+    """A family of cost curves, one per delay bound."""
+
+    curves: Dict[float, CostCurve]
+
+    def curve(self, m) -> CostCurve:
+        m = validate_delay(m)
+        try:
+            return self.curves[m]
+        except KeyError:
+            raise ParameterError(
+                f"no curve for delay {m}; have {sorted(self.curves, key=str)}"
+            ) from None
+
+    def optimal_thresholds(self) -> Dict[float, int]:
+        """Global optimum per delay bound."""
+        return {m: curve.global_minimum for m, curve in self.curves.items()}
+
+    def multimodal_delays(self) -> List[float]:
+        """Delay bounds whose cost curve has distinct local basins."""
+        return [m for m, curve in self.curves.items() if curve.is_multimodal()]
+
+
+def compute_surface(
+    evaluator: CostEvaluator,
+    d_max: int,
+    delays: Sequence[float] = (1, 2, 3, math.inf),
+) -> CostSurface:
+    """Evaluate ``C_T`` on the full ``(d, m)`` grid."""
+    d_max = validate_threshold(d_max)
+    curves: Dict[float, CostCurve] = {}
+    for m in delays:
+        m = validate_delay(m)
+        curves[m] = CostCurve(
+            delay_bound=m,
+            values=[evaluator.total_cost(d, m) for d in range(d_max + 1)],
+        )
+    return CostSurface(curves=curves)

@@ -1,0 +1,200 @@
+"""Transient behavior of the ring-distance chain.
+
+The paper works entirely in steady state; this module answers the
+questions a practitioner (or a simulation author) asks before trusting
+steady-state numbers:
+
+* starting from a fresh location fix (state 0), how does the ring
+  distribution evolve slot by slot?
+* how many slots until it is within a given total-variation distance of
+  the stationary distribution (the *mixing time*)?
+* what is the expected cost accrued over a finite horizon, which
+  converges to ``C_T`` per slot but starts lower (a just-registered
+  terminal cannot be far away yet)?
+
+The implementation is plain dense linear algebra on the ``(d+1)``-state
+transition matrix -- thresholds in this problem are small, so O(d^2)
+per slot is negligible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import ParameterError
+from .costs import CostEvaluator
+from .models import MobilityModel
+from .parameters import validate_delay, validate_threshold
+
+__all__ = ["TransientAnalysis", "mixing_time", "distribution_at", "transient_cost"]
+
+
+def _start_vector(d: int, start: Optional[Sequence[float]]) -> np.ndarray:
+    if start is None:
+        vec = np.zeros(d + 1)
+        vec[0] = 1.0
+        return vec
+    vec = np.asarray(start, dtype=float)
+    if vec.shape != (d + 1,):
+        raise ParameterError(
+            f"start distribution must have length {d + 1}, got shape {vec.shape}"
+        )
+    if np.any(vec < 0) or abs(vec.sum() - 1.0) > 1e-9:
+        raise ParameterError("start must be a probability distribution")
+    return vec
+
+
+def distribution_at(
+    model: MobilityModel,
+    d: int,
+    slots: int,
+    start: Optional[Sequence[float]] = None,
+) -> np.ndarray:
+    """Ring distribution after ``slots`` slots from ``start``.
+
+    ``start`` defaults to a fresh fix (all mass in state 0).
+    """
+    d = validate_threshold(d)
+    if slots < 0:
+        raise ParameterError(f"slots must be >= 0, got {slots}")
+    P = model.chain(d).transition_matrix()
+    vec = _start_vector(d, start)
+    for _ in range(slots):
+        vec = vec @ P
+    return vec
+
+
+def mixing_time(
+    model: MobilityModel,
+    d: int,
+    tolerance: float = 0.01,
+    max_slots: int = 1_000_000,
+    start: Optional[Sequence[float]] = None,
+) -> int:
+    """Slots until total-variation distance to stationarity <= tolerance.
+
+    Uses matrix squaring to bracket, then a linear scan inside the
+    bracket, so very slow-mixing chains (tiny ``q``) stay cheap.
+    """
+    d = validate_threshold(d)
+    if not 0 < tolerance < 1:
+        raise ParameterError(f"tolerance must be in (0, 1), got {tolerance}")
+    pi = model.steady_state(d)
+    P = model.chain(d).transition_matrix()
+    vec = _start_vector(d, start)
+
+    def tv(v: np.ndarray) -> float:
+        return 0.5 * float(np.abs(v - pi).sum())
+
+    if tv(vec) <= tolerance:
+        return 0
+    # Exponential bracketing: find k with tv after 2^k slots under tol.
+    powers = [P]
+    elapsed = 1
+    current = vec @ P
+    while tv(current) > tolerance:
+        if elapsed >= max_slots:
+            raise ParameterError(
+                f"chain did not mix within {max_slots} slots "
+                f"(tv={tv(current):.4f}); lower the tolerance or check q"
+            )
+        powers.append(powers[-1] @ powers[-1])
+        current = vec @ powers[-1]
+        elapsed *= 2
+    # Binary search in (elapsed/2, elapsed] using cumulative products.
+    lo = elapsed // 2  # tv(lo) > tolerance (or lo == 0)
+    hi = elapsed
+    base = vec if lo == 0 else vec @ powers[-2] if len(powers) >= 2 else vec
+    # Simple linear scan from lo: the bracket is at most lo slots wide
+    # and lo <= max_slots; step with the one-slot matrix.
+    current = base
+    steps = lo
+    while tv(current) > tolerance:
+        current = current @ P
+        steps += 1
+        if steps > hi:  # pragma: no cover - bracketing guarantees
+            break
+    return steps
+
+
+@dataclass(frozen=True)
+class TransientAnalysis:
+    """Finite-horizon cost trajectory from a fresh location fix."""
+
+    threshold: int
+    delay_bound: float
+    #: Expected per-slot total cost at each slot ``t`` (length horizon).
+    per_slot_cost: List[float]
+    #: Steady-state per-slot cost (the paper's ``C_T``).
+    steady_state_cost: float
+
+    @property
+    def horizon(self) -> int:
+        return len(self.per_slot_cost)
+
+    @property
+    def cumulative_cost(self) -> float:
+        return float(sum(self.per_slot_cost))
+
+    def slots_to_within(self, fraction: float = 0.01) -> int:
+        """First slot whose cost is within ``fraction`` of steady state."""
+        target = self.steady_state_cost
+        for t, value in enumerate(self.per_slot_cost):
+            if abs(value - target) <= fraction * max(target, 1e-12):
+                return t
+        return self.horizon
+
+
+def transient_cost(
+    evaluator: CostEvaluator,
+    d: int,
+    m,
+    horizon: int,
+    start: Optional[Sequence[float]] = None,
+) -> TransientAnalysis:
+    """Expected per-slot cost over ``horizon`` slots from a fresh fix.
+
+    At slot ``t`` the expected cost is
+
+        sum_i P[state = i at t] * (update_rate_i * U  +  c * V * w(i))
+
+    where ``update_rate_i`` is nonzero only at the boundary state and
+    ``w(i)`` is the polled-cell count when the terminal is found in
+    ring ``i`` under the evaluator's paging plan.
+    """
+    d = validate_threshold(d)
+    m = validate_delay(m)
+    if horizon < 0:
+        raise ParameterError(f"horizon must be >= 0, got {horizon}")
+    model = evaluator.model
+    chain = model.chain(d)
+    P = chain.transition_matrix()
+    plan = evaluator.plan(d, m)
+    topo = model.topology
+    w = plan.cumulative_polled(topo)
+    # Per-state paging cells: w of the subarea containing each ring.
+    cells_by_state = np.array(
+        [w[plan.subarea_of_ring(ring)] for ring in range(d + 1)], dtype=float
+    )
+    c = model.c
+    V = evaluator.costs.poll_cost
+    U = evaluator.costs.update_cost
+    update_rate = np.zeros(d + 1)
+    update_rate[d] = model.update_rate(d, convention=evaluator.convention)
+
+    vec = _start_vector(d, start)
+    costs: List[float] = []
+    for _ in range(horizon):
+        slot_cost = float(vec @ update_rate) * U + c * V * float(vec @ cells_by_state)
+        costs.append(slot_cost)
+        vec = vec @ P
+    steady = evaluator.total_cost(d, m)
+    return TransientAnalysis(
+        threshold=d,
+        delay_bound=m,
+        per_slot_cost=costs,
+        steady_state_cost=steady,
+    )

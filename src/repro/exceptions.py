@@ -1,0 +1,50 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch library failures without
+masking programming errors (``TypeError``, ``AttributeError``, ...).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ParameterError",
+    "SolverError",
+    "PartitionError",
+    "SimulationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ParameterError(ReproError, ValueError):
+    """A model, cost, or configuration parameter is out of range.
+
+    Raised eagerly at construction time so that invalid parameters never
+    propagate into solvers, where they would surface as cryptic numerical
+    failures.
+    """
+
+
+class SolverError(ReproError, ArithmeticError):
+    """A steady-state or optimization solver failed to produce a result.
+
+    This signals a genuine numerical breakdown (singular system, failed
+    normalization), not invalid input -- invalid input raises
+    :class:`ParameterError` before any solver runs.
+    """
+
+
+class PartitionError(ReproError, ValueError):
+    """A paging partition violates the rules of Section 2.2 of the paper.
+
+    Every ring of the residing area must be covered exactly once and the
+    number of subareas must not exceed the maximum paging delay.
+    """
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The discrete-time PCN simulator reached an inconsistent state."""

@@ -1,0 +1,43 @@
+"""Cell geometries for the PCN coverage area (paper Section 2.1).
+
+Two concrete topologies are provided, matching Figure 1 of the paper:
+
+* :class:`LineTopology` -- an infinite 1-D chain of cells (roads,
+  tunnels, railway lines).
+* :class:`HexTopology` -- the infinite hexagonal tiling of the plane
+  (city-scale coverage).
+
+Both implement the :class:`CellTopology` interface (rings, distances,
+residing-area enumeration), and :mod:`repro.geometry.ringstats` measures
+the ring-aggregated movement probabilities that justify the paper's
+Markov-chain transition rates.
+"""
+
+from .hex import AXIAL_DIRECTIONS, HexTopology
+from .line import LineTopology
+from .ringstats import (
+    RingMovementStats,
+    paper_p_minus,
+    paper_p_plus,
+    ring_movement_stats,
+    square_p_minus,
+    square_p_plus,
+)
+from .square import SQUARE_DIRECTIONS, SquareTopology
+from .topology import Cell, CellTopology
+
+__all__ = [
+    "AXIAL_DIRECTIONS",
+    "Cell",
+    "CellTopology",
+    "HexTopology",
+    "LineTopology",
+    "RingMovementStats",
+    "SQUARE_DIRECTIONS",
+    "SquareTopology",
+    "paper_p_minus",
+    "paper_p_plus",
+    "ring_movement_stats",
+    "square_p_minus",
+    "square_p_plus",
+]

@@ -1,0 +1,135 @@
+"""Ring-aggregated movement statistics for a cell topology.
+
+Section 4.1 of the paper derives the 2-D Markov-chain transition
+probabilities by counting, over the cells of ring ``r_i``, the fraction
+of neighbor edges that lead outward (to ring ``r_{i+1}``) and inward (to
+ring ``r_{i-1}``):
+
+    p+(i) = 1/3 + 1/(6 i),      p-(i) = 1/3 - 1/(6 i).
+
+These are *ring averages*.  On the real hexagonal grid corner cells and
+edge cells of a ring have different neighbor profiles, so the chain on
+the ring index is an aggregation of the true 2-D walk; the aggregation
+is exact only if, conditioned on the ring, the terminal is uniformly
+distributed over the ring's cells.  This module computes the aggregate
+probabilities directly from a :class:`~repro.geometry.topology.CellTopology`
+so tests can confirm the paper's formulas and the simulator can quantify
+the aggregation error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Tuple
+
+from .topology import CellTopology
+
+__all__ = [
+    "RingMovementStats",
+    "ring_movement_stats",
+    "paper_p_plus",
+    "paper_p_minus",
+    "square_p_plus",
+    "square_p_minus",
+]
+
+
+@dataclass(frozen=True)
+class RingMovementStats:
+    """Aggregate neighbor statistics of one ring.
+
+    Attributes
+    ----------
+    radius:
+        Ring index ``i``.
+    cells:
+        Number of cells in the ring.
+    p_outward, p_same, p_inward:
+        Probability that a uniformly random neighbor of a uniformly
+        random ring cell lies one ring out, in the same ring, or one
+        ring in.  Exact rationals, so tests can assert equality with the
+        paper's formulas rather than approximate closeness.
+    """
+
+    radius: int
+    cells: int
+    p_outward: Fraction
+    p_same: Fraction
+    p_inward: Fraction
+
+    def as_floats(self) -> Tuple[float, float, float]:
+        """Return ``(p_outward, p_same, p_inward)`` as floats."""
+        return (float(self.p_outward), float(self.p_same), float(self.p_inward))
+
+
+def ring_movement_stats(topology: CellTopology, radius: int) -> RingMovementStats:
+    """Measure ring-transition probabilities of ring ``radius`` by counting.
+
+    Enumerates every cell of the ring around the topology's origin,
+    classifies each of its neighbors, and averages.  Exact (rational)
+    arithmetic throughout.
+    """
+    if radius < 0:
+        raise ValueError(f"radius must be >= 0, got {radius}")
+    center = topology.origin
+    totals: Dict[str, int] = {"out": 0, "same": 0, "in": 0}
+    cells = topology.ring(center, radius)
+    for cell in cells:
+        out, same, inward = topology.ring_transition_counts(center, cell)
+        totals["out"] += out
+        totals["same"] += same
+        totals["in"] += inward
+    edges = len(cells) * topology.degree
+    return RingMovementStats(
+        radius=radius,
+        cells=len(cells),
+        p_outward=Fraction(totals["out"], edges),
+        p_same=Fraction(totals["same"], edges),
+        p_inward=Fraction(totals["in"], edges),
+    )
+
+
+def paper_p_plus(radius: int) -> Fraction:
+    """Paper equation (39): 2-D outward movement probability ``p+(i)``.
+
+    Defined for ``i >= 1``; ``p+(0)`` is 1 by convention (every move
+    from the center leaves ring 0).
+    """
+    if radius < 0:
+        raise ValueError(f"radius must be >= 0, got {radius}")
+    if radius == 0:
+        return Fraction(1)
+    return Fraction(1, 3) + Fraction(1, 6 * radius)
+
+
+def paper_p_minus(radius: int) -> Fraction:
+    """Paper equation (40): 2-D inward movement probability ``p-(i)``."""
+    if radius < 0:
+        raise ValueError(f"radius must be >= 0, got {radius}")
+    if radius == 0:
+        return Fraction(0)
+    return Fraction(1, 3) - Fraction(1, 6 * radius)
+
+
+def square_p_plus(radius: int) -> Fraction:
+    """Square-grid analogue of ``p+(i)``: ``1/2 + 1/(4 i)``.
+
+    Derived like the paper's hex formula: ring ``i`` has 4 corner cells
+    (3 outward / 1 inward neighbors) and ``4 (i - 1)`` edge cells
+    (2 / 2); the square lattice has no same-ring moves.
+    """
+    if radius < 0:
+        raise ValueError(f"radius must be >= 0, got {radius}")
+    if radius == 0:
+        return Fraction(1)
+    return Fraction(1, 2) + Fraction(1, 4 * radius)
+
+
+def square_p_minus(radius: int) -> Fraction:
+    """Square-grid analogue of ``p-(i)``: ``1/2 - 1/(4 i)``."""
+    if radius < 0:
+        raise ValueError(f"radius must be >= 0, got {radius}")
+    if radius == 0:
+        return Fraction(0)
+    return Fraction(1, 2) - Fraction(1, 4 * radius)

@@ -1,0 +1,23 @@
+"""Terminal mobility and traffic processes (paper Section 2.1).
+
+Random-walk movement, Bernoulli (and bursty) call arrivals, trace
+recording/replay, and the fluid-flow crossing-rate baseline of
+reference [8].
+"""
+
+from .arrivals import BatchedArrivals, BernoulliArrivals
+from .fluid import FluidFlowModel
+from .persistent import PersistentWalk
+from .traces import Trace, TraceStep, generate_trace
+from .walk import RandomWalk
+
+__all__ = [
+    "BatchedArrivals",
+    "BernoulliArrivals",
+    "FluidFlowModel",
+    "PersistentWalk",
+    "RandomWalk",
+    "Trace",
+    "TraceStep",
+    "generate_trace",
+]

@@ -1,0 +1,145 @@
+"""Call-arrival processes (paper Section 2.1).
+
+The paper assumes incoming calls form a Bernoulli process: during each
+discrete slot a call arrives with probability ``c``, independently, so
+interarrival times are geometrically distributed with mean ``1/c``.
+
+:class:`BernoulliArrivals` is that process.  :class:`BatchedArrivals`
+is a burstier alternative (Markov-modulated on/off) used by the
+robustness examples to probe how sensitive the optimal threshold is to
+the geometric-interarrival assumption.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+from ..exceptions import ParameterError
+
+__all__ = ["BernoulliArrivals", "BatchedArrivals"]
+
+
+class BernoulliArrivals:
+    """Bernoulli(``c``) call arrivals, one draw per slot."""
+
+    def __init__(
+        self, call_probability: float, rng: Optional[np.random.Generator] = None
+    ) -> None:
+        if not 0.0 <= call_probability < 1.0:
+            raise ParameterError(
+                f"call_probability must be in [0, 1), got {call_probability}"
+            )
+        self.call_probability = call_probability
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.arrivals = 0
+        self.slots = 0
+
+    def step(self) -> bool:
+        """Return True if a call arrives in this slot."""
+        self.slots += 1
+        hit = self.rng.random() < self.call_probability
+        if hit:
+            self.arrivals += 1
+        return hit
+
+    def interarrival_times(self, count: int) -> Iterator[int]:
+        """Yield ``count`` successive interarrival times (in slots).
+
+        Each is geometric with mean ``1/c``; raises if ``c`` is zero
+        (no calls ever arrive).
+        """
+        if self.call_probability == 0.0:
+            raise ParameterError("interarrival times undefined for c = 0")
+        if count < 0:
+            raise ParameterError(f"count must be >= 0, got {count}")
+        for _ in range(count):
+            gap = 1
+            while not self.step():
+                gap += 1
+            yield gap
+
+    @property
+    def empirical_rate(self) -> float:
+        """Observed arrivals per slot so far (0 before any slot)."""
+        if self.slots == 0:
+            return 0.0
+        return self.arrivals / self.slots
+
+
+class BatchedArrivals:
+    """Markov-modulated Bernoulli arrivals (bursty baseline).
+
+    The process alternates between an *idle* state (no arrivals) and a
+    *busy* state where calls arrive with probability ``busy_rate`` per
+    slot.  Transition probabilities are chosen so the long-run arrival
+    rate equals ``call_probability``, making results directly
+    comparable with :class:`BernoulliArrivals` at the same mean load.
+
+    Parameters
+    ----------
+    call_probability:
+        Target long-run arrivals per slot, in ``(0, 1)``.
+    burstiness:
+        Ratio ``busy_rate / call_probability`` (> 1); higher means the
+        same traffic squeezed into rarer, denser busy periods.
+    mean_busy_slots:
+        Expected length of a busy period.
+    """
+
+    def __init__(
+        self,
+        call_probability: float,
+        burstiness: float = 5.0,
+        mean_busy_slots: float = 50.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if not 0.0 < call_probability < 1.0:
+            raise ParameterError(
+                f"call_probability must be in (0, 1), got {call_probability}"
+            )
+        if burstiness <= 1.0:
+            raise ParameterError(f"burstiness must be > 1, got {burstiness}")
+        if mean_busy_slots < 1.0:
+            raise ParameterError(
+                f"mean_busy_slots must be >= 1, got {mean_busy_slots}"
+            )
+        busy_rate = call_probability * burstiness
+        if busy_rate >= 1.0:
+            raise ParameterError(
+                f"busy-state rate c*burstiness must be < 1, got {busy_rate}"
+            )
+        self.call_probability = call_probability
+        self.busy_rate = busy_rate
+        # Long-run busy fraction must be 1/burstiness; with geometric
+        # sojourns, fraction = mean_busy / (mean_busy + mean_idle).
+        busy_fraction = 1.0 / burstiness
+        mean_idle = mean_busy_slots * (1.0 - busy_fraction) / busy_fraction
+        self._exit_busy = 1.0 / mean_busy_slots
+        self._exit_idle = 1.0 / mean_idle
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.busy = False
+        self.arrivals = 0
+        self.slots = 0
+
+    def step(self) -> bool:
+        """Advance one slot; return True if a call arrives."""
+        self.slots += 1
+        if self.busy:
+            if self.rng.random() < self._exit_busy:
+                self.busy = False
+        else:
+            if self.rng.random() < self._exit_idle:
+                self.busy = True
+        hit = self.busy and self.rng.random() < self.busy_rate
+        if hit:
+            self.arrivals += 1
+        return hit
+
+    @property
+    def empirical_rate(self) -> float:
+        """Observed arrivals per slot so far (0 before any slot)."""
+        if self.slots == 0:
+            return 0.0
+        return self.arrivals / self.slots

@@ -1,0 +1,90 @@
+"""Fluid-flow mobility baseline (reference [8] of the paper).
+
+The paper argues the random-walk model fits pedestrians better than the
+fluid-flow model of Xie, Tabbane & Goodman, which suits vehicular
+traffic ("continuous movement with infrequent speed and direction
+changes").  The fluid-flow model is included here as the comparison
+baseline: it predicts the *boundary crossing rate* out of a region from
+macroscopic quantities, which yields a location-update rate for an
+LA-style scheme and lets the strategy bench compare both worlds.
+
+For a region with perimeter ``L`` and area ``S`` populated by terminals
+of mean speed ``v`` with uniformly distributed directions, the outward
+crossing rate per terminal is the classic
+
+    R = v * L / (pi * S).
+
+We express regions in cell units: a cell has unit area, so a hex-grid
+residing area of threshold ``d`` has area ``g(d) = 3d(d+1) + 1`` and
+(approximating the hex cluster by the enclosing hexagon) perimeter
+proportional to the outer ring size ``6d + 3`` cell widths.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..exceptions import ParameterError
+
+__all__ = ["FluidFlowModel"]
+
+#: Area of a unit-edge regular hexagon; used to convert "cells" to a
+#: consistent length/area unit system (edge length 1).
+_HEX_AREA = 3.0 * math.sqrt(3.0) / 2.0
+#: Width of a unit-edge hexagon across flats (the distance advanced by
+#: one cell crossing).
+_HEX_WIDTH = math.sqrt(3.0)
+
+
+@dataclass(frozen=True)
+class FluidFlowModel:
+    """Fluid-flow crossing-rate model for hex-cell clusters.
+
+    Parameters
+    ----------
+    mean_speed:
+        Mean terminal speed in cell-widths per slot.  To compare with a
+        random walk that moves with probability ``q`` per slot, note
+        the walk's mean displacement per slot is ``q`` cell-widths, so
+        ``mean_speed = q`` is the natural calibration.
+    """
+
+    mean_speed: float
+
+    def __post_init__(self) -> None:
+        if not self.mean_speed > 0:
+            raise ParameterError(f"mean_speed must be > 0, got {self.mean_speed}")
+
+    def crossing_rate(self, d: int) -> float:
+        """Expected boundary crossings per slot out of a radius-``d`` cluster.
+
+        ``R = v L / (pi S)`` with the cluster's perimeter and area in
+        consistent units (hexagon edge = 1).
+        """
+        if d < 0:
+            raise ParameterError(f"d must be >= 0, got {d}")
+        cells = 3 * d * (d + 1) + 1
+        area = cells * _HEX_AREA
+        # Boundary of the cluster: the outer ring exposes 6d + 3... for
+        # d = 0 a single hexagon's own 6 edges.  Each exposed edge has
+        # length 1; count exposed edges exactly: cluster of radius d is
+        # a hexagon of side (d + 1) in cell counts, whose boundary
+        # consists of 6 * (2d + 1) cell edges.
+        perimeter = 6.0 * (2 * d + 1)
+        v = self.mean_speed * _HEX_WIDTH  # cell-widths -> edge units
+        return v * perimeter / (math.pi * area)
+
+    def update_rate(self, d: int) -> float:
+        """Location updates per slot for a distance-``d`` scheme.
+
+        Under fluid flow every outward crossing of the residing-area
+        boundary is an update, so this is :meth:`crossing_rate`.
+        """
+        return self.crossing_rate(d)
+
+    def expected_updates(self, d: int, slots: int) -> float:
+        """Expected number of updates over ``slots`` slots."""
+        if slots < 0:
+            raise ParameterError(f"slots must be >= 0, got {slots}")
+        return self.crossing_rate(d) * slots

@@ -1,0 +1,164 @@
+"""Movement/arrival trace recording and replay.
+
+A :class:`Trace` is the slot-by-slot record of one terminal: its cell
+position and whether a call arrived.  Traces decouple workload
+generation from protocol evaluation, so every update strategy in a
+comparison bench sees the *identical* movement and call sequence --
+the difference in measured cost is then attributable to the strategy
+alone, not to sampling noise.
+
+Traces serialize to a compact JSON format for archiving experiment
+inputs alongside results.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..exceptions import ParameterError, SimulationError
+from ..geometry import HexTopology, LineTopology, SquareTopology
+from ..geometry.topology import Cell, CellTopology
+from .arrivals import BernoulliArrivals
+from .walk import RandomWalk
+
+__all__ = ["Trace", "TraceStep", "generate_trace"]
+
+#: One slot of a trace: (cell, call_arrived).
+TraceStep = Tuple[Cell, bool]
+
+_TOPOLOGY_NAMES = {"line": LineTopology, "hex": HexTopology, "square": SquareTopology}
+
+
+def _topology_name(topology: CellTopology) -> str:
+    for name, cls in _TOPOLOGY_NAMES.items():
+        if isinstance(topology, cls):
+            return name
+    raise ParameterError(f"cannot serialize topology {topology!r}")
+
+
+@dataclass(frozen=True)
+class Trace:
+    """An immutable slot-by-slot terminal history.
+
+    Attributes
+    ----------
+    topology:
+        Geometry the positions live in.
+    start:
+        Cell occupied before slot 0.
+    steps:
+        For each slot, the position *after* the slot's movement (equal
+        to the previous position if the terminal stayed) and whether a
+        call arrived during the slot.
+    """
+
+    topology: CellTopology
+    start: Cell
+    steps: Tuple[TraceStep, ...]
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    @property
+    def positions(self) -> List[Cell]:
+        """Positions after each slot."""
+        return [cell for cell, _ in self.steps]
+
+    @property
+    def call_slots(self) -> List[int]:
+        """Indices of slots in which a call arrived."""
+        return [i for i, (_, call) in enumerate(self.steps) if call]
+
+    @property
+    def move_count(self) -> int:
+        """Number of slots in which the terminal changed cells."""
+        moves = 0
+        prev = self.start
+        for cell, _ in self.steps:
+            if cell != prev:
+                moves += 1
+            prev = cell
+        return moves
+
+    def max_distance_from_start(self) -> int:
+        """Largest ring distance from the start cell ever reached."""
+        best = 0
+        for cell, _ in self.steps:
+            best = max(best, self.topology.distance(self.start, cell))
+        return best
+
+    # -- serialization ---------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialize to a JSON string (positions as lists for hex cells)."""
+        def encode(cell: Cell):
+            return list(cell) if isinstance(cell, tuple) else cell
+
+        payload = {
+            "topology": _topology_name(self.topology),
+            "start": encode(self.start),
+            "steps": [[encode(cell), bool(call)] for cell, call in self.steps],
+        }
+        return json.dumps(payload)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Trace":
+        """Inverse of :meth:`to_json`."""
+        def decode(raw) -> Cell:
+            return tuple(raw) if isinstance(raw, list) else raw
+
+        try:
+            payload = json.loads(text)
+            topology = _TOPOLOGY_NAMES[payload["topology"]]()
+            start = decode(payload["start"])
+            steps = tuple(
+                (decode(cell), bool(call)) for cell, call in payload["steps"]
+            )
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            raise SimulationError(f"malformed trace JSON: {exc}") from exc
+        return cls(topology=topology, start=start, steps=steps)
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the trace to ``path`` as JSON."""
+        Path(path).write_text(self.to_json())
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Trace":
+        """Read a trace previously written by :meth:`save`."""
+        return cls.from_json(Path(path).read_text())
+
+
+def generate_trace(
+    topology: CellTopology,
+    move_probability: float,
+    call_probability: float,
+    slots: int,
+    seed: Optional[int] = None,
+    start: Optional[Cell] = None,
+) -> Trace:
+    """Generate a random trace under the paper's mobility/traffic model.
+
+    Each slot draws movement and call arrival as *competing* events
+    matching the Markov chain semantics: with probability ``c`` the
+    slot is a call (no movement), otherwise with probability ``q`` the
+    terminal moves.  See :mod:`repro.simulation.engine` for the
+    rationale.
+    """
+    if slots < 0:
+        raise ParameterError(f"slots must be >= 0, got {slots}")
+    rng = np.random.default_rng(seed)
+    walk = RandomWalk(topology, move_probability, rng=rng, start=start)
+    arrivals = BernoulliArrivals(call_probability, rng=rng)
+    origin = walk.position
+    steps: List[TraceStep] = []
+    for _ in range(slots):
+        call = arrivals.step()
+        if not call and rng.random() < move_probability:
+            walk.move()
+        steps.append((walk.position, call))
+    return Trace(topology=topology, start=origin, steps=tuple(steps))

@@ -1,0 +1,110 @@
+"""Discrete-time random-walk mobility (paper Section 2.1).
+
+At each discrete time slot a terminal moves to one of its neighboring
+cells with probability ``q`` (choosing uniformly among neighbors:
+``1/2`` each in 1-D, ``1/6`` each on the hex grid) and stays put with
+probability ``1 - q``.
+
+The walker is deliberately minimal -- the decision of *whether* a slot
+contains a move is made by the caller (the simulation engine owns the
+per-slot event structure so that move/call exclusivity matches the
+Markov chain; see :mod:`repro.simulation.engine`) -- but a standalone
+:meth:`RandomWalk.step` that performs the full move-or-stay draw is
+provided for trace generation and ad-hoc experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+from ..core.parameters import MobilityParams
+from ..exceptions import ParameterError
+from ..geometry.topology import Cell, CellTopology
+
+__all__ = ["RandomWalk"]
+
+
+class RandomWalk:
+    """A seeded random walk on a cell topology.
+
+    Parameters
+    ----------
+    topology:
+        The cell geometry to walk on.
+    move_probability:
+        Per-slot probability ``q`` of moving.
+    rng:
+        A :class:`numpy.random.Generator`; pass one seeded from your
+        experiment so runs are reproducible.  A fresh default generator
+        is created if omitted.
+    start:
+        Initial cell; defaults to the topology origin.
+    """
+
+    def __init__(
+        self,
+        topology: CellTopology,
+        move_probability: float,
+        rng: Optional[np.random.Generator] = None,
+        start: Optional[Cell] = None,
+    ) -> None:
+        if not 0.0 < move_probability <= 1.0:
+            raise ParameterError(
+                f"move_probability must be in (0, 1], got {move_probability}"
+            )
+        self.topology = topology
+        self.move_probability = move_probability
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.position: Cell = start if start is not None else topology.origin
+        topology.validate_cell(self.position)
+        self.slots = 0
+        self.moves = 0
+
+    @classmethod
+    def from_params(
+        cls,
+        topology: CellTopology,
+        params: MobilityParams,
+        rng: Optional[np.random.Generator] = None,
+        start: Optional[Cell] = None,
+    ) -> "RandomWalk":
+        """Build a walk from a :class:`MobilityParams` (uses its ``q``)."""
+        return cls(topology, params.move_probability, rng=rng, start=start)
+
+    def move(self) -> Cell:
+        """Unconditionally move to a uniformly random neighbor.
+
+        Use when the caller has already decided this slot contains a
+        move (the simulation engine's per-slot event draw).
+        """
+        options = self.topology.neighbors(self.position)
+        index = int(self.rng.integers(len(options)))
+        self.position = options[index]
+        self.moves += 1
+        return self.position
+
+    def step(self) -> Cell:
+        """Advance one slot: move with probability ``q``, else stay."""
+        self.slots += 1
+        if self.rng.random() < self.move_probability:
+            return self.move()
+        return self.position
+
+    def walk(self, slots: int) -> Iterator[Cell]:
+        """Yield the position after each of ``slots`` consecutive steps."""
+        if slots < 0:
+            raise ParameterError(f"slots must be >= 0, got {slots}")
+        for _ in range(slots):
+            yield self.step()
+
+    def distance_from(self, cell: Cell) -> int:
+        """Current ring distance from ``cell``."""
+        return self.topology.distance(cell, self.position)
+
+    def __repr__(self) -> str:
+        return (
+            f"RandomWalk(topology={self.topology!r}, "
+            f"q={self.move_probability}, position={self.position!r})"
+        )

@@ -1,0 +1,36 @@
+"""Terminal paging: residing-area partitioning under delay constraints.
+
+Implements the paper's shortest-distance-first subarea scheme
+(Section 2.2) plus blanket and per-ring variants, and -- as the paper's
+future-work extension -- the optimal contiguous partition by dynamic
+programming.
+"""
+
+from .optimal import brute_force_partition, optimal_contiguous_partition
+from .ordered import (
+    density_order,
+    density_ordered_partition,
+    expected_cells_for_order,
+)
+from .plan import (
+    PagingPlan,
+    blanket_partition,
+    partition_from_sizes,
+    per_ring_partition,
+    sdf_partition,
+    subarea_count,
+)
+
+__all__ = [
+    "PagingPlan",
+    "blanket_partition",
+    "brute_force_partition",
+    "density_order",
+    "density_ordered_partition",
+    "expected_cells_for_order",
+    "optimal_contiguous_partition",
+    "partition_from_sizes",
+    "per_ring_partition",
+    "sdf_partition",
+    "subarea_count",
+]

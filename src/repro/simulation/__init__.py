@@ -1,0 +1,39 @@
+"""Discrete-time PCN simulation substrate.
+
+Single-terminal engine (chain-faithful slot semantics), multi-terminal
+network with base stations and a location register, cost metering with
+confidence intervals, and replicated analytic-vs-simulation validation.
+"""
+
+from .engine import SimulationEngine
+from .events import EventLog, MoveEvent, PagingEvent, UpdateEvent
+from .lossy import LossyUpdateEngine
+from .metrics import CostMeter, MeterSnapshot
+from .network import BaseStation, LocationRegister, MobileTerminal, PCNetwork
+from .runner import (
+    ModelComparison,
+    ReplicatedResult,
+    run_replicated,
+    run_until_precision,
+    validate_against_model,
+)
+
+__all__ = [
+    "BaseStation",
+    "CostMeter",
+    "EventLog",
+    "LocationRegister",
+    "LossyUpdateEngine",
+    "MeterSnapshot",
+    "MobileTerminal",
+    "ModelComparison",
+    "MoveEvent",
+    "PCNetwork",
+    "PagingEvent",
+    "ReplicatedResult",
+    "SimulationEngine",
+    "UpdateEvent",
+    "run_replicated",
+    "run_until_precision",
+    "validate_against_model",
+]

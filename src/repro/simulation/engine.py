@@ -1,0 +1,237 @@
+"""The discrete-time simulation engine for one terminal.
+
+Slot semantics
+--------------
+
+The Markov chain of Sections 3-4 treats "call arrival" and "movement"
+as *competing* events: from state ``i`` the chain goes to 0 with
+probability ``c``, to ``i +- 1`` with probabilities ``a_i``/``b_i``
+(which sum to ``q`` split over neighbors), and stays otherwise.  The
+engine's default slot draw matches this exactly so that simulation
+results are an unbiased estimate of the analytical quantities:
+
+    u ~ Uniform(0, 1)
+    u < c                -> call slot (page, then reset; no movement)
+    c <= u < c + q       -> movement slot (move, maybe update)
+    otherwise            -> idle slot
+
+``event_mode="independent"`` draws movement and call independently per
+slot (both can happen; the call is processed after the move) -- the
+physically plausible variant, used by the robustness bench to show the
+model's predictions survive the relaxation for small ``q c``.
+
+Per-slot sequence
+-----------------
+
+1. ``strategy.on_slot`` -- timer-driven updates fire first,
+2. the event draw,
+3. movement (and a possible movement/dist-triggered update),
+4. call handling: poll the strategy's groups cycle by cycle until the
+   group containing the terminal is reached, charge ``V`` per polled
+   cell, then inform the strategy of the located position.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.parameters import CostParams, MobilityParams
+from ..exceptions import ParameterError, SimulationError
+from ..geometry.topology import Cell, CellTopology
+from ..mobility.walk import RandomWalk
+from ..strategies.base import UpdateStrategy
+from .events import EventLog, MoveEvent, PagingEvent, UpdateEvent
+from .metrics import CostMeter, MeterSnapshot
+
+__all__ = ["SimulationEngine"]
+
+_EVENT_MODES = ("exclusive", "independent")
+
+
+class SimulationEngine:
+    """Drives one terminal, one strategy, and one cost meter.
+
+    Parameters
+    ----------
+    topology:
+        Cell geometry.
+    strategy:
+        The location-update strategy under test; attached to ``start``.
+    mobility:
+        ``(q, c)`` parameters.
+    costs:
+        ``(U, V)`` cost weights.
+    seed:
+        Seeds the engine's private RNG.
+    start:
+        Initial cell (defaults to the topology origin).
+    event_mode:
+        ``"exclusive"`` (chain-faithful, default) or ``"independent"``.
+    event_log:
+        Optional :class:`EventLog` to record protocol events into.
+    arrivals:
+        Optional call-arrival process overriding the default Bernoulli
+        draw: any object with a ``step() -> bool`` method (e.g.
+        :class:`~repro.mobility.arrivals.BatchedArrivals`).  Used by
+        the traffic-robustness study to feed the same strategies bursty
+        traffic.  With a custom process, slot semantics are: the
+        process decides whether this is a call slot; otherwise the
+        terminal moves with probability ``q``.
+    walker_factory:
+        Optional factory ``(topology, q, rng, start) -> RandomWalk``
+        overriding the default uniform random walk -- e.g.
+        :class:`~repro.mobility.persistent.PersistentWalk` for the
+        direction-memory robustness study.
+    """
+
+    def __init__(
+        self,
+        topology: CellTopology,
+        strategy: UpdateStrategy,
+        mobility: MobilityParams,
+        costs: CostParams,
+        seed: Optional[int] = None,
+        start: Optional[Cell] = None,
+        event_mode: str = "exclusive",
+        event_log: Optional[EventLog] = None,
+        arrivals=None,
+        walker_factory=None,
+    ) -> None:
+        if event_mode not in _EVENT_MODES:
+            raise ParameterError(
+                f"event_mode must be one of {_EVENT_MODES}, got {event_mode!r}"
+            )
+        self.topology = topology
+        self.strategy = strategy
+        self.mobility = mobility
+        self.costs = costs
+        self.event_mode = event_mode
+        self.rng = np.random.default_rng(seed)
+        if walker_factory is None:
+            self.walk = RandomWalk(
+                topology, mobility.move_probability, rng=self.rng, start=start
+            )
+        else:
+            self.walk = walker_factory(
+                topology, mobility.move_probability, self.rng, start
+            )
+            if not isinstance(self.walk, RandomWalk):
+                raise ParameterError(
+                    f"walker_factory must build a RandomWalk, got {self.walk!r}"
+                )
+        strategy.attach(topology, self.walk.position)
+        self.meter = CostMeter(costs.update_cost, costs.poll_cost)
+        self.log = event_log
+        self.arrivals = arrivals
+        if arrivals is not None and not callable(getattr(arrivals, "step", None)):
+            raise ParameterError(
+                f"arrivals must expose a step() -> bool method, got {arrivals!r}"
+            )
+        self.slot = 0
+
+    # ------------------------------------------------------------------
+
+    def run(self, slots: int) -> MeterSnapshot:
+        """Advance ``slots`` slots and return the metric snapshot."""
+        if slots < 0:
+            raise ParameterError(f"slots must be >= 0, got {slots}")
+        for _ in range(slots):
+            self.step()
+        return self.meter.snapshot()
+
+    def step(self) -> None:
+        """Advance exactly one slot."""
+        meter = self.meter
+        meter.begin_slot()
+        try:
+            self._run_slot()
+        finally:
+            meter.end_slot()
+        self.slot += 1
+
+    # -- internals --------------------------------------------------------
+
+    def _run_slot(self) -> None:
+        c = self.mobility.call_probability
+        q = self.mobility.move_probability
+
+        if self.strategy.on_slot(self.walk.position, self.slot):
+            self._perform_update(timer=True)
+
+        if self.arrivals is not None:
+            if self.arrivals.step():
+                self._handle_call()
+            elif self.rng.random() < q:
+                self._handle_move()
+        elif self.event_mode == "exclusive":
+            u = self.rng.random()
+            if u < c:
+                self._handle_call()
+            elif u < c + q:
+                self._handle_move()
+        else:
+            moved = self.rng.random() < q
+            called = self.rng.random() < c
+            # The call is processed before the movement: the paging
+            # radius strategies derive from elapsed slots/moves covers
+            # everything up to the *previous* slot, so paging must see
+            # the pre-move position.  (Found by the fuzz suite: with
+            # move-then-call, a timer update plus a move plus a call in
+            # one slot paged a radius-0 area around a stale center.)
+            if called:
+                self._handle_call()
+            if moved:
+                self._handle_move()
+
+    def _handle_move(self) -> None:
+        position = self.walk.move()
+        self.meter.note_move()
+        if self.log is not None:
+            self.log.append(
+                MoveEvent(
+                    slot=self.slot,
+                    cell=position,
+                    distance_from_center=self.topology.distance(
+                        self.strategy.last_known, position
+                    ),
+                )
+            )
+        if self.strategy.on_move(position):
+            self._perform_update(timer=False)
+
+    def _perform_update(self, timer: bool) -> None:
+        position = self.walk.position
+        self.meter.charge_update()
+        self.strategy.on_location_known(position)
+        if self.log is not None:
+            self.log.append(
+                UpdateEvent(slot=self.slot, cell=position, timer_triggered=timer)
+            )
+
+    def _handle_call(self) -> None:
+        position = self.walk.position
+        polled = 0
+        cycles = 0
+        found = False
+        for group in self.strategy.polling_groups():
+            cycles += 1
+            polled += len(group)
+            if position in group:
+                found = True
+                break
+        if not found:
+            raise SimulationError(
+                f"paging failed: terminal at {position!r} not covered by "
+                f"{self.strategy!r} (center {self.strategy.last_known!r}); "
+                "the strategy's uncertainty tracking is broken"
+            )
+        self.meter.charge_paging(cells_polled=polled, cycles=cycles)
+        self.strategy.on_location_known(position)
+        if self.log is not None:
+            self.log.append(
+                PagingEvent(
+                    slot=self.slot, cell=position, cells_polled=polled, cycles=cycles
+                )
+            )

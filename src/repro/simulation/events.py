@@ -1,0 +1,76 @@
+"""Event records for simulation tracing.
+
+The engine can optionally log a structured event stream -- useful for
+debugging a strategy, for unit tests that assert on exact protocol
+behavior, and for the examples that narrate what happened.  Recording
+is off by default; a million-slot run should not build a million
+objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..geometry.topology import Cell
+
+__all__ = ["MoveEvent", "UpdateEvent", "PagingEvent", "EventLog"]
+
+
+@dataclass(frozen=True)
+class MoveEvent:
+    """The terminal crossed into ``cell`` during ``slot``."""
+
+    slot: int
+    cell: Cell
+    distance_from_center: int
+
+
+@dataclass(frozen=True)
+class UpdateEvent:
+    """The terminal transmitted a location update from ``cell``."""
+
+    slot: int
+    cell: Cell
+    #: True if a timer (not a movement) triggered the update.
+    timer_triggered: bool
+
+
+@dataclass(frozen=True)
+class PagingEvent:
+    """The network paged the terminal and found it in ``cell``."""
+
+    slot: int
+    cell: Cell
+    cells_polled: int
+    cycles: int
+
+
+class EventLog:
+    """Append-only container for simulation events."""
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        """``capacity`` bounds memory; the oldest events are NOT evicted --
+        recording simply stops (with a flag) so tests notice truncation."""
+        self.capacity = capacity
+        self.truncated = False
+        self._events: List[object] = []
+
+    def append(self, event: object) -> None:
+        if self.capacity is not None and len(self._events) >= self.capacity:
+            self.truncated = True
+            return
+        self._events.append(event)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+    def __getitem__(self, index):
+        return self._events[index]
+
+    def of_type(self, kind) -> List[object]:
+        """All recorded events of class ``kind``, in order."""
+        return [e for e in self._events if isinstance(e, kind)]

@@ -1,0 +1,175 @@
+"""Cost accounting and statistics for simulations.
+
+The analytical model predicts *per-slot averages* (``C_u``, ``C_v``,
+``C_T``); the simulator measures the same quantities empirically.  A
+:class:`CostMeter` accumulates everything needed to compare the two:
+
+* event counts (slots, moves, updates, calls, polled cells);
+* cost sums, split into update and paging components;
+* a running sum of squares of per-slot total cost, for a normal-
+  approximation confidence interval on the mean (per-slot costs are
+  i.i.d. bounded, so the CLT applies comfortably at the slot counts
+  used here);
+* a paging-delay histogram (polling cycles per call).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from ..exceptions import ParameterError, SimulationError
+
+__all__ = ["CostMeter", "MeterSnapshot"]
+
+#: Two-sided z-scores for the confidence levels we support.
+_Z_SCORES = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+
+
+@dataclass(frozen=True)
+class MeterSnapshot:
+    """Immutable summary of a finished measurement."""
+
+    slots: int
+    moves: int
+    updates: int
+    calls: int
+    polled_cells: int
+    update_cost: float
+    paging_cost: float
+    mean_total_cost: float
+    total_cost_half_width_95: float
+    mean_paging_delay: float
+    delay_histogram: Dict[int, int]
+
+    @property
+    def total_cost(self) -> float:
+        return self.update_cost + self.paging_cost
+
+    @property
+    def mean_update_cost(self) -> float:
+        """Empirical ``C_u`` (per slot)."""
+        return self.update_cost / self.slots if self.slots else 0.0
+
+    @property
+    def mean_paging_cost(self) -> float:
+        """Empirical ``C_v`` (per slot)."""
+        return self.paging_cost / self.slots if self.slots else 0.0
+
+
+class CostMeter:
+    """Accumulates per-slot costs and event counts during a simulation."""
+
+    def __init__(self, update_cost: float, poll_cost: float) -> None:
+        if update_cost < 0 or poll_cost < 0:
+            raise ParameterError(
+                f"costs must be >= 0, got U={update_cost}, V={poll_cost}"
+            )
+        self.unit_update_cost = update_cost
+        self.unit_poll_cost = poll_cost
+        self.slots = 0
+        self.moves = 0
+        self.updates = 0
+        self.calls = 0
+        self.polled_cells = 0
+        self._cost_sum = 0.0
+        self._cost_sq_sum = 0.0
+        self._slot_cost = 0.0
+        self._slot_open = False
+        self.delay_histogram: Counter = Counter()
+
+    # -- per-slot protocol ---------------------------------------------
+
+    def begin_slot(self) -> None:
+        """Open a slot; every charge until :meth:`end_slot` belongs to it."""
+        if self._slot_open:
+            raise SimulationError("begin_slot called with a slot already open")
+        self._slot_open = True
+        self._slot_cost = 0.0
+
+    def end_slot(self) -> None:
+        """Close the slot and fold its cost into the running statistics."""
+        if not self._slot_open:
+            raise SimulationError("end_slot called without an open slot")
+        self._slot_open = False
+        self.slots += 1
+        self._cost_sum += self._slot_cost
+        self._cost_sq_sum += self._slot_cost * self._slot_cost
+
+    # -- charges -----------------------------------------------------------
+
+    def charge_update(self) -> None:
+        """Record one location update (cost ``U``)."""
+        self._require_open()
+        self.updates += 1
+        self._slot_cost += self.unit_update_cost
+
+    def charge_paging(self, cells_polled: int, cycles: int) -> None:
+        """Record one paging operation: ``cells_polled`` at cost ``V`` each."""
+        self._require_open()
+        if cells_polled < 1 or cycles < 1:
+            raise SimulationError(
+                f"paging must poll >= 1 cell in >= 1 cycle, got "
+                f"{cells_polled} cells / {cycles} cycles"
+            )
+        self.calls += 1
+        self.polled_cells += cells_polled
+        self.delay_histogram[cycles] += 1
+        self._slot_cost += self.unit_poll_cost * cells_polled
+
+    def note_move(self) -> None:
+        """Record a cell crossing (no direct cost)."""
+        self._require_open()
+        self.moves += 1
+
+    def _require_open(self) -> None:
+        if not self._slot_open:
+            raise SimulationError("charge outside of a slot; call begin_slot first")
+
+    # -- results ----------------------------------------------------------
+
+    @property
+    def mean_total_cost(self) -> float:
+        """Empirical per-slot total cost (``C_T`` estimate)."""
+        return self._cost_sum / self.slots if self.slots else 0.0
+
+    def confidence_interval(self, level: float = 0.95) -> Tuple[float, float]:
+        """Normal-approximation CI for the per-slot mean total cost."""
+        if level not in _Z_SCORES:
+            raise ParameterError(
+                f"supported levels: {sorted(_Z_SCORES)}, got {level}"
+            )
+        if self.slots < 2:
+            return (self.mean_total_cost, math.inf)
+        mean = self.mean_total_cost
+        var = max(self._cost_sq_sum / self.slots - mean * mean, 0.0)
+        half = _Z_SCORES[level] * math.sqrt(var / self.slots)
+        return (mean, half)
+
+    @property
+    def mean_paging_delay(self) -> float:
+        """Average polling cycles per call (0 if no calls arrived)."""
+        if self.calls == 0:
+            return 0.0
+        return sum(k * v for k, v in self.delay_histogram.items()) / self.calls
+
+    def snapshot(self) -> MeterSnapshot:
+        """Freeze the current statistics into a :class:`MeterSnapshot`."""
+        mean, half = self.confidence_interval(0.95) if self.slots >= 2 else (self.mean_total_cost, math.inf)
+        update_cost = self.updates * self.unit_update_cost
+        paging_cost = self.polled_cells * self.unit_poll_cost
+        return MeterSnapshot(
+            slots=self.slots,
+            moves=self.moves,
+            updates=self.updates,
+            calls=self.calls,
+            polled_cells=self.polled_cells,
+            update_cost=update_cost,
+            paging_cost=paging_cost,
+            mean_total_cost=mean,
+            total_cost_half_width_95=half,
+            mean_paging_delay=self.mean_paging_delay,
+            delay_histogram=dict(self.delay_histogram),
+        )

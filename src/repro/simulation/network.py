@@ -1,0 +1,224 @@
+"""A multi-terminal PCN model: base stations, location register, terminals.
+
+The per-terminal :class:`~repro.simulation.engine.SimulationEngine` is
+the measurement workhorse; this module adds the network-level view the
+paper's introduction describes -- cells served by base stations acting
+as network access points (NAPs), a location database updated by the
+reporting process, and a population of independent terminals -- so
+examples can study aggregate effects (signaling load distribution
+across cells, register churn) that no single-terminal model exposes.
+
+Base stations are materialized lazily: the geometries are infinite, so
+a :class:`BaseStation` object is created the first time its cell is
+touched (served, polled, or updated from).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.parameters import CostParams, MobilityParams
+from ..exceptions import ParameterError, SimulationError
+from ..geometry.topology import Cell, CellTopology
+from ..strategies.base import UpdateStrategy
+from .engine import SimulationEngine
+from .metrics import MeterSnapshot
+
+__all__ = ["BaseStation", "LocationRegister", "MobileTerminal", "PCNetwork"]
+
+
+@dataclass
+class BaseStation:
+    """Per-cell access point with signaling counters."""
+
+    cell: Cell
+    polls_received: int = 0
+    updates_received: int = 0
+
+    @property
+    def signaling_load(self) -> int:
+        """Total wireless signaling transactions at this station."""
+        return self.polls_received + self.updates_received
+
+
+class LocationRegister:
+    """The network-side location database (HLR role).
+
+    Stores, per terminal, the cell of its last location report or page
+    response, plus bookkeeping counters.  In the paper's architecture
+    this is the database the wireline network consults "in a timely
+    fashion" on call arrival.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, Cell] = {}
+        self.writes = 0
+        self.reads = 0
+
+    def update(self, terminal_id: int, cell: Cell) -> None:
+        """Record a fresh location fix for ``terminal_id``."""
+        self._entries[terminal_id] = cell
+        self.writes += 1
+
+    def lookup(self, terminal_id: int) -> Cell:
+        """Return the last recorded cell of ``terminal_id``."""
+        self.reads += 1
+        try:
+            return self._entries[terminal_id]
+        except KeyError:
+            raise SimulationError(
+                f"terminal {terminal_id} has no register entry"
+            ) from None
+
+    def __contains__(self, terminal_id: int) -> bool:
+        return terminal_id in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+@dataclass
+class MobileTerminal:
+    """One subscriber: an engine plus identity."""
+
+    terminal_id: int
+    engine: SimulationEngine
+
+    @property
+    def position(self) -> Cell:
+        return self.engine.walk.position
+
+    @property
+    def strategy(self) -> UpdateStrategy:
+        return self.engine.strategy
+
+
+class PCNetwork:
+    """A population of terminals sharing one geometry and one register.
+
+    Parameters
+    ----------
+    topology:
+        The shared cell geometry.
+    costs:
+        ``(U, V)`` applied to every terminal's meter.
+    seed:
+        Master seed; each terminal gets an independent child seed.
+    """
+
+    def __init__(
+        self,
+        topology: CellTopology,
+        costs: CostParams,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.topology = topology
+        self.costs = costs
+        self.register = LocationRegister()
+        self.stations: Dict[Cell, BaseStation] = {}
+        self.terminals: List[MobileTerminal] = []
+        self._seed_seq = np.random.SeedSequence(seed)
+        self.slot = 0
+
+    # -- population -----------------------------------------------------
+
+    def add_terminal(
+        self,
+        strategy: UpdateStrategy,
+        mobility: MobilityParams,
+        start: Optional[Cell] = None,
+        event_mode: str = "exclusive",
+    ) -> MobileTerminal:
+        """Create, register, and return a new terminal."""
+        child = self._seed_seq.spawn(1)[0]
+        engine = SimulationEngine(
+            topology=self.topology,
+            strategy=strategy,
+            mobility=mobility,
+            costs=self.costs,
+            seed=child,
+            start=start,
+            event_mode=event_mode,
+        )
+        terminal = MobileTerminal(terminal_id=len(self.terminals), engine=engine)
+        self.terminals.append(terminal)
+        self.register.update(terminal.terminal_id, terminal.position)
+        self._station(terminal.position)  # materialize the serving NAP
+        self._instrument(terminal)
+        return terminal
+
+    def _station(self, cell: Cell) -> BaseStation:
+        station = self.stations.get(cell)
+        if station is None:
+            station = BaseStation(cell=cell)
+            self.stations[cell] = station
+        return station
+
+    def _instrument(self, terminal: MobileTerminal) -> None:
+        """Wrap the engine's meter charges to feed network-level counters.
+
+        The engine stays single-terminal and unaware of the network;
+        we interpose on its meter to mirror signaling into base-station
+        counters and the location register.
+        """
+        engine = terminal.engine
+        meter = engine.meter
+        original_update = meter.charge_update
+        original_paging = meter.charge_paging
+        network = self
+
+        def charge_update() -> None:
+            original_update()
+            cell = engine.walk.position
+            network._station(cell).updates_received += 1
+            network.register.update(terminal.terminal_id, cell)
+
+        def charge_paging(cells_polled: int, cycles: int) -> None:
+            original_paging(cells_polled, cycles)
+            cell = engine.walk.position
+            # Attribute the successful poll to the terminal's cell; the
+            # unanswered polls are spread over the paged area, which we
+            # count at the area's stations lazily only when small.
+            network._station(cell).polls_received += 1
+            network.register.update(terminal.terminal_id, cell)
+
+        meter.charge_update = charge_update  # type: ignore[method-assign]
+        meter.charge_paging = charge_paging  # type: ignore[method-assign]
+
+    # -- execution ---------------------------------------------------------
+
+    def step(self) -> None:
+        """Advance every terminal by one slot."""
+        for terminal in self.terminals:
+            terminal.engine.step()
+        self.slot += 1
+
+    def run(self, slots: int) -> None:
+        """Advance the whole network ``slots`` slots."""
+        if slots < 0:
+            raise ParameterError(f"slots must be >= 0, got {slots}")
+        for _ in range(slots):
+            self.step()
+
+    # -- reporting ----------------------------------------------------------
+
+    def snapshots(self) -> List[MeterSnapshot]:
+        """Per-terminal metric snapshots, in terminal-id order."""
+        return [t.engine.meter.snapshot() for t in self.terminals]
+
+    def aggregate_mean_cost(self) -> float:
+        """Population mean of per-slot total cost across terminals."""
+        snaps = self.snapshots()
+        if not snaps:
+            return 0.0
+        return float(np.mean([s.mean_total_cost for s in snaps]))
+
+    def busiest_stations(self, count: int = 5) -> List[Tuple[Cell, int]]:
+        """The ``count`` stations with the highest signaling load."""
+        ranked = sorted(
+            self.stations.values(), key=lambda s: (-s.signaling_load, str(s.cell))
+        )
+        return [(s.cell, s.signaling_load) for s in ranked[:count]]

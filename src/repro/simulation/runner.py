@@ -1,0 +1,247 @@
+"""Replicated simulation runs with analytic comparison.
+
+One simulation run is a sample; conclusions need replications.  The
+runner executes ``replications`` independent engines (child-seeded from
+one master seed), pools their per-slot statistics, and -- when asked --
+compares the empirical means against the analytical model's
+predictions, returning structured results the validation bench and
+tests assert on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..core.costs import CostEvaluator
+from ..core.models import MobilityModel
+from ..core.parameters import CostParams, MobilityParams
+from ..exceptions import ParameterError
+from ..geometry.topology import Cell, CellTopology
+from ..strategies.base import UpdateStrategy
+from .engine import SimulationEngine
+from .metrics import MeterSnapshot
+
+__all__ = ["ReplicatedResult", "ModelComparison", "run_replicated", "validate_against_model"]
+
+#: Factory producing a fresh strategy per replication (strategies are
+#: stateful and cannot be shared across engines).
+StrategyFactory = Callable[[], UpdateStrategy]
+
+
+@dataclass(frozen=True)
+class ReplicatedResult:
+    """Pooled outcome of several independent simulation runs."""
+
+    snapshots: List[MeterSnapshot]
+
+    @property
+    def replications(self) -> int:
+        return len(self.snapshots)
+
+    @property
+    def mean_total_cost(self) -> float:
+        """Grand mean of per-slot total cost across replications."""
+        return float(np.mean([s.mean_total_cost for s in self.snapshots]))
+
+    @property
+    def mean_update_cost(self) -> float:
+        return float(np.mean([s.mean_update_cost for s in self.snapshots]))
+
+    @property
+    def mean_paging_cost(self) -> float:
+        return float(np.mean([s.mean_paging_cost for s in self.snapshots]))
+
+    @property
+    def mean_paging_delay(self) -> float:
+        with_calls = [s for s in self.snapshots if s.calls > 0]
+        if not with_calls:
+            return 0.0
+        return float(np.mean([s.mean_paging_delay for s in with_calls]))
+
+    def total_cost_ci(self, z: float = 1.96) -> float:
+        """Half-width of the CI for the grand mean (over replications).
+
+        Uses the between-replication standard error -- the standard
+        batch-means approach, robust to any within-run correlation.
+        """
+        if self.replications < 2:
+            return math.inf
+        values = [s.mean_total_cost for s in self.snapshots]
+        return z * float(np.std(values, ddof=1)) / math.sqrt(self.replications)
+
+
+def run_replicated(
+    topology: CellTopology,
+    strategy_factory: StrategyFactory,
+    mobility: MobilityParams,
+    costs: CostParams,
+    slots: int,
+    replications: int = 5,
+    seed: int = 0,
+    start: Optional[Cell] = None,
+    event_mode: str = "exclusive",
+    warmup_slots: int = 0,
+) -> ReplicatedResult:
+    """Run ``replications`` independent engines and pool their snapshots.
+
+    ``warmup_slots`` slots are simulated *before* metering begins in
+    each replication, eliminating the fresh-fix transient (the terminal
+    starts at ring 0, where costs are below steady state; see
+    :mod:`repro.core.transient` for how long the transient lasts).
+    Warm-up costs are discarded by swapping in a fresh meter.
+    """
+    if replications < 1:
+        raise ParameterError(f"replications must be >= 1, got {replications}")
+    if warmup_slots < 0:
+        raise ParameterError(f"warmup_slots must be >= 0, got {warmup_slots}")
+    master = np.random.SeedSequence(seed)
+    snapshots: List[MeterSnapshot] = []
+    for child in master.spawn(replications):
+        engine = SimulationEngine(
+            topology=topology,
+            strategy=strategy_factory(),
+            mobility=mobility,
+            costs=costs,
+            seed=child,
+            start=start,
+            event_mode=event_mode,
+        )
+        if warmup_slots:
+            engine.run(warmup_slots)
+            from .metrics import CostMeter  # local: avoid cycle at import
+
+            engine.meter = CostMeter(costs.update_cost, costs.poll_cost)
+        snapshots.append(engine.run(slots))
+    return ReplicatedResult(snapshots=snapshots)
+
+
+def run_until_precision(
+    topology: CellTopology,
+    strategy_factory: StrategyFactory,
+    mobility: MobilityParams,
+    costs: CostParams,
+    target_half_width: float,
+    batch_slots: int = 20_000,
+    replications: int = 5,
+    max_slots_per_replication: int = 2_000_000,
+    seed: int = 0,
+    start: Optional[Cell] = None,
+    event_mode: str = "exclusive",
+    warmup_slots: int = 0,
+) -> ReplicatedResult:
+    """Extend replications in batches until the CI is tight enough.
+
+    Runs ``replications`` persistent engines and keeps adding
+    ``batch_slots`` to each until the between-replication 95% CI
+    half-width of the mean total cost drops to ``target_half_width``
+    (or the per-replication budget runs out -- the result is returned
+    either way; check :meth:`ReplicatedResult.total_cost_ci`).
+    """
+    if target_half_width <= 0:
+        raise ParameterError(
+            f"target_half_width must be > 0, got {target_half_width}"
+        )
+    if batch_slots < 1:
+        raise ParameterError(f"batch_slots must be >= 1, got {batch_slots}")
+    if replications < 2:
+        raise ParameterError(
+            f"need >= 2 replications for a CI, got {replications}"
+        )
+    master = np.random.SeedSequence(seed)
+    engines: List[SimulationEngine] = []
+    for child in master.spawn(replications):
+        engine = SimulationEngine(
+            topology=topology,
+            strategy=strategy_factory(),
+            mobility=mobility,
+            costs=costs,
+            seed=child,
+            start=start,
+            event_mode=event_mode,
+        )
+        if warmup_slots:
+            engine.run(warmup_slots)
+            from .metrics import CostMeter
+
+            engine.meter = CostMeter(costs.update_cost, costs.poll_cost)
+        engines.append(engine)
+    while True:
+        for engine in engines:
+            engine.run(batch_slots)
+        result = ReplicatedResult(
+            snapshots=[engine.meter.snapshot() for engine in engines]
+        )
+        if result.total_cost_ci() <= target_half_width:
+            return result
+        if engines[0].meter.slots >= max_slots_per_replication:
+            return result
+
+
+@dataclass(frozen=True)
+class ModelComparison:
+    """Analytic prediction vs simulation measurement for one point."""
+
+    predicted_total: float
+    measured_total: float
+    ci_half_width: float
+    predicted_update: float
+    measured_update: float
+    predicted_paging: float
+    measured_paging: float
+
+    @property
+    def relative_error(self) -> float:
+        """|measured - predicted| / predicted (inf if predicted is 0)."""
+        if self.predicted_total == 0:
+            return math.inf if self.measured_total else 0.0
+        return abs(self.measured_total - self.predicted_total) / self.predicted_total
+
+    @property
+    def within_ci(self) -> bool:
+        """True if the prediction falls inside the measurement's CI."""
+        return abs(self.measured_total - self.predicted_total) <= self.ci_half_width
+
+
+def validate_against_model(
+    model: MobilityModel,
+    costs: CostParams,
+    d: int,
+    m,
+    slots: int = 200_000,
+    replications: int = 5,
+    seed: int = 0,
+    convention: str = "physical",
+) -> ModelComparison:
+    """Compare analytic ``C_u/C_v/C_T`` with a simulation at ``(d, m)``.
+
+    Uses the *physical* boundary convention by default: the simulator
+    charges an update whenever the terminal actually leaves the
+    residing area, so at ``d = 0`` the empirical update rate is ``q``,
+    not the paper's tabulation quirk.
+    """
+    from ..strategies.distance import DistanceStrategy  # local: avoid cycle
+
+    evaluator = CostEvaluator(model, costs, convention=convention)
+    breakdown = evaluator.breakdown(d, m)
+    result = run_replicated(
+        topology=model.topology,
+        strategy_factory=lambda: DistanceStrategy(d, max_delay=m),
+        mobility=model.mobility,
+        costs=costs,
+        slots=slots,
+        replications=replications,
+        seed=seed,
+    )
+    return ModelComparison(
+        predicted_total=breakdown.total_cost,
+        measured_total=result.mean_total_cost,
+        ci_half_width=result.total_cost_ci(),
+        predicted_update=breakdown.update_cost,
+        measured_update=result.mean_update_cost,
+        predicted_paging=breakdown.paging_cost,
+        measured_paging=result.mean_paging_cost,
+    )

@@ -1,0 +1,41 @@
+"""Location-update strategies: the paper's scheme and its baselines.
+
+* :class:`DistanceStrategy` -- the paper's distance-based scheme with
+  delay-constrained SDF paging (Section 2.2);
+* :class:`MovementStrategy` / :class:`TimerStrategy` -- the
+  movement-based and time-based baselines of reference [3];
+* :class:`LocationAreaStrategy` -- the static LA scheme of
+  reference [8];
+* :class:`DynamicStrategy` -- per-user online threshold adaptation in
+  the spirit of reference [1].
+
+All implement :class:`UpdateStrategy` and are registered by name for
+the CLI and benches.
+"""
+
+from .base import UpdateStrategy, create_strategy, register_strategy, strategy_names
+from .distance import DistanceStrategy
+from .dynamic import DynamicStrategy
+from .location_area import (
+    LocationAreaStrategy,
+    hex_la_center,
+    line_la_index,
+    square_la_center,
+)
+from .movement import MovementStrategy
+from .timer import TimerStrategy
+
+__all__ = [
+    "DistanceStrategy",
+    "DynamicStrategy",
+    "LocationAreaStrategy",
+    "MovementStrategy",
+    "TimerStrategy",
+    "UpdateStrategy",
+    "create_strategy",
+    "hex_la_center",
+    "line_la_index",
+    "register_strategy",
+    "square_la_center",
+    "strategy_names",
+]

@@ -1,0 +1,143 @@
+"""Location-update strategy interface.
+
+A strategy encapsulates both halves of a location-management policy:
+
+* **when the terminal reports its location** (the update rule), and
+* **which cells the network polls, in what order, when a call arrives**
+  (the paging rule) -- the two are inseparable, because the paging area
+  is exactly the location uncertainty the update rule permits.
+
+The simulation engine drives a strategy through a small event
+interface; strategies are stateful and single-terminal (create one per
+simulated terminal).
+
+Lifecycle
+---------
+
+1. :meth:`attach` -- bind to a topology and initial cell (the network
+   is assumed to know the terminal's position at time zero).
+2. Per slot, the engine calls :meth:`on_slot` first (timer-driven
+   updates fire here, even for a stationary terminal), then -- if the
+   slot contains a movement -- :meth:`on_move`.
+3. A ``True`` return from either means "the terminal transmits a
+   location update now"; the engine charges ``U`` and then calls
+   :meth:`on_location_known`.
+4. On a call arrival the engine walks :meth:`polling_groups`, charging
+   ``V`` per polled cell until the group containing the terminal is
+   reached, then calls :meth:`on_location_known`.
+
+The registry maps strategy names to factories so benches and the CLI
+can construct strategies from strings.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, Iterator, List, Optional
+
+from ..exceptions import ParameterError, SimulationError
+from ..geometry.topology import Cell, CellTopology
+
+__all__ = ["UpdateStrategy", "register_strategy", "create_strategy", "strategy_names"]
+
+
+class UpdateStrategy(abc.ABC):
+    """Base class for location update/paging policies."""
+
+    #: Short machine-readable name; subclasses override.
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self._topology: Optional[CellTopology] = None
+        self._last_known: Optional[Cell] = None
+
+    # -- engine-facing lifecycle -------------------------------------
+
+    def attach(self, topology: CellTopology, start: Cell) -> None:
+        """Bind to a geometry and establish the initial known location."""
+        topology.validate_cell(start)
+        self._topology = topology
+        self._last_known = start
+        self._reset_state(start)
+
+    @property
+    def topology(self) -> CellTopology:
+        """The bound geometry (raises if :meth:`attach` was not called)."""
+        if self._topology is None:
+            raise SimulationError(f"strategy {self.name!r} is not attached")
+        return self._topology
+
+    @property
+    def last_known(self) -> Cell:
+        """Cell where the network last learned the terminal's position."""
+        if self._last_known is None:
+            raise SimulationError(f"strategy {self.name!r} is not attached")
+        return self._last_known
+
+    def on_slot(self, position: Cell, slot: int) -> bool:
+        """Called once per slot before any movement; True = update now.
+
+        Default: no timer-driven updates.
+        """
+        return False
+
+    @abc.abstractmethod
+    def on_move(self, position: Cell) -> bool:
+        """Called after the terminal moves to ``position``; True = update."""
+
+    def on_location_known(self, position: Cell) -> None:
+        """The network learned the exact position (update or page hit)."""
+        self._last_known = position
+        self._reset_state(position)
+
+    @abc.abstractmethod
+    def polling_groups(self) -> Iterator[List[Cell]]:
+        """Yield the cell groups the network polls, one per cycle.
+
+        The union of all groups must contain every cell the terminal
+        could currently occupy; the engine raises
+        :class:`~repro.exceptions.SimulationError` if paging exhausts
+        the groups without finding the terminal, which indicates a
+        strategy bug.
+        """
+
+    # -- subclass hooks ------------------------------------------------
+
+    @abc.abstractmethod
+    def _reset_state(self, position: Cell) -> None:
+        """Clear uncertainty state after the network pinpoints the terminal."""
+
+    # -- reporting -------------------------------------------------------
+
+    def worst_case_delay(self) -> Optional[int]:
+        """Worst-case paging delay in cycles, if the policy bounds it."""
+        return None
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+_REGISTRY: Dict[str, Callable[..., UpdateStrategy]] = {}
+
+
+def register_strategy(name: str, factory: Callable[..., UpdateStrategy]) -> None:
+    """Register a strategy factory under ``name`` (used by CLI/benches)."""
+    if name in _REGISTRY:
+        raise ParameterError(f"strategy {name!r} already registered")
+    _REGISTRY[name] = factory
+
+
+def create_strategy(name: str, **kwargs) -> UpdateStrategy:
+    """Instantiate a registered strategy by name."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ParameterError(
+            f"unknown strategy {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def strategy_names() -> List[str]:
+    """Names of all registered strategies, sorted."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,80 @@
+"""The paper's distance-based update strategy (Section 2.2).
+
+The terminal tracks its ring distance from the *center cell* (where it
+last reported).  When a movement takes the distance beyond the
+threshold ``d`` it transmits an update, making the new cell the center.
+The residing-area invariant -- the terminal is always within distance
+``d`` of the center -- lets the network page only ``g(d)`` cells,
+partitioned into at most ``m`` shortest-distance-first subareas.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, List, Optional
+
+from ..core.parameters import validate_delay, validate_threshold
+from ..geometry.topology import Cell
+from ..paging import PagingPlan, sdf_partition
+from .base import UpdateStrategy, register_strategy
+
+__all__ = ["DistanceStrategy"]
+
+
+class DistanceStrategy(UpdateStrategy):
+    """Distance-based update with delay-constrained SDF paging.
+
+    Parameters
+    ----------
+    threshold:
+        The update threshold distance ``d`` in rings.
+    max_delay:
+        Paging delay bound ``m`` (cycles); ``math.inf`` polls one ring
+        per cycle.
+    plan:
+        Optional explicit :class:`~repro.paging.PagingPlan` overriding
+        the SDF default -- used by the optimal-partition ablation.
+    """
+
+    name = "distance"
+
+    def __init__(self, threshold: int, max_delay=1, plan: Optional[PagingPlan] = None) -> None:
+        super().__init__()
+        self.threshold = validate_threshold(threshold)
+        self.max_delay = validate_delay(max_delay)
+        if plan is not None and plan.threshold != self.threshold:
+            raise ValueError(
+                f"plan is for threshold {plan.threshold}, strategy uses {self.threshold}"
+            )
+        self.plan = plan if plan is not None else sdf_partition(self.threshold, max_delay)
+
+    def _reset_state(self, position: Cell) -> None:
+        # The center cell *is* the last known location; no extra state.
+        pass
+
+    @property
+    def center(self) -> Cell:
+        """The terminal's current center cell."""
+        return self.last_known
+
+    def on_move(self, position: Cell) -> bool:
+        return self.topology.distance(self.center, position) > self.threshold
+
+    def polling_groups(self) -> Iterator[List[Cell]]:
+        center = self.center
+        topo = self.topology
+        for group in self.plan.subareas:
+            cells: List[Cell] = []
+            for ring in group:
+                cells.extend(topo.ring(center, ring))
+            yield cells
+
+    def worst_case_delay(self) -> int:
+        return self.plan.delay_bound
+
+    def __repr__(self) -> str:
+        delay = "inf" if self.max_delay == math.inf else self.max_delay
+        return f"DistanceStrategy(threshold={self.threshold}, max_delay={delay})"
+
+
+register_strategy("distance", DistanceStrategy)

@@ -1,0 +1,95 @@
+"""Movement-based update strategy (Bar-Noy, Kessler & Sidi, ref [3]).
+
+The terminal counts cell crossings since the last time the network
+learned its position, and updates when the count reaches ``M``.  The
+location uncertainty after ``k`` movements is the radius-``k`` disk
+around the last known cell (a walk of ``k`` steps cannot travel more
+than ``k`` rings), so the paging area grows with the movement count --
+wasteful when the walk oscillates, which is exactly the weakness the
+distance-based scheme fixes and the strategy bench quantifies.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, List
+
+from ..core.parameters import validate_delay
+from ..exceptions import ParameterError
+from ..geometry.topology import Cell
+from ..paging import sdf_partition
+from .base import UpdateStrategy, register_strategy
+
+__all__ = ["MovementStrategy"]
+
+
+class MovementStrategy(UpdateStrategy):
+    """Update after every ``movement_threshold`` cell crossings.
+
+    Parameters
+    ----------
+    movement_threshold:
+        ``M >= 1``; the update fires on the ``M``-th movement.
+    max_delay:
+        Paging delay bound for the SDF partition of the uncertainty
+        disk at call time.
+    """
+
+    name = "movement"
+
+    def __init__(self, movement_threshold: int, max_delay=1) -> None:
+        super().__init__()
+        if isinstance(movement_threshold, bool) or not isinstance(movement_threshold, int):
+            raise ParameterError(
+                f"movement_threshold must be an int, got {movement_threshold!r}"
+            )
+        if movement_threshold < 1:
+            raise ParameterError(
+                f"movement_threshold must be >= 1, got {movement_threshold}"
+            )
+        self.movement_threshold = movement_threshold
+        self.max_delay = validate_delay(max_delay)
+        self._moves_since_known = 0
+
+    def _reset_state(self, position: Cell) -> None:
+        self._moves_since_known = 0
+
+    @property
+    def moves_since_known(self) -> int:
+        """Cell crossings since the network last pinpointed the terminal."""
+        return self._moves_since_known
+
+    def on_move(self, position: Cell) -> bool:
+        self._moves_since_known += 1
+        return self._moves_since_known >= self.movement_threshold
+
+    def uncertainty_radius(self) -> int:
+        """Maximum ring distance the terminal can be from the known cell."""
+        # The counter never exceeds M - 1 at call time: reaching M
+        # triggers an update which resets it.
+        return self._moves_since_known
+
+    def polling_groups(self) -> Iterator[List[Cell]]:
+        radius = self.uncertainty_radius()
+        plan = sdf_partition(radius, self.max_delay)
+        topo = self.topology
+        center = self.last_known
+        for group in plan.subareas:
+            cells: List[Cell] = []
+            for ring in group:
+                cells.extend(topo.ring(center, ring))
+            yield cells
+
+    def worst_case_delay(self) -> int:
+        if self.max_delay == math.inf:
+            return self.movement_threshold  # one ring per cycle, radius <= M - 1
+        return int(self.max_delay)
+
+    def __repr__(self) -> str:
+        return (
+            f"MovementStrategy(movement_threshold={self.movement_threshold}, "
+            f"max_delay={self.max_delay})"
+        )
+
+
+register_strategy("movement", MovementStrategy)

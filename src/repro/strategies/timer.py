@@ -1,0 +1,98 @@
+"""Time-based update strategy (Bar-Noy, Kessler & Sidi, ref [3]).
+
+The terminal transmits an update every ``T`` slots, regardless of
+movement -- the simplest possible rule, implementable with nothing but
+a clock.  Its weakness is twofold: stationary terminals pay for
+useless updates, and the paging area must cover every cell reachable
+in the elapsed time (the radius-``elapsed`` disk), which balloons for
+large ``T``.  Included as the second baseline of the strategy bench.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, List
+
+from ..core.parameters import validate_delay
+from ..exceptions import ParameterError
+from ..geometry.topology import Cell
+from ..paging import sdf_partition
+from .base import UpdateStrategy, register_strategy
+
+__all__ = ["TimerStrategy"]
+
+
+class TimerStrategy(UpdateStrategy):
+    """Update every ``period`` slots.
+
+    Parameters
+    ----------
+    period:
+        ``T >= 1`` slots between updates.
+    max_delay:
+        Paging delay bound for the SDF partition of the uncertainty
+        disk at call time.
+    """
+
+    name = "timer"
+
+    def __init__(self, period: int, max_delay=1) -> None:
+        super().__init__()
+        if isinstance(period, bool) or not isinstance(period, int):
+            raise ParameterError(f"period must be an int, got {period!r}")
+        if period < 1:
+            raise ParameterError(f"period must be >= 1, got {period}")
+        self.period = period
+        self.max_delay = validate_delay(max_delay)
+        self._slots_since_known = 0
+        self._moves_since_known = 0
+
+    def _reset_state(self, position: Cell) -> None:
+        self._slots_since_known = 0
+        self._moves_since_known = 0
+
+    @property
+    def slots_since_known(self) -> int:
+        """Slots since the network last pinpointed the terminal."""
+        return self._slots_since_known
+
+    def on_slot(self, position: Cell, slot: int) -> bool:
+        self._slots_since_known += 1
+        return self._slots_since_known >= self.period
+
+    def on_move(self, position: Cell) -> bool:
+        # Movements never directly trigger an update; they only widen
+        # the uncertainty the timer scheme must page over.
+        self._moves_since_known += 1
+        return False
+
+    def uncertainty_radius(self) -> int:
+        """Maximum ring distance from the last known cell.
+
+        The terminal itself knows its movement count, but the *network*
+        only knows elapsed time, so the paging area is bounded by the
+        slot count (one cell crossing per slot at most).
+        """
+        return self._slots_since_known
+
+    def polling_groups(self) -> Iterator[List[Cell]]:
+        radius = self.uncertainty_radius()
+        plan = sdf_partition(radius, self.max_delay)
+        topo = self.topology
+        center = self.last_known
+        for group in plan.subareas:
+            cells: List[Cell] = []
+            for ring in group:
+                cells.extend(topo.ring(center, ring))
+            yield cells
+
+    def worst_case_delay(self) -> int:
+        if self.max_delay == math.inf:
+            return self.period + 1
+        return int(self.max_delay)
+
+    def __repr__(self) -> str:
+        return f"TimerStrategy(period={self.period}, max_delay={self.max_delay})"
+
+
+register_strategy("timer", TimerStrategy)

@@ -1,0 +1,29 @@
+"""Operator-side workloads: subscriber populations and fleet planning.
+
+Builds the population layer the paper's closing discussion implies:
+user archetypes, synthetic subscriber sampling, and the per-user-vs-
+shared-threshold planning analysis that prices the paper's headline
+capability (per-terminal tuning) at fleet scale.
+"""
+
+from .planning import FleetPlan, UserPlan, plan_fleet
+from .profiles import (
+    DEFAULT_MIX,
+    PEDESTRIAN,
+    Population,
+    STATIC,
+    UserProfile,
+    VEHICLE,
+)
+
+__all__ = [
+    "DEFAULT_MIX",
+    "FleetPlan",
+    "PEDESTRIAN",
+    "Population",
+    "STATIC",
+    "UserPlan",
+    "UserProfile",
+    "VEHICLE",
+    "plan_fleet",
+]

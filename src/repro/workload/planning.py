@@ -1,0 +1,154 @@
+"""Fleet-level policy planning over a subscriber population.
+
+Quantifies the paper's closing remark at operator scale: how much
+signaling does *per-user* threshold tuning save compared to one
+population-average threshold?  For every sampled subscriber the
+analysis computes
+
+* the cost under their personally optimal threshold (the paper's
+  dynamic/per-user reading), and
+* the cost under the single threshold that is optimal for the
+  population-average ``(q, c)`` (the static reading),
+
+then aggregates into fleet totals, per-profile means, and the
+distribution of per-user regret.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Type
+
+import numpy as np
+
+from ..core.costs import CostEvaluator
+from ..core.models import MobilityModel, TwoDimensionalModel
+from ..core.parameters import CostParams, MobilityParams
+from ..core.threshold import find_optimal_threshold
+from ..exceptions import ParameterError
+from .profiles import Population, UserProfile
+
+__all__ = ["UserPlan", "FleetPlan", "plan_fleet"]
+
+
+@dataclass(frozen=True)
+class UserPlan:
+    """One subscriber's costs under both policy regimes."""
+
+    profile_name: str
+    mobility: MobilityParams
+    personal_threshold: int
+    personal_cost: float
+    shared_threshold: int
+    shared_cost: float
+
+    @property
+    def regret(self) -> float:
+        """Extra cost per slot the shared policy imposes on this user."""
+        return self.shared_cost - self.personal_cost
+
+    @property
+    def relative_regret(self) -> float:
+        """Regret as a fraction of the user's personal optimum."""
+        if self.personal_cost == 0:
+            return 0.0 if self.shared_cost == 0 else math.inf
+        return self.regret / self.personal_cost
+
+
+@dataclass(frozen=True)
+class FleetPlan:
+    """Aggregated planning results for a sampled population."""
+
+    users: List[UserPlan]
+    shared_threshold: int
+    max_delay: float
+
+    @property
+    def size(self) -> int:
+        return len(self.users)
+
+    @property
+    def personal_fleet_cost(self) -> float:
+        """Mean per-slot cost per user under per-user tuning."""
+        return float(np.mean([u.personal_cost for u in self.users]))
+
+    @property
+    def shared_fleet_cost(self) -> float:
+        """Mean per-slot cost per user under the shared threshold."""
+        return float(np.mean([u.shared_cost for u in self.users]))
+
+    @property
+    def fleet_saving(self) -> float:
+        """Relative fleet-wide saving of per-user tuning."""
+        shared = self.shared_fleet_cost
+        if shared == 0:
+            return 0.0
+        return (shared - self.personal_fleet_cost) / shared
+
+    def regret_quantiles(self, quantiles=(0.5, 0.9, 0.99)) -> Dict[float, float]:
+        """Per-user relative-regret quantiles (who suffers under one-size-fits-all)."""
+        values = [u.relative_regret for u in self.users]
+        return {
+            quantile: float(np.quantile(values, quantile)) for quantile in quantiles
+        }
+
+    def by_profile(self) -> Dict[str, Tuple[float, float]]:
+        """Per-profile mean (personal, shared) cost."""
+        groups: Dict[str, List[UserPlan]] = {}
+        for user in self.users:
+            groups.setdefault(user.profile_name, []).append(user)
+        return {
+            name: (
+                float(np.mean([u.personal_cost for u in members])),
+                float(np.mean([u.shared_cost for u in members])),
+            )
+            for name, members in groups.items()
+        }
+
+
+def plan_fleet(
+    population: Population,
+    costs: CostParams,
+    max_delay,
+    users: int = 200,
+    seed: int = 0,
+    model_class: Type[MobilityModel] = TwoDimensionalModel,
+    d_max: int = 60,
+    convention: str = "physical",
+) -> FleetPlan:
+    """Compute per-user and shared-policy costs for a sampled fleet.
+
+    ``model_class`` picks the geometry (defaults to the hex plane).
+    The shared threshold is optimized for the population-average
+    ``(q, c)``; each user's costs are then evaluated with their own
+    ``(q, c)`` under both thresholds.
+    """
+    if users < 1:
+        raise ParameterError(f"users must be >= 1, got {users}")
+    shared_solution = find_optimal_threshold(
+        model_class(population.mean_mobility()),
+        costs,
+        max_delay,
+        d_max=d_max,
+        convention=convention,
+    )
+    shared_d = shared_solution.threshold
+    plans: List[UserPlan] = []
+    for profile, mobility in population.sample_users(users, seed=seed):
+        model = model_class(mobility)
+        evaluator = CostEvaluator(model, costs, convention=convention)
+        personal = find_optimal_threshold(
+            model, costs, max_delay, d_max=d_max, convention=convention
+        )
+        plans.append(
+            UserPlan(
+                profile_name=profile.name,
+                mobility=mobility,
+                personal_threshold=personal.threshold,
+                personal_cost=personal.total_cost,
+                shared_threshold=shared_d,
+                shared_cost=evaluator.total_cost(shared_d, max_delay),
+            )
+        )
+    return FleetPlan(users=plans, shared_threshold=shared_d, max_delay=max_delay)

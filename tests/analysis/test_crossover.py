@@ -1,0 +1,77 @@
+"""Unit tests for the scheme-crossover map."""
+
+import pytest
+
+from repro import CostParams, ParameterError
+from repro.analysis import compute_crossover_map
+
+COSTS = CostParams(50.0, 2.0)
+
+
+@pytest.fixture(scope="module")
+def small_map():
+    return compute_crossover_map(
+        COSTS,
+        q_values=[0.02, 0.1, 0.4],
+        c_values=[0.002, 0.02, 0.08],
+    )
+
+
+class TestComputeCrossoverMap:
+    def test_grid_shape(self, small_map):
+        assert len(small_map.winners) == 3
+        assert all(len(row) == 3 for row in small_map.winners)
+        assert len(small_map.costs) == 3
+
+    def test_paper_regime_is_distance(self, small_map):
+        # q = 0.4, c = 0.002: heavy mobility, light traffic.
+        qi = small_map.q_values.index(0.4)
+        cj = small_map.c_values.index(0.002)
+        assert small_map.winner_at(qi, cj) == "distance"
+
+    def test_call_heavy_corner_is_movement(self, small_map):
+        qi = small_map.q_values.index(0.02)
+        cj = small_map.c_values.index(0.08)
+        assert small_map.winner_at(qi, cj) == "movement"
+
+    def test_timer_and_la_never_win(self, small_map):
+        cells = {w for row in small_map.winners for w in row}
+        assert cells <= {"distance", "movement"}
+
+    def test_shares_sum_to_one(self, small_map):
+        total = sum(
+            small_map.share(s)
+            for s in ("distance", "movement", "timer", "location-area")
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_costs_positive(self, small_map):
+        for row in small_map.costs:
+            for value in row:
+                assert value > 0
+
+    def test_render_contains_legend_and_rows(self, small_map):
+        text = small_map.render()
+        assert "D=distance" in text
+        assert "M=movement" in text
+        # One line per q value plus header plus legend.
+        assert len(text.splitlines()) == 3 + 2
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ParameterError):
+            compute_crossover_map(COSTS, [], [0.01])
+
+    def test_infeasible_point_rejected(self):
+        with pytest.raises(ParameterError):
+            compute_crossover_map(COSTS, [0.9], [0.2])
+
+    def test_delay_two_expands_distance_region(self, small_map):
+        # SDF staging at m=2 makes the distance scheme strictly better;
+        # its winning share must not shrink.
+        staged = compute_crossover_map(
+            COSTS,
+            q_values=small_map.q_values,
+            c_values=small_map.c_values,
+            max_delay=2,
+        )
+        assert staged.share("distance") >= small_map.share("distance")

@@ -1,0 +1,97 @@
+"""Unit tests for ASCII hex-map rendering."""
+
+import pytest
+
+from repro import MobilityParams, OneDimensionalModel, TwoDimensionalModel
+from repro.analysis import (
+    render_hex_map,
+    render_occupancy,
+    render_paging_order,
+    render_ring_distances,
+)
+from repro.exceptions import ParameterError
+from repro.paging import sdf_partition
+
+
+class TestRenderHexMap:
+    def test_radius_zero_single_cell(self):
+        assert render_hex_map(0, lambda cell: "X") == "X"
+
+    def test_cell_count_matches_coverage(self):
+        rendered = render_ring_distances(3)
+        glyphs = [ch for ch in rendered if not ch.isspace()]
+        assert len(glyphs) == 37  # g(3)
+
+    def test_row_count(self):
+        # Rows span r = -radius .. radius.
+        rendered = render_ring_distances(2)
+        assert len(rendered.splitlines()) == 5
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ParameterError):
+            render_hex_map(-1, lambda cell: "X")
+
+    def test_empty_glyph_renders_space(self):
+        rendered = render_hex_map(1, lambda cell: "" if cell == (0, 0) else "o")
+        glyphs = [ch for ch in rendered if not ch.isspace()]
+        assert len(glyphs) == 6
+
+    def test_custom_center(self):
+        rendered = render_hex_map(1, lambda cell: "C" if cell == (5, 5) else "o", center=(5, 5))
+        assert "C" in rendered
+
+
+class TestRingDistances:
+    def test_center_is_zero(self):
+        rendered = render_ring_distances(2)
+        middle_row = rendered.splitlines()[2]
+        assert "0" in middle_row
+
+    def test_ring_counts(self):
+        rendered = render_ring_distances(3)
+        assert rendered.count("0") == 1
+        assert rendered.count("1") == 6
+        assert rendered.count("2") == 12
+        assert rendered.count("3") == 18
+
+    def test_large_radius_uses_letters(self):
+        rendered = render_ring_distances(11)
+        assert "a" in rendered  # ring 10
+        assert "b" in rendered  # ring 11
+
+
+class TestPagingOrder:
+    def test_sdf_cycles(self):
+        plan = sdf_partition(4, 2)  # gamma=2: A1 = r0-r1, A2 = r2-r4
+        rendered = render_paging_order(plan)
+        assert rendered.count("1") == 7  # g(1)
+        assert rendered.count("2") == 61 - 7  # g(4) - g(1)
+
+    def test_per_ring_order(self):
+        plan = sdf_partition(2, 5)
+        rendered = render_paging_order(plan)
+        assert rendered.count("1") == 1
+        assert rendered.count("2") == 6
+        assert rendered.count("3") == 12
+
+
+class TestOccupancy:
+    def test_center_is_darkest(self):
+        model = TwoDimensionalModel(MobilityParams(0.3, 0.01))
+        rendered = render_occupancy(model, 3)
+        middle_row = rendered.splitlines()[3]
+        assert "@" in middle_row
+
+    def test_non_hex_model_rejected(self):
+        with pytest.raises(ParameterError):
+            render_occupancy(OneDimensionalModel(MobilityParams(0.3, 0.01)), 3)
+
+    def test_empty_ramp_rejected(self):
+        model = TwoDimensionalModel(MobilityParams(0.3, 0.01))
+        with pytest.raises(ParameterError):
+            render_occupancy(model, 2, ramp="")
+
+    def test_custom_ramp(self):
+        model = TwoDimensionalModel(MobilityParams(0.3, 0.01))
+        rendered = render_occupancy(model, 2, ramp="ab")
+        assert set(ch for ch in rendered if not ch.isspace()) <= {"a", "b"}

@@ -1,0 +1,73 @@
+"""Sanity checks on the transcribed paper data itself."""
+
+import math
+
+from repro.analysis.paper_data import (
+    FIGURE4_PARAMS,
+    FIGURE5_PARAMS,
+    TABLE1,
+    TABLE2,
+    TABLE1_PARAMS,
+    TABLE_U_VALUES,
+)
+
+
+class TestTable1Data:
+    def test_all_columns_complete(self):
+        for m in (1, 2, 3, math.inf):
+            assert set(TABLE1[m]) == set(TABLE_U_VALUES)
+
+    def test_costs_monotone_in_U(self):
+        # In the published table, cost never decreases as U grows.
+        for m in (1, 2, 3, math.inf):
+            costs = [TABLE1[m][U].total_cost for U in TABLE_U_VALUES]
+            assert costs == sorted(costs)
+
+    def test_costs_monotone_in_delay(self):
+        for U in TABLE_U_VALUES:
+            row = [TABLE1[m][U].total_cost for m in (1, 2, 3, math.inf)]
+            assert row == sorted(row, reverse=True)
+
+    def test_thresholds_monotone_in_U(self):
+        for m in (1, 2, 3, math.inf):
+            ds = [TABLE1[m][U].optimal_d for U in TABLE_U_VALUES]
+            assert ds == sorted(ds)
+
+    def test_parameters(self):
+        assert TABLE1_PARAMS == {"q": 0.05, "c": 0.01, "V": 10.0}
+
+
+class TestTable2Data:
+    def test_all_columns_complete(self):
+        for m in (1, 3, math.inf):
+            assert set(TABLE2[m]) == set(TABLE_U_VALUES)
+
+    def test_near_cost_never_below_exact(self):
+        for m in (1, 3, math.inf):
+            for U in TABLE_U_VALUES:
+                cell = TABLE2[m][U]
+                assert cell.near_optimal_cost >= cell.total_cost - 1e-9
+
+    def test_near_equals_exact_when_d_agrees(self):
+        for m in (1, 3, math.inf):
+            for U in TABLE_U_VALUES:
+                cell = TABLE2[m][U]
+                if cell.optimal_d == cell.near_optimal_d:
+                    assert cell.near_optimal_cost == cell.total_cost
+
+    def test_unbounded_never_worse_than_delay3(self):
+        for U in TABLE_U_VALUES:
+            assert (
+                TABLE2[math.inf][U].total_cost <= TABLE2[3][U].total_cost + 1e-9
+            )
+
+
+class TestFigureParams:
+    def test_figure4_ranges(self):
+        assert FIGURE4_PARAMS["q_min"] < FIGURE4_PARAMS["q_max"]
+        assert FIGURE4_PARAMS["U"] == 100.0
+        assert FIGURE4_PARAMS["V"] == 1.0
+
+    def test_figure5_ranges(self):
+        assert FIGURE5_PARAMS["c_min"] < FIGURE5_PARAMS["c_max"]
+        assert FIGURE5_PARAMS["q"] == 0.05

@@ -1,0 +1,82 @@
+"""Unit tests for text/CSV rendering."""
+
+import math
+
+import pytest
+
+from repro.analysis import format_delay, render_ascii_plot, render_table, write_csv
+
+
+class TestRenderTable:
+    def test_alignment_and_headers(self):
+        text = render_table(["U", "C_T"], [[1, 0.125], [1000, 1.563]])
+        lines = text.splitlines()
+        assert "U" in lines[0]
+        assert "C_T" in lines[0]
+        assert lines[1].startswith("-")
+        assert "0.125" in text
+        assert "1.563" in text
+
+    def test_title(self):
+        text = render_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_float_precision(self):
+        text = render_table(["v"], [[0.123456]])
+        assert "0.123" in text
+        assert "0.1234" not in text
+
+    def test_nan_renders_dash(self):
+        text = render_table(["v"], [[math.nan]])
+        assert "-" in text.splitlines()[-1]
+
+    def test_column_width_follows_widest(self):
+        text = render_table(["a"], [["very-long-cell"]])
+        data_line = text.splitlines()[-1]
+        assert data_line.strip() == "very-long-cell"
+
+
+class TestFormatDelay:
+    def test_finite(self):
+        assert format_delay(3) == "3"
+
+    def test_infinite(self):
+        assert format_delay(math.inf) == "unbounded"
+
+
+class TestAsciiPlot:
+    def test_contains_markers_and_legend(self):
+        plot = render_ascii_plot(
+            {"one": [1.0, 2.0, 3.0], "two": [3.0, 2.0, 1.0]},
+            [0.01, 0.1, 1.0],
+            title="demo",
+        )
+        assert "demo" in plot
+        assert "o=one" in plot
+        assert "x=two" in plot
+        assert "(log x)" in plot
+
+    def test_linear_axis(self):
+        plot = render_ascii_plot({"s": [0.0, 1.0]}, [0.0, 1.0], log_x=False)
+        assert "(log x)" not in plot
+
+    def test_log_requires_positive_x(self):
+        with pytest.raises(ValueError):
+            render_ascii_plot({"s": [1.0, 2.0]}, [0.0, 1.0], log_x=True)
+
+    def test_flat_series_handled(self):
+        plot = render_ascii_plot({"flat": [2.0, 2.0]}, [1.0, 10.0])
+        assert plot  # no division-by-zero on zero y-range
+
+    def test_empty_series(self):
+        assert render_ascii_plot({}, [], title="t") == "t"
+
+
+class TestWriteCsv:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "out.csv"
+        write_csv(path, ["a", "b"], [[1, 2.5], [3, 4.5]])
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,2.5"
+        assert len(lines) == 3

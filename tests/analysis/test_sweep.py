@@ -1,0 +1,50 @@
+"""Unit tests for the generic parameter sweep."""
+
+import math
+
+import pytest
+
+from repro import ParameterError
+from repro.analysis import sweep
+
+
+class TestSweep:
+    def test_sweep_over_q(self):
+        result = sweep("1d", "q", [0.01, 0.05, 0.2], max_delay=1)
+        assert result.varied == "q"
+        assert [p.q for p in result.points] == [0.01, 0.05, 0.2]
+        costs = result.series("total_cost")
+        assert costs == sorted(costs)
+
+    def test_sweep_over_U_moves_threshold(self):
+        result = sweep("1d", "U", [1, 100, 1000], max_delay=1)
+        thresholds = result.series("optimal_d")
+        assert thresholds == sorted(thresholds)
+        assert thresholds[-1] > thresholds[0]
+
+    def test_sweep_over_delay(self):
+        result = sweep("2d-exact", "m", [1, 2, 3, math.inf], update_cost=200.0)
+        costs = result.series("total_cost")
+        assert costs == sorted(costs, reverse=True)
+
+    def test_sweep_over_V(self):
+        result = sweep("1d", "V", [1.0, 10.0, 100.0])
+        # Costlier polling shrinks the optimal residing area.
+        thresholds = result.series("optimal_d")
+        assert thresholds == sorted(thresholds, reverse=True)
+
+    def test_components_recorded(self):
+        result = sweep("2d-approx", "c", [0.005, 0.02])
+        for point in result.points:
+            assert point.total_cost == pytest.approx(
+                point.update_component + point.paging_component
+            )
+            assert point.expected_delay >= 1.0
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ParameterError):
+            sweep("3d", "q", [0.1])
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ParameterError):
+            sweep("1d", "z", [0.1])

@@ -1,0 +1,76 @@
+"""Unit tests for the validation campaign's agreement criterion."""
+
+import math
+
+import pytest
+
+from repro.analysis.validate import (
+    DEFAULT_CASES,
+    ValidationCase,
+    ValidationOutcome,
+)
+from repro.simulation.runner import ModelComparison
+
+
+def make_outcome(dimensions, predicted, measured, ci):
+    case = ValidationCase(
+        label="synthetic",
+        dimensions=dimensions,
+        q=0.1,
+        c=0.01,
+        update_cost=10.0,
+        poll_cost=1.0,
+        d=2,
+        m=1,
+    )
+    comparison = ModelComparison(
+        predicted_total=predicted,
+        measured_total=measured,
+        ci_half_width=ci,
+        predicted_update=0.0,
+        measured_update=0.0,
+        predicted_paging=0.0,
+        measured_paging=0.0,
+    )
+    return ValidationOutcome(case=case, comparison=comparison)
+
+
+class TestAgreementCriterion:
+    def test_within_ci_always_ok(self):
+        outcome = make_outcome(1, predicted=1.0, measured=1.3, ci=0.5)
+        assert outcome.ok
+
+    def test_1d_tolerance_is_two_percent(self):
+        assert make_outcome(1, 1.0, 1.019, ci=0.001).ok
+        assert not make_outcome(1, 1.0, 1.05, ci=0.001).ok
+
+    def test_2d_tolerance_is_five_percent(self):
+        assert make_outcome(2, 1.0, 1.04, ci=0.001).ok
+        assert not make_outcome(2, 1.0, 1.08, ci=0.001).ok
+
+    def test_relative_error(self):
+        outcome = make_outcome(2, 2.0, 2.1, ci=0.001)
+        assert outcome.comparison.relative_error == pytest.approx(0.05)
+
+
+class TestDefaultCases:
+    def test_both_geometries_covered(self):
+        dimensions = {case.dimensions for case in DEFAULT_CASES}
+        assert dimensions == {1, 2}
+
+    def test_delay_variety(self):
+        bounds = {case.m for case in DEFAULT_CASES}
+        assert 1 in bounds
+        assert math.inf in bounds
+        assert any(isinstance(m, int) and m > 1 for m in bounds)
+
+    def test_includes_boundary_threshold(self):
+        assert any(case.d == 0 for case in DEFAULT_CASES)
+
+    def test_parameters_are_valid(self):
+        from repro import MobilityParams
+
+        for case in DEFAULT_CASES:
+            MobilityParams(case.q, case.c)  # must not raise
+            assert case.update_cost >= 0
+            assert case.poll_cost >= 0

@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CostParams,
+    HexTopology,
+    LineTopology,
+    MobilityParams,
+    OneDimensionalModel,
+    TwoDimensionalApproximateModel,
+    TwoDimensionalModel,
+)
+
+
+@pytest.fixture
+def line():
+    return LineTopology()
+
+
+@pytest.fixture
+def hexgrid():
+    return HexTopology()
+
+
+@pytest.fixture
+def paper_mobility():
+    """The (q, c) used by the paper's Tables 1 and 2."""
+    return MobilityParams(move_probability=0.05, call_probability=0.01)
+
+
+@pytest.fixture
+def paper_costs():
+    """The (U, V) of the paper's Table rows with U = 100."""
+    return CostParams(update_cost=100.0, poll_cost=10.0)
+
+
+@pytest.fixture
+def model_1d(paper_mobility):
+    return OneDimensionalModel(paper_mobility)
+
+
+@pytest.fixture
+def model_2d(paper_mobility):
+    return TwoDimensionalModel(paper_mobility)
+
+
+@pytest.fixture
+def model_2d_approx(paper_mobility):
+    return TwoDimensionalApproximateModel(paper_mobility)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)

@@ -1,0 +1,129 @@
+"""Unit tests for the generic reset-chain solvers."""
+
+import numpy as np
+import pytest
+
+from repro import ParameterError, ResetChain, SolverError
+from repro.core.chains import solve_steady_state_matrix, solve_steady_state_recursive
+
+
+def uniform_chain(d, q=0.1, c=0.02, split=2.0):
+    """A chain with interior rates q/split and boundary rate q out of 0."""
+    a = np.full(d + 1, q / split)
+    a[0] = q
+    b = np.full(d + 1, q / split)
+    b[0] = 0.0
+    return ResetChain(outward=a, inward=b, reset=c)
+
+
+class TestConstruction:
+    def test_size_and_threshold(self):
+        chain = uniform_chain(4)
+        assert chain.size == 5
+        assert chain.threshold == 4
+
+    def test_rate_arrays_read_only(self):
+        chain = uniform_chain(3)
+        with pytest.raises(ValueError):
+            chain.a[0] = 0.5
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ParameterError):
+            ResetChain(outward=[0.1, 0.1], inward=[0.0], reset=0.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ParameterError):
+            ResetChain(outward=[], inward=[], reset=0.0)
+
+    def test_rejects_nonzero_b0(self):
+        with pytest.raises(ParameterError):
+            ResetChain(outward=[0.1, 0.1], inward=[0.1, 0.1], reset=0.0)
+
+    def test_rejects_negative_rates(self):
+        with pytest.raises(ParameterError):
+            ResetChain(outward=[0.1, -0.1], inward=[0.0, 0.1], reset=0.0)
+
+    def test_rejects_zero_interior_outward(self):
+        with pytest.raises(ParameterError):
+            ResetChain(outward=[0.0, 0.1], inward=[0.0, 0.1], reset=0.01)
+
+    def test_rejects_reset_out_of_range(self):
+        with pytest.raises(ParameterError):
+            ResetChain(outward=[0.1], inward=[0.0], reset=1.0)
+
+    def test_rejects_overfull_rows(self):
+        with pytest.raises(ParameterError):
+            ResetChain(outward=[0.6, 0.6], inward=[0.0, 0.6], reset=0.2)
+
+
+class TestTransitionMatrix:
+    def test_rows_sum_to_one(self):
+        P = uniform_chain(5).transition_matrix()
+        assert np.allclose(P.sum(axis=1), 1.0)
+
+    def test_matrix_entries(self):
+        chain = uniform_chain(2, q=0.1, c=0.02)
+        P = chain.transition_matrix()
+        # From state 0: out with a_0 = q, stay otherwise (call keeps 0).
+        assert P[0, 1] == pytest.approx(0.1)
+        assert P[0, 0] == pytest.approx(0.9)
+        # From state 1: up a, down b, reset c.
+        assert P[1, 2] == pytest.approx(0.05)
+        assert P[1, 0] == pytest.approx(0.05 + 0.02)
+        # From boundary state 2: outward move also resets.
+        assert P[2, 0] == pytest.approx(0.05 + 0.02)
+        assert P[2, 1] == pytest.approx(0.05)
+
+    def test_single_state_chain(self):
+        chain = ResetChain(outward=[0.0], inward=[0.0], reset=0.1)
+        P = chain.transition_matrix()
+        assert P.shape == (1, 1)
+        assert P[0, 0] == pytest.approx(1.0)
+
+
+class TestSolvers:
+    @pytest.mark.parametrize("d", [0, 1, 2, 3, 5, 10, 40])
+    def test_matrix_and_recursive_agree(self, d):
+        chain = uniform_chain(d)
+        pm = solve_steady_state_matrix(chain)
+        pr = solve_steady_state_recursive(chain)
+        assert np.allclose(pm, pr, atol=1e-12)
+
+    def test_solution_is_distribution(self):
+        pi = solve_steady_state_recursive(uniform_chain(7))
+        assert pi.sum() == pytest.approx(1.0)
+        assert np.all(pi >= 0)
+
+    def test_solution_is_stationary(self):
+        chain = uniform_chain(6)
+        pi = solve_steady_state_matrix(chain)
+        P = chain.transition_matrix()
+        assert np.allclose(pi @ P, pi, atol=1e-12)
+
+    def test_state_dependent_rates(self):
+        # 2-D-style rates a_i = q(1/3 + 1/(6i)).
+        q, c, d = 0.1, 0.01, 6
+        i = np.arange(1, d + 1, dtype=float)
+        a = np.concatenate([[q], q * (1 / 3 + 1 / (6 * i))])
+        b = np.concatenate([[0.0], q * (1 / 3 - 1 / (6 * i))])
+        chain = ResetChain(outward=a, inward=b, reset=c)
+        pm = solve_steady_state_matrix(chain)
+        pr = solve_steady_state_recursive(chain)
+        assert np.allclose(pm, pr, atol=1e-12)
+
+    def test_zero_reset_probability(self):
+        chain = uniform_chain(4, c=0.0)
+        pm = solve_steady_state_matrix(chain)
+        pr = solve_steady_state_recursive(chain)
+        assert np.allclose(pm, pr, atol=1e-12)
+
+    def test_d_zero(self):
+        chain = ResetChain(outward=[0.1], inward=[0.0], reset=0.05)
+        assert solve_steady_state_recursive(chain)[0] == pytest.approx(1.0)
+        assert solve_steady_state_matrix(chain)[0] == pytest.approx(1.0)
+
+    def test_probability_decreases_with_distance_eventually(self):
+        # With symmetric interior rates and resets, mass concentrates
+        # near the center.
+        pi = solve_steady_state_recursive(uniform_chain(10, q=0.1, c=0.05))
+        assert pi[0] > pi[5] > pi[10]

@@ -1,0 +1,143 @@
+"""Tests of the paper's closed-form steady-state solutions.
+
+Strategy: the closed forms must agree *exactly* (to float tolerance)
+with the brute-force matrix solver on the same chain, across the
+parameter space, including the paper's printed boundary cases.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ParameterError
+from repro.core import closed_form
+from repro.core.chains import ResetChain, solve_steady_state_matrix
+
+
+def matrix_solution_1d(q, c, d):
+    a = np.full(d + 1, q / 2.0)
+    a[0] = q
+    b = np.full(d + 1, q / 2.0)
+    b[0] = 0.0
+    return solve_steady_state_matrix(ResetChain(outward=a, inward=b, reset=c))
+
+
+def matrix_solution_2d_approx(q, c, d):
+    a = np.full(d + 1, q / 3.0)
+    a[0] = q
+    b = np.full(d + 1, q / 3.0)
+    b[0] = 0.0
+    return solve_steady_state_matrix(ResetChain(outward=a, inward=b, reset=c))
+
+
+class TestBeta:
+    def test_beta_1d_equation_10(self):
+        assert closed_form.beta_1d(0.05, 0.01) == pytest.approx(2.4)
+
+    def test_beta_2d_equation_50(self):
+        assert closed_form.beta_2d_approx(0.05, 0.01) == pytest.approx(2.6)
+
+    def test_beta_requires_positive_q(self):
+        with pytest.raises(ParameterError):
+            closed_form.beta_1d(0.0, 0.01)
+
+    def test_roots_product_is_one(self):
+        e1, e2 = closed_form.characteristic_roots(2.4)
+        assert e1 * e2 == pytest.approx(1.0)
+
+    def test_roots_sum_is_beta(self):
+        e1, e2 = closed_form.characteristic_roots(3.0)
+        assert e1 + e2 == pytest.approx(3.0)
+
+    def test_roots_reject_beta_below_two(self):
+        with pytest.raises(ParameterError):
+            closed_form.characteristic_roots(1.5)
+
+    def test_repeated_root_at_two(self):
+        e1, e2 = closed_form.characteristic_roots(2.0)
+        assert e1 == e2 == pytest.approx(1.0)
+
+
+class TestSolve1D:
+    def test_d0_equation_33(self):
+        assert closed_form.solve_1d(0.05, 0.01, 0).tolist() == [1.0]
+
+    def test_d1_equations_34_35(self):
+        p = closed_form.solve_1d(0.05, 0.01, 1)
+        assert p[0] == pytest.approx(0.06 / 0.11)
+        assert p[1] == pytest.approx(0.05 / 0.11)
+
+    def test_d2_equations_36_38(self):
+        q, c = 0.05, 0.01
+        p = closed_form.solve_1d(q, c, 2)
+        denom = 9 * q * q + 12 * q * c + 4 * c * c
+        assert p[0] == pytest.approx((2 * c + q) / (2 * c + 3 * q))
+        assert p[1] == pytest.approx(4 * q * (c + q) / denom)
+        assert p[2] == pytest.approx(2 * q * q / denom)
+
+    @pytest.mark.parametrize("d", [0, 1, 2, 3, 4, 5, 8, 15, 30, 60])
+    @pytest.mark.parametrize("q,c", [(0.05, 0.01), (0.3, 0.05), (0.9, 0.05), (0.01, 0.001)])
+    def test_matches_matrix_solver(self, q, c, d):
+        expected = matrix_solution_1d(q, c, d)
+        got = closed_form.solve_1d(q, c, d)
+        assert np.allclose(got, expected, atol=1e-11)
+
+    @pytest.mark.parametrize("d", [3, 7, 20])
+    def test_zero_call_probability_branch(self, d):
+        expected = matrix_solution_1d(0.2, 0.0, d)
+        got = closed_form.solve_1d(0.2, 0.0, d)
+        assert np.allclose(got, expected, atol=1e-11)
+
+    def test_large_threshold_is_finite(self):
+        # The e2-power formulation must not overflow even at huge d.
+        p = closed_form.solve_1d(0.05, 0.01, 500)
+        assert np.all(np.isfinite(p))
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_normalized(self):
+        assert closed_form.solve_1d(0.1, 0.02, 12).sum() == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("bad_d", [-1, 1.5, "2"])
+    def test_rejects_bad_threshold(self, bad_d):
+        with pytest.raises(ParameterError):
+            closed_form.solve_1d(0.05, 0.01, bad_d)
+
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(ParameterError):
+            closed_form.solve_1d(0.0, 0.01, 3)
+        with pytest.raises(ParameterError):
+            closed_form.solve_1d(0.05, 1.0, 3)
+
+
+class TestSolve2DApprox:
+    def test_d0_equation_55(self):
+        assert closed_form.solve_2d_approx(0.05, 0.01, 0).tolist() == [1.0]
+
+    def test_d1_equations_56_57(self):
+        q, c = 0.05, 0.01
+        p = closed_form.solve_2d_approx(q, c, 1)
+        assert p[0] == pytest.approx((2 * q + 3 * c) / (5 * q + 3 * c))
+        assert p[1] == pytest.approx(3 * q / (5 * q + 3 * c))
+
+    def test_d2_equations_58_60(self):
+        q, c = 0.05, 0.01
+        p = closed_form.solve_2d_approx(q, c, 2)
+        denom = 4 * q * q + 7 * q * c + 3 * c * c
+        assert p[0] == pytest.approx((3 * c + q) / (3 * c + 4 * q))
+        assert p[1] == pytest.approx(q * (3 * c + 2 * q) / denom)
+        assert p[2] == pytest.approx(q * q / denom)
+
+    @pytest.mark.parametrize("d", [0, 1, 2, 3, 4, 6, 10, 25, 50])
+    @pytest.mark.parametrize("q,c", [(0.05, 0.01), (0.3, 0.05), (0.8, 0.1)])
+    def test_matches_matrix_solver(self, q, c, d):
+        expected = matrix_solution_2d_approx(q, c, d)
+        got = closed_form.solve_2d_approx(q, c, d)
+        assert np.allclose(got, expected, atol=1e-11)
+
+    @pytest.mark.parametrize("d", [3, 9])
+    def test_zero_call_probability_branch(self, d):
+        expected = matrix_solution_2d_approx(0.3, 0.0, d)
+        got = closed_form.solve_2d_approx(0.3, 0.0, d)
+        assert np.allclose(got, expected, atol=1e-11)
+
+    def test_normalized(self):
+        assert closed_form.solve_2d_approx(0.07, 0.01, 9).sum() == pytest.approx(1.0)

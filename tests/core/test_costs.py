@@ -1,0 +1,139 @@
+"""Unit tests for the Section 5 cost model."""
+
+import math
+
+import pytest
+
+from repro import (
+    CostEvaluator,
+    CostParams,
+    MobilityParams,
+    OneDimensionalModel,
+    TwoDimensionalModel,
+)
+from repro.paging import blanket_partition, per_ring_partition
+
+
+@pytest.fixture
+def evaluator_1d(model_1d):
+    return CostEvaluator(model_1d, CostParams(update_cost=20.0, poll_cost=10.0))
+
+
+class TestUpdateCost:
+    def test_equation_61(self, model_1d):
+        # C_u(d) = p_{d,d} a_{d,d+1} U.
+        ev = CostEvaluator(model_1d, CostParams(update_cost=20.0, poll_cost=10.0))
+        p = model_1d.steady_state(1)
+        assert ev.update_cost(1) == pytest.approx(p[1] * 0.025 * 20.0)
+
+    def test_hand_value_table1_u20(self, evaluator_1d):
+        # p_{1,1} = q/(2q + c) = 0.4545..., times q/2 U = 0.2273.
+        assert evaluator_1d.update_cost(1) == pytest.approx(0.22727, abs=1e-4)
+
+    def test_d_zero_uses_paper_convention(self, evaluator_1d):
+        assert evaluator_1d.update_cost(0) == pytest.approx(0.025 * 20.0)
+
+    def test_d_zero_physical_convention(self, model_1d):
+        ev = CostEvaluator(
+            model_1d, CostParams(20.0, 10.0), convention="physical"
+        )
+        assert ev.update_cost(0) == pytest.approx(0.05 * 20.0)
+
+    def test_scales_linearly_with_U(self, model_1d):
+        low = CostEvaluator(model_1d, CostParams(10.0, 10.0)).update_cost(3)
+        high = CostEvaluator(model_1d, CostParams(30.0, 10.0)).update_cost(3)
+        assert high == pytest.approx(3 * low)
+
+
+class TestPagingCost:
+    def test_equation_62_blanket(self, evaluator_1d):
+        # m = 1: C_v = c g(d) V.
+        assert evaluator_1d.paging_cost(3, 1) == pytest.approx(0.01 * 7 * 10.0)
+
+    def test_paper_hand_value_d1_m2(self, evaluator_1d):
+        # Verified by hand: alpha_1 w_1 + alpha_2 w_2 with p = (6/11, 5/11).
+        expected = 0.01 * 10.0 * (6 / 11 * 1 + 5 / 11 * 3)
+        assert evaluator_1d.paging_cost(1, 2) == pytest.approx(expected)
+
+    def test_unbounded_equals_large_m(self, evaluator_1d):
+        assert evaluator_1d.paging_cost(4, math.inf) == pytest.approx(
+            evaluator_1d.paging_cost(4, 5)
+        )
+
+    def test_monotone_in_delay(self, evaluator_1d):
+        # More cycles allowed -> never more expensive.
+        costs = [evaluator_1d.paging_cost(5, m) for m in (1, 2, 3, 4, math.inf)]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_zero_when_no_calls(self):
+        model = OneDimensionalModel(MobilityParams(0.05, 0.0))
+        ev = CostEvaluator(model, CostParams(20.0, 10.0))
+        assert ev.paging_cost(3, 1) == 0.0
+
+    def test_scales_with_poll_cost(self, model_1d):
+        low = CostEvaluator(model_1d, CostParams(20.0, 1.0)).paging_cost(3, 2)
+        high = CostEvaluator(model_1d, CostParams(20.0, 5.0)).paging_cost(3, 2)
+        assert high == pytest.approx(5 * low)
+
+
+class TestTotalCost:
+    def test_equation_66(self, evaluator_1d):
+        d, m = 2, 2
+        assert evaluator_1d.total_cost(d, m) == pytest.approx(
+            evaluator_1d.update_cost(d) + evaluator_1d.paging_cost(d, m)
+        )
+
+    def test_paper_table1_row(self, evaluator_1d):
+        # U=20, delay=1 -> C_T(1) = 0.527.
+        assert evaluator_1d.total_cost(1, 1) == pytest.approx(0.527, abs=5e-4)
+
+    def test_paper_table2_row(self):
+        model = TwoDimensionalModel(MobilityParams(0.05, 0.01))
+        ev = CostEvaluator(model, CostParams(300.0, 10.0))
+        assert ev.total_cost(2, 1) == pytest.approx(3.468, abs=5e-4)
+
+    def test_cost_curve(self, evaluator_1d):
+        curve = evaluator_1d.cost_curve(1, 5)
+        assert len(curve) == 6
+        assert curve[3] == pytest.approx(evaluator_1d.total_cost(3, 1))
+
+
+class TestBreakdown:
+    def test_components_sum(self, evaluator_1d):
+        b = evaluator_1d.breakdown(3, 2)
+        assert b.total_cost == pytest.approx(b.update_cost + b.paging_cost)
+
+    def test_expected_delay_bounds(self, evaluator_1d):
+        b = evaluator_1d.breakdown(5, 3)
+        assert 1.0 <= b.expected_delay <= 3.0
+
+    def test_blanket_delay_is_one(self, evaluator_1d):
+        assert evaluator_1d.breakdown(5, 1).expected_delay == pytest.approx(1.0)
+
+    def test_expected_polled_cells_at_m1_is_coverage(self, evaluator_1d):
+        assert evaluator_1d.breakdown(4, 1).expected_polled_cells == pytest.approx(9)
+
+    def test_threshold_and_delay_recorded(self, evaluator_1d):
+        b = evaluator_1d.breakdown(2, 3)
+        assert b.threshold == 2
+        assert b.delay_bound == 3
+
+
+class TestCustomPlanFactory:
+    def test_per_ring_factory_matches_unbounded(self, model_1d):
+        paper = CostEvaluator(model_1d, CostParams(20.0, 10.0))
+        custom = CostEvaluator(
+            model_1d,
+            CostParams(20.0, 10.0),
+            plan_factory=lambda model, d, m: per_ring_partition(d),
+        )
+        assert custom.total_cost(4, 1) == pytest.approx(paper.total_cost(4, math.inf))
+
+    def test_blanket_factory_matches_m1(self, model_1d):
+        paper = CostEvaluator(model_1d, CostParams(20.0, 10.0))
+        custom = CostEvaluator(
+            model_1d,
+            CostParams(20.0, 10.0),
+            plan_factory=lambda model, d, m: blanket_partition(d),
+        )
+        assert custom.total_cost(4, math.inf) == pytest.approx(paper.total_cost(4, 1))

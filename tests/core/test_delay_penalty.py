@@ -1,0 +1,129 @@
+"""Unit tests for the soft-delay joint optimization extension."""
+
+import math
+
+import pytest
+
+from repro import (
+    CostEvaluator,
+    CostParams,
+    MobilityParams,
+    OneDimensionalModel,
+    ParameterError,
+    TwoDimensionalModel,
+    find_optimal_threshold,
+    optimal_soft_delay_partition,
+    optimize_soft_delay,
+)
+from repro.paging import blanket_partition, per_ring_partition
+
+MOBILITY = MobilityParams(0.1, 0.02)
+COSTS = CostParams(50.0, 5.0)
+
+
+class TestSoftDelayPartition:
+    def test_zero_penalty_gives_finest_useful_partition(self):
+        # With no delay cost, splitting can only help: per-ring.
+        model = OneDimensionalModel(MOBILITY)
+        p = model.steady_state(4)
+        sizes = [model.ring_size(i) for i in range(5)]
+        plan, cells, cycles = optimal_soft_delay_partition(p, sizes, 5.0, 0.0)
+        assert plan.subareas == per_ring_partition(4).subareas
+        assert cycles > 1.0
+
+    def test_huge_penalty_gives_blanket(self):
+        model = OneDimensionalModel(MOBILITY)
+        p = model.steady_state(4)
+        sizes = [model.ring_size(i) for i in range(5)]
+        plan, cells, cycles = optimal_soft_delay_partition(p, sizes, 5.0, 1e12)
+        assert plan.subareas == blanket_partition(4).subareas
+        assert cycles == pytest.approx(1.0)
+
+    def test_objective_matches_reported_expectations(self):
+        model = TwoDimensionalModel(MOBILITY)
+        d = 5
+        p = model.steady_state(d)
+        sizes = [model.ring_size(i) for i in range(d + 1)]
+        plan, cells, cycles = optimal_soft_delay_partition(p, sizes, 5.0, 7.0)
+        topo = model.topology
+        assert cells == pytest.approx(plan.expected_polled_cells(topo, p))
+        assert cycles == pytest.approx(plan.expected_delay(p))
+
+    def test_optimal_over_enumeration_small_case(self):
+        # Exhaustively check optimality over all contiguous partitions
+        # of 5 rings.
+        import itertools
+
+        model = OneDimensionalModel(MOBILITY)
+        d = 4
+        p = model.steady_state(d)
+        sizes = [model.ring_size(i) for i in range(d + 1)]
+        V, w = 5.0, 3.0
+        _, cells, cycles = optimal_soft_delay_partition(p, sizes, V, w)
+        best_dp = V * cells + w * cycles
+        topo = model.topology
+        best_brute = math.inf
+        for cuts in range(d + 1):
+            for positions in itertools.combinations(range(1, d + 1), cuts):
+                bounds = (0,) + positions + (d + 1,)
+                group_sizes = [bounds[i + 1] - bounds[i] for i in range(len(bounds) - 1)]
+                from repro.paging import partition_from_sizes
+
+                plan = partition_from_sizes(d, group_sizes)
+                value = V * plan.expected_polled_cells(topo, p) + w * plan.expected_delay(p)
+                best_brute = min(best_brute, value)
+        assert best_dp == pytest.approx(best_brute)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ParameterError):
+            optimal_soft_delay_partition([0.5, 0.5], [1, 2], -1.0, 0.0)
+        with pytest.raises(ParameterError):
+            optimal_soft_delay_partition([0.5], [1, 2], 1.0, 1.0)
+
+
+class TestOptimizeSoftDelay:
+    def test_penalty_zero_matches_unbounded_hard_delay(self):
+        model = TwoDimensionalModel(MOBILITY)
+        soft = optimize_soft_delay(model, COSTS, delay_penalty=0.0, d_max=30)
+        hard = find_optimal_threshold(model, COSTS, math.inf, d_max=30)
+        assert soft.threshold == hard.threshold
+        assert soft.update_cost + soft.paging_cell_cost == pytest.approx(
+            hard.total_cost
+        )
+
+    def test_huge_penalty_matches_delay_one(self):
+        model = TwoDimensionalModel(MOBILITY)
+        soft = optimize_soft_delay(model, COSTS, delay_penalty=1e12, d_max=30)
+        hard = find_optimal_threshold(model, COSTS, 1, d_max=30)
+        assert soft.threshold == hard.threshold
+        assert soft.update_cost + soft.paging_cell_cost == pytest.approx(
+            hard.total_cost
+        )
+        assert soft.expected_delay == pytest.approx(1.0)
+
+    def test_delay_decreases_with_penalty(self):
+        model = TwoDimensionalModel(MOBILITY)
+        delays = [
+            optimize_soft_delay(model, COSTS, delay_penalty=w, d_max=25).expected_delay
+            for w in (0.0, 5.0, 50.0, 500.0)
+        ]
+        assert delays == sorted(delays, reverse=True)
+
+    def test_total_cost_increases_with_penalty(self):
+        model = OneDimensionalModel(MOBILITY)
+        totals = [
+            optimize_soft_delay(model, COSTS, delay_penalty=w, d_max=25).total_cost
+            for w in (0.0, 1.0, 10.0)
+        ]
+        assert totals == sorted(totals)
+
+    def test_components_sum(self):
+        model = OneDimensionalModel(MOBILITY)
+        policy = optimize_soft_delay(model, COSTS, delay_penalty=3.0, d_max=20)
+        assert policy.total_cost == pytest.approx(
+            policy.update_cost + policy.paging_cell_cost + policy.delay_cost
+        )
+
+    def test_negative_penalty_rejected(self):
+        with pytest.raises(ParameterError):
+            optimize_soft_delay(OneDimensionalModel(MOBILITY), COSTS, -0.1)

@@ -1,0 +1,154 @@
+"""Unit tests for derived policy metrics (update rate, staleness, ...)."""
+
+import math
+
+import pytest
+
+from repro import (
+    CostEvaluator,
+    CostParams,
+    MobilityParams,
+    OneDimensionalModel,
+    TwoDimensionalModel,
+    derive_metrics,
+)
+
+MOBILITY = MobilityParams(0.2, 0.02)
+COSTS = CostParams(30.0, 2.0)
+
+
+@pytest.fixture
+def evaluator_1d():
+    return CostEvaluator(OneDimensionalModel(MOBILITY), COSTS)
+
+
+class TestBasicRates:
+    def test_call_rate_is_c(self, evaluator_1d):
+        metrics = derive_metrics(evaluator_1d, 3, 2)
+        assert metrics.call_rate == 0.02
+
+    def test_update_rate_physical(self, evaluator_1d):
+        model = OneDimensionalModel(MOBILITY)
+        p = model.steady_state(3)
+        metrics = derive_metrics(evaluator_1d, 3, 2)
+        assert metrics.update_rate == pytest.approx(p[3] * 0.1)
+
+    def test_update_rate_at_d0_uses_q(self, evaluator_1d):
+        # Physical convention: every move leaves a single-cell area.
+        metrics = derive_metrics(evaluator_1d, 0, 1)
+        assert metrics.update_rate == pytest.approx(MOBILITY.q)
+
+    def test_mean_slots_between_updates(self, evaluator_1d):
+        metrics = derive_metrics(evaluator_1d, 2, 1)
+        assert metrics.mean_slots_between_updates == pytest.approx(
+            1.0 / metrics.update_rate
+        )
+
+    def test_fix_rate_is_sum(self, evaluator_1d):
+        metrics = derive_metrics(evaluator_1d, 2, 1)
+        assert metrics.fix_rate == pytest.approx(
+            metrics.update_rate + metrics.call_rate
+        )
+
+    def test_never_updating_terminal(self):
+        # No calls, enormous threshold: updates still happen but very
+        # rarely; with c = 0 the fix gap is the update gap.
+        model = OneDimensionalModel(MobilityParams(0.2, 0.0))
+        evaluator = CostEvaluator(model, COSTS)
+        metrics = derive_metrics(evaluator, 10, 1)
+        assert metrics.call_rate == 0.0
+        assert metrics.mean_fix_gap == pytest.approx(
+            1.0 / metrics.update_rate, rel=1e-6
+        )
+
+
+class TestDistances:
+    def test_mean_distance_bounds(self, evaluator_1d):
+        metrics = derive_metrics(evaluator_1d, 4, 2)
+        assert 0.0 < metrics.mean_distance < 4.0
+
+    def test_at_center_probability(self, evaluator_1d):
+        model = OneDimensionalModel(MOBILITY)
+        metrics = derive_metrics(evaluator_1d, 3, 1)
+        assert metrics.at_center_probability == pytest.approx(
+            model.steady_state(3)[0]
+        )
+
+    def test_d0_distance_is_zero(self, evaluator_1d):
+        metrics = derive_metrics(evaluator_1d, 0, 1)
+        assert metrics.mean_distance == 0.0
+        assert metrics.at_center_probability == 1.0
+
+
+class TestPagingExpectations:
+    def test_cells_per_call_blanket(self, evaluator_1d):
+        metrics = derive_metrics(evaluator_1d, 3, 1)
+        assert metrics.cells_per_call == pytest.approx(7.0)  # g(3), 1-D
+        assert metrics.cycles_per_call == pytest.approx(1.0)
+
+    def test_cycles_bounded_by_m(self, evaluator_1d):
+        metrics = derive_metrics(evaluator_1d, 5, 3)
+        assert 1.0 <= metrics.cycles_per_call <= 3.0
+
+
+class TestFixGapAndStaleness:
+    def test_gap_shorter_with_more_calls(self):
+        def gap(c):
+            model = OneDimensionalModel(MobilityParams(0.2, c))
+            return derive_metrics(CostEvaluator(model, COSTS), 3, 1).mean_fix_gap
+
+        assert gap(0.05) < gap(0.01)
+
+    def test_gap_vs_naive_rate_inverse(self, evaluator_1d):
+        # The renewal mean gap must equal 1 / fix_rate: fixes per slot
+        # times mean slots per fix cycle is 1 in steady state.
+        metrics = derive_metrics(evaluator_1d, 3, 2)
+        assert metrics.mean_fix_gap == pytest.approx(1.0 / metrics.fix_rate, rel=1e-9)
+
+    def test_staleness_vs_simulation(self):
+        # Measured in an independent event-level simulation.
+        from repro.geometry import LineTopology
+        from repro.simulation import SimulationEngine
+        from repro.strategies import DistanceStrategy
+
+        evaluator = CostEvaluator(OneDimensionalModel(MOBILITY), COSTS)
+        metrics = derive_metrics(evaluator, 3, 2)
+        engine = SimulationEngine(
+            LineTopology(),
+            DistanceStrategy(3, max_delay=2),
+            MOBILITY,
+            COSTS,
+            seed=9,
+        )
+        staleness_sum = 0
+        age = 0
+        slots = 150_000
+        for _ in range(slots):
+            updates, calls = engine.meter.updates, engine.meter.calls
+            engine.step()
+            if engine.meter.updates > updates or engine.meter.calls > calls:
+                age = 0
+            else:
+                age += 1
+            staleness_sum += age
+        assert staleness_sum / slots == pytest.approx(
+            metrics.mean_register_staleness, rel=0.05
+        )
+
+    def test_staleness_exceeds_half_gap(self, evaluator_1d):
+        # Inspection paradox: the stationary age exceeds (G-1)/2 of the
+        # *mean* gap whenever gaps vary.
+        metrics = derive_metrics(evaluator_1d, 3, 2)
+        assert metrics.mean_register_staleness > (metrics.mean_fix_gap - 1) / 2
+
+    def test_d0_staleness_geometric(self):
+        evaluator = CostEvaluator(OneDimensionalModel(MOBILITY), COSTS)
+        metrics = derive_metrics(evaluator, 0, 1)
+        p = MOBILITY.q + MOBILITY.c
+        assert metrics.mean_register_staleness == pytest.approx((1 - p) / p)
+
+    def test_2d_model_supported(self):
+        evaluator = CostEvaluator(TwoDimensionalModel(MOBILITY), COSTS)
+        metrics = derive_metrics(evaluator, 3, 2)
+        assert math.isfinite(metrics.mean_register_staleness)
+        assert metrics.mean_fix_gap == pytest.approx(1.0 / metrics.fix_rate, rel=1e-9)

@@ -1,0 +1,110 @@
+"""Edge-case tests across the core: boundaries of the parameter space."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    CostEvaluator,
+    CostParams,
+    MobilityParams,
+    OneDimensionalModel,
+    TwoDimensionalModel,
+    find_optimal_threshold,
+)
+
+
+class TestParameterBoundaries:
+    def test_q_plus_c_exactly_one(self):
+        # The competing-event budget fully spent: every slot is a move
+        # or a call.
+        model = OneDimensionalModel(MobilityParams(0.9, 0.1))
+        p = model.steady_state(3)
+        assert p.sum() == pytest.approx(1.0)
+        chain = model.chain(3)
+        P = chain.transition_matrix()
+        assert np.allclose(P.sum(axis=1), 1.0)
+
+    def test_q_one_c_zero(self):
+        # Always moving, never called: pure walk with boundary resets.
+        model = TwoDimensionalModel(MobilityParams(1.0, 0.0))
+        p = model.steady_state(4)
+        assert p.sum() == pytest.approx(1.0)
+        # With no calls there is no paging cost at all.
+        evaluator = CostEvaluator(model, CostParams(10, 5))
+        assert evaluator.paging_cost(4, 2) == 0.0
+        assert evaluator.update_cost(4) > 0
+
+    def test_tiny_q(self):
+        model = OneDimensionalModel(MobilityParams(1e-5, 0.01))
+        solution = find_optimal_threshold(model, CostParams(100, 1), 1, d_max=20)
+        # A near-stationary terminal should keep the residing area
+        # minimal: updates are essentially free because they never fire.
+        assert solution.threshold <= 1
+
+    def test_heavy_traffic_dominates(self):
+        # c >> q: the terminal is located by calls long before it can
+        # wander; thresholds above 1 buy nothing.
+        model = TwoDimensionalModel(MobilityParams(0.01, 0.5))
+        a = find_optimal_threshold(model, CostParams(100, 1), 1, d_max=20)
+        assert a.threshold <= 2
+
+    def test_zero_update_cost_prefers_zero_threshold(self):
+        model = OneDimensionalModel(MobilityParams(0.2, 0.05))
+        solution = find_optimal_threshold(model, CostParams(0.0, 10.0), 1)
+        assert solution.threshold == 0
+
+    def test_zero_poll_cost_prefers_large_threshold(self):
+        model = OneDimensionalModel(MobilityParams(0.2, 0.05))
+        solution = find_optimal_threshold(
+            model, CostParams(10.0, 0.0), 1, d_max=30
+        )
+        assert solution.threshold == 30  # nothing limits the area
+
+    def test_free_everything(self):
+        model = OneDimensionalModel(MobilityParams(0.2, 0.05))
+        solution = find_optimal_threshold(model, CostParams(0.0, 0.0), 1)
+        assert solution.total_cost == 0.0
+
+
+class TestLargeThresholds:
+    @pytest.mark.parametrize("d", [100, 250])
+    def test_solvers_stable_at_large_d(self, d):
+        model = OneDimensionalModel(MobilityParams(0.05, 0.01))
+        closed = model.steady_state(d, method="closed_form")
+        matrix = model.steady_state(d, method="matrix")
+        assert np.allclose(closed, matrix, atol=1e-10)
+        assert np.all(np.isfinite(closed))
+
+    def test_2d_recursive_stable_at_large_d(self):
+        model = TwoDimensionalModel(MobilityParams(0.05, 0.01))
+        p = model.steady_state(200, method="recursive")
+        assert p.sum() == pytest.approx(1.0)
+        # Mass far out is vanishing; the chain concentrates.
+        assert p[150:].sum() < 1e-6
+
+    def test_costs_converge_at_large_d_unbounded_delay(self):
+        evaluator = CostEvaluator(
+            OneDimensionalModel(MobilityParams(0.05, 0.01)), CostParams(100, 10)
+        )
+        a = evaluator.total_cost(150, math.inf)
+        b = evaluator.total_cost(250, math.inf)
+        assert a == pytest.approx(b, rel=1e-9)
+
+
+class TestDelayEdge:
+    def test_m_larger_than_rings_is_unbounded(self):
+        evaluator = CostEvaluator(
+            TwoDimensionalModel(MobilityParams(0.1, 0.02)), CostParams(50, 5)
+        )
+        assert evaluator.total_cost(3, 99) == pytest.approx(
+            evaluator.total_cost(3, math.inf)
+        )
+
+    def test_d0_all_delays_identical(self):
+        evaluator = CostEvaluator(
+            TwoDimensionalModel(MobilityParams(0.1, 0.02)), CostParams(50, 5)
+        )
+        values = {evaluator.total_cost(0, m) for m in (1, 2, 3, math.inf)}
+        assert len(values) == 1

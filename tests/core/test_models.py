@@ -1,0 +1,152 @@
+"""Unit tests for the three mobility model classes."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    MobilityParams,
+    OneDimensionalModel,
+    ParameterError,
+    TwoDimensionalApproximateModel,
+    TwoDimensionalModel,
+)
+
+
+class TestConstruction:
+    def test_from_probabilities(self):
+        model = OneDimensionalModel.from_probabilities(0.1, 0.02)
+        assert model.q == 0.1
+        assert model.c == 0.02
+
+    def test_repr_mentions_parameters(self, model_2d):
+        assert "0.05" in repr(model_2d)
+        assert "0.01" in repr(model_2d)
+
+    def test_names(self, model_1d, model_2d, model_2d_approx):
+        assert model_1d.name == "1d"
+        assert model_2d.name == "2d-exact"
+        assert model_2d_approx.name == "2d-approx"
+
+
+class TestGeometry:
+    def test_1d_coverage(self, model_1d):
+        assert [model_1d.coverage(d) for d in range(4)] == [1, 3, 5, 7]
+
+    def test_2d_coverage(self, model_2d):
+        assert [model_2d.coverage(d) for d in range(4)] == [1, 7, 19, 37]
+
+    def test_ring_sizes(self, model_1d, model_2d):
+        assert model_1d.ring_size(3) == 2
+        assert model_2d.ring_size(3) == 18
+
+    def test_approx_model_shares_hex_geometry(self, model_2d, model_2d_approx):
+        assert model_2d_approx.topology == model_2d.topology
+
+
+class TestTransitionRates:
+    def test_1d_rates(self, model_1d):
+        a, b = model_1d.transition_rates(3)
+        assert a[0] == pytest.approx(0.05)
+        assert np.allclose(a[1:], 0.025)
+        assert b[0] == 0.0
+        assert np.allclose(b[1:], 0.025)
+
+    def test_2d_exact_rates_equations_41_42(self, model_2d):
+        a, b = model_2d.transition_rates(3)
+        q = 0.05
+        assert a[0] == pytest.approx(q)
+        assert a[1] == pytest.approx(q * (1 / 3 + 1 / 6))
+        assert a[2] == pytest.approx(q * (1 / 3 + 1 / 12))
+        assert b[1] == pytest.approx(q * (1 / 3 - 1 / 6))
+        assert b[3] == pytest.approx(q * (1 / 3 - 1 / 18))
+
+    def test_2d_approx_rates_equations_43_44(self, model_2d_approx):
+        a, b = model_2d_approx.transition_rates(4)
+        assert a[0] == pytest.approx(0.05)
+        assert np.allclose(a[1:], 0.05 / 3)
+        assert np.allclose(b[1:], 0.05 / 3)
+
+    def test_rates_d_zero(self, model_2d):
+        a, b = model_2d.transition_rates(0)
+        assert a.tolist() == [0.05]
+        assert b.tolist() == [0.0]
+
+
+class TestSteadyState:
+    @pytest.mark.parametrize("d", [0, 1, 2, 3, 7, 20])
+    def test_1d_solvers_agree(self, model_1d, d):
+        auto = model_1d.steady_state(d)
+        for method in ("closed_form", "recursive", "matrix"):
+            assert np.allclose(model_1d.steady_state(d, method=method), auto, atol=1e-10)
+
+    @pytest.mark.parametrize("d", [0, 1, 2, 5, 12])
+    def test_2d_exact_solvers_agree(self, model_2d, d):
+        recursive = model_2d.steady_state(d, method="recursive")
+        matrix = model_2d.steady_state(d, method="matrix")
+        assert np.allclose(recursive, matrix, atol=1e-10)
+
+    @pytest.mark.parametrize("d", [0, 1, 2, 4, 9])
+    def test_2d_approx_solvers_agree(self, model_2d_approx, d):
+        closed = model_2d_approx.steady_state(d, method="closed_form")
+        matrix = model_2d_approx.steady_state(d, method="matrix")
+        assert np.allclose(closed, matrix, atol=1e-10)
+
+    def test_2d_exact_has_no_closed_form(self, model_2d):
+        with pytest.raises(ParameterError):
+            model_2d.steady_state(3, method="closed_form")
+
+    def test_unknown_method_rejected(self, model_1d):
+        with pytest.raises(ParameterError):
+            model_1d.steady_state(3, method="magic")
+
+    def test_auto_result_is_cached_and_readonly(self, model_1d):
+        first = model_1d.steady_state(5)
+        second = model_1d.steady_state(5)
+        assert first is second
+        with pytest.raises(ValueError):
+            first[0] = 0.5
+
+    def test_exact_vs_approx_2d_close_for_moderate_d(self):
+        # Section 7 claims the q/(6i) terms matter little for the
+        # *decision*; the distributions themselves drift modestly.  The
+        # boundary probability p_d, which drives the update cost, must
+        # stay close in relative terms.
+        mobility = MobilityParams(0.1, 0.01)
+        exact = TwoDimensionalModel(mobility).steady_state(8)
+        approx = TwoDimensionalApproximateModel(mobility).steady_state(8)
+        assert np.max(np.abs(exact - approx)) < 0.15
+        assert approx[8] == pytest.approx(exact[8], rel=0.6)
+
+    def test_2d_exact_d1_hand_computed(self):
+        # Verified by hand in DESIGN.md: q=0.05, c=0.01 gives
+        # p1 (2q/3 + c) = p0 q.
+        model = TwoDimensionalModel(MobilityParams(0.05, 0.01))
+        p = model.steady_state(1)
+        ratio = 0.05 / (2 * 0.05 / 3 + 0.01)
+        assert p[1] / p[0] == pytest.approx(ratio)
+
+
+class TestUpdateRate:
+    def test_1d_interior(self, model_1d):
+        assert model_1d.update_rate(5) == pytest.approx(0.025)
+
+    def test_1d_paper_boundary_quirk(self, model_1d):
+        # Table 1: C_u(0) = U q/2, i.e. the interior rate at d = 0.
+        assert model_1d.update_rate(0) == pytest.approx(0.025)
+        assert model_1d.update_rate(0, convention="physical") == pytest.approx(0.05)
+
+    def test_2d_exact_boundary(self, model_2d):
+        # Table 2: C_u(0) = U q.
+        assert model_2d.update_rate(0) == pytest.approx(0.05)
+        assert model_2d.update_rate(1) == pytest.approx(0.05 * 0.5)
+        assert model_2d.update_rate(2) == pytest.approx(0.05 * (1 / 3 + 1 / 12))
+
+    def test_2d_approx_boundary(self, model_2d_approx):
+        # The d' column of Table 2 requires q/3 at d = 0.
+        assert model_2d_approx.update_rate(0) == pytest.approx(0.05 / 3)
+        assert model_2d_approx.update_rate(0, convention="physical") == pytest.approx(0.05)
+        assert model_2d_approx.update_rate(7) == pytest.approx(0.05 / 3)
+
+    def test_unknown_convention_rejected(self, model_1d):
+        with pytest.raises(ParameterError):
+            model_1d.update_rate(1, convention="wrong")

@@ -1,0 +1,132 @@
+"""Unit tests for threshold search algorithms."""
+
+import pytest
+
+from repro import ParameterError, exhaustive_search, hill_climb, simulated_annealing
+
+
+def convex(d):
+    """Smooth single-minimum curve with optimum at 7."""
+    return (d - 7) ** 2 + 1.0
+
+
+def double_dip(d):
+    """Two local minima: shallow at 2, global at 11."""
+    if d <= 5:
+        return abs(d - 2) + 3.0
+    return abs(d - 11) + 1.0
+
+
+class TestExhaustive:
+    def test_finds_global_minimum(self):
+        result = exhaustive_search(convex, 20)
+        assert result.optimal_threshold == 7
+        assert result.optimal_cost == 1.0
+
+    def test_evaluates_everything_once(self):
+        calls = []
+
+        def counting(d):
+            calls.append(d)
+            return convex(d)
+
+        result = exhaustive_search(counting, 10)
+        assert result.evaluations == 11
+        assert sorted(calls) == list(range(11))
+
+    def test_escapes_local_minimum(self):
+        assert exhaustive_search(double_dip, 20).optimal_threshold == 11
+
+    def test_tie_breaks_to_smaller_threshold(self):
+        result = exhaustive_search(lambda d: 5.0, 10)
+        assert result.optimal_threshold == 0
+
+    def test_curve_recorded(self):
+        result = exhaustive_search(convex, 5)
+        assert result.cost_at(3) == convex(3)
+        assert result.cost_at(99) is None
+
+    def test_d_max_zero(self):
+        result = exhaustive_search(convex, 0)
+        assert result.optimal_threshold == 0
+
+    @pytest.mark.parametrize("bad", [-1, 2.5, "3", True])
+    def test_rejects_bad_bound(self, bad):
+        with pytest.raises(ParameterError):
+            exhaustive_search(convex, bad)
+
+
+class TestSimulatedAnnealing:
+    def test_finds_global_minimum_on_convex(self):
+        result = simulated_annealing(convex, 20, seed=1)
+        assert result.optimal_threshold == 7
+
+    def test_deterministic_per_seed(self):
+        a = simulated_annealing(double_dip, 20, seed=42)
+        b = simulated_annealing(double_dip, 20, seed=42)
+        assert a.optimal_threshold == b.optimal_threshold
+        assert a.evaluations == b.evaluations
+
+    def test_usually_escapes_local_minimum(self):
+        # The paper chose annealing precisely because the cost curve can
+        # have local minima; across seeds it should find the global one
+        # most of the time.
+        hits = sum(
+            simulated_annealing(
+                double_dip, 20, seed=s, y=40.0, exit_temperature=0.02
+            ).optimal_threshold
+            == 11
+            for s in range(20)
+        )
+        assert hits >= 15
+
+    def test_reports_best_seen_not_final_state(self):
+        result = simulated_annealing(convex, 20, seed=3)
+        assert result.optimal_cost <= min(result.curve.values()) + 1e-12
+
+    def test_method_label(self):
+        assert simulated_annealing(convex, 5, seed=0).method == "simulated-annealing"
+
+    def test_d_max_zero(self):
+        assert simulated_annealing(convex, 0, seed=0).optimal_threshold == 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"y": 0.0},
+            {"exit_temperature": 0.0},
+            {"exit_temperature": 1.0},
+            {"neighborhood": 0},
+        ],
+    )
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ParameterError):
+            simulated_annealing(convex, 10, seed=0, **kwargs)
+
+    def test_more_cooling_means_more_evaluations(self):
+        fast = simulated_annealing(convex, 30, seed=5, y=2.0, exit_temperature=0.2)
+        slow = simulated_annealing(convex, 30, seed=5, y=50.0, exit_temperature=0.05)
+        assert slow.evaluations >= fast.evaluations
+
+
+class TestHillClimb:
+    def test_descends_convex(self):
+        assert hill_climb(convex, 20, start=0).optimal_threshold == 7
+
+    def test_gets_stuck_in_local_minimum(self):
+        # This failure is the documented reason the paper avoids pure
+        # descent.
+        result = hill_climb(double_dip, 20, start=0)
+        assert result.optimal_threshold == 2
+
+    def test_from_good_start_finds_global(self):
+        assert hill_climb(double_dip, 20, start=15).optimal_threshold == 11
+
+    def test_fewer_evaluations_than_exhaustive(self):
+        greedy = hill_climb(convex, 50, start=5)
+        full = exhaustive_search(convex, 50)
+        assert greedy.evaluations < full.evaluations
+
+    def test_rejects_bad_start(self):
+        with pytest.raises(ParameterError):
+            hill_climb(convex, 10, start=11)

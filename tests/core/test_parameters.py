@@ -1,0 +1,99 @@
+"""Unit tests for parameter validation."""
+
+import math
+
+import pytest
+
+from repro import CostParams, MobilityParams, ParameterError
+from repro.core.parameters import validate_delay, validate_threshold
+
+
+class TestMobilityParams:
+    def test_valid_construction(self):
+        p = MobilityParams(move_probability=0.05, call_probability=0.01)
+        assert p.q == 0.05
+        assert p.c == 0.01
+
+    def test_aliases_match_fields(self):
+        p = MobilityParams(0.2, 0.1)
+        assert p.q == p.move_probability
+        assert p.c == p.call_probability
+
+    def test_zero_call_probability_allowed(self):
+        assert MobilityParams(0.5, 0.0).c == 0.0
+
+    def test_q_of_one_allowed_with_zero_c(self):
+        assert MobilityParams(1.0, 0.0).q == 1.0
+
+    @pytest.mark.parametrize("q", [0.0, -0.1, 1.5, math.nan, math.inf])
+    def test_invalid_move_probability(self, q):
+        with pytest.raises(ParameterError):
+            MobilityParams(q, 0.01)
+
+    @pytest.mark.parametrize("c", [-0.01, 1.0, 1.5, math.nan])
+    def test_invalid_call_probability(self, c):
+        with pytest.raises(ParameterError):
+            MobilityParams(0.05, c)
+
+    def test_competing_events_constraint(self):
+        # q + c must not exceed 1 (per-slot competing events).
+        with pytest.raises(ParameterError):
+            MobilityParams(0.7, 0.4)
+
+    def test_frozen(self):
+        p = MobilityParams(0.05, 0.01)
+        with pytest.raises(AttributeError):
+            p.move_probability = 0.1
+
+
+class TestCostParams:
+    def test_valid_construction(self):
+        p = CostParams(update_cost=100.0, poll_cost=10.0)
+        assert p.U == 100.0
+        assert p.V == 10.0
+
+    def test_ratio(self):
+        assert CostParams(100.0, 10.0).ratio == 10.0
+
+    def test_ratio_with_free_polling(self):
+        assert CostParams(5.0, 0.0).ratio == math.inf
+
+    def test_zero_costs_allowed(self):
+        p = CostParams(0.0, 0.0)
+        assert p.update_cost == 0.0
+
+    @pytest.mark.parametrize("bad", [-1.0, math.nan])
+    def test_invalid_update_cost(self, bad):
+        with pytest.raises(ParameterError):
+            CostParams(bad, 1.0)
+
+    @pytest.mark.parametrize("bad", [-0.5, math.inf])
+    def test_invalid_poll_cost(self, bad):
+        with pytest.raises(ParameterError):
+            CostParams(1.0, bad)
+
+
+class TestValidateThreshold:
+    def test_accepts_zero(self):
+        assert validate_threshold(0) == 0
+
+    def test_accepts_positive(self):
+        assert validate_threshold(17) == 17
+
+    @pytest.mark.parametrize("bad", [-1, 1.5, "3", True, None])
+    def test_rejects_invalid(self, bad):
+        with pytest.raises(ParameterError):
+            validate_threshold(bad)
+
+
+class TestValidateDelay:
+    def test_accepts_one(self):
+        assert validate_delay(1) == 1
+
+    def test_accepts_infinity(self):
+        assert validate_delay(math.inf) == math.inf
+
+    @pytest.mark.parametrize("bad", [0, -3, 1.5, "2", True])
+    def test_rejects_invalid(self, bad):
+        with pytest.raises(ParameterError):
+            validate_delay(bad)

@@ -1,0 +1,157 @@
+"""Unit tests for policy serialization."""
+
+import json
+import math
+
+import pytest
+
+from repro import (
+    CostParams,
+    MobilityParams,
+    ParameterError,
+    Policy,
+    TwoDimensionalModel,
+    find_optimal_threshold,
+)
+from repro.core.policy_io import policy_from_solution
+from repro.geometry import HexTopology, LineTopology, SquareTopology
+from repro.paging import partition_from_sizes, sdf_partition
+
+
+class TestConstruction:
+    def test_sdf_constructor(self):
+        policy = Policy.sdf(HexTopology(), 4, 2)
+        assert policy.plan == sdf_partition(4, 2)
+
+    def test_plan_threshold_must_match(self):
+        with pytest.raises(ParameterError):
+            Policy(
+                topology=HexTopology(),
+                threshold=3,
+                max_delay=2,
+                plan=sdf_partition(4, 2),
+            )
+
+    def test_plan_must_respect_delay_bound(self):
+        with pytest.raises(ParameterError):
+            Policy(
+                topology=HexTopology(),
+                threshold=4,
+                max_delay=2,
+                plan=partition_from_sizes(4, [1, 1, 1, 2]),
+            )
+
+    def test_unbounded_delay_allows_any_partition(self):
+        policy = Policy(
+            topology=LineTopology(),
+            threshold=4,
+            max_delay=math.inf,
+            plan=partition_from_sizes(4, [1, 1, 1, 1, 1]),
+        )
+        assert policy.max_delay == math.inf
+
+    def test_from_solution(self):
+        solution = find_optimal_threshold(
+            TwoDimensionalModel(MobilityParams(0.05, 0.01)),
+            CostParams(100, 10),
+            3,
+        )
+        policy = policy_from_solution(HexTopology(), solution)
+        assert policy.threshold == solution.threshold
+        assert policy.max_delay == 3
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "topology", [LineTopology(), HexTopology(), SquareTopology()]
+    )
+    def test_json_roundtrip(self, topology):
+        policy = Policy.sdf(topology, 5, 3)
+        restored = Policy.from_json(policy.to_json())
+        assert restored.topology == policy.topology
+        assert restored.threshold == policy.threshold
+        assert restored.max_delay == policy.max_delay
+        assert restored.plan == policy.plan
+
+    def test_unbounded_roundtrip(self):
+        policy = Policy.sdf(HexTopology(), 3, math.inf)
+        restored = Policy.from_json(policy.to_json())
+        assert restored.max_delay == math.inf
+
+    def test_file_roundtrip(self, tmp_path):
+        policy = Policy.sdf(HexTopology(), 4, 2)
+        path = tmp_path / "policy.json"
+        policy.save(path)
+        assert Policy.load(path).plan == policy.plan
+
+    def test_wire_format_is_stable(self):
+        payload = json.loads(Policy.sdf(LineTopology(), 2, 2).to_json())
+        assert payload == {
+            "version": 1,
+            "topology": "line",
+            "threshold": 2,
+            "max_delay": 2,
+            "subareas": [[0], [1, 2]],
+        }
+
+
+class TestValidationOnLoad:
+    def test_malformed_json(self):
+        with pytest.raises(ParameterError):
+            Policy.from_json("{nope")
+
+    def test_non_object(self):
+        with pytest.raises(ParameterError):
+            Policy.from_json("[1, 2]")
+
+    def test_unknown_version(self):
+        text = Policy.sdf(HexTopology(), 2, 1).to_json().replace('"version": 1', '"version": 9')
+        with pytest.raises(ParameterError, match="version"):
+            Policy.from_json(text)
+
+    def test_unknown_topology(self):
+        text = Policy.sdf(HexTopology(), 2, 1).to_json().replace('"hex"', '"torus"')
+        with pytest.raises(ParameterError):
+            Policy.from_json(text)
+
+    def test_missing_field(self):
+        payload = json.loads(Policy.sdf(HexTopology(), 2, 1).to_json())
+        del payload["subareas"]
+        with pytest.raises(ParameterError, match="missing"):
+            Policy.from_json(json.dumps(payload))
+
+    def test_partition_not_covering_rings(self):
+        payload = json.loads(Policy.sdf(HexTopology(), 2, 2).to_json())
+        payload["subareas"] = [[0], [2]]
+        with pytest.raises(ParameterError):
+            Policy.from_json(json.dumps(payload))
+
+    def test_partition_exceeding_bound(self):
+        payload = json.loads(Policy.sdf(HexTopology(), 2, 2).to_json())
+        payload["subareas"] = [[0], [1], [2]]
+        with pytest.raises(ParameterError):
+            Policy.from_json(json.dumps(payload))
+
+
+class TestDeployment:
+    def test_build_strategy(self):
+        policy = Policy.sdf(HexTopology(), 3, 2)
+        strategy = policy.build_strategy()
+        strategy.attach(HexTopology(), (0, 0))
+        assert strategy.threshold == 3
+        assert strategy.plan == policy.plan
+
+    def test_deployed_strategy_simulates(self):
+        from repro.simulation import SimulationEngine
+
+        policy = Policy.sdf(HexTopology(), 2, 2)
+        engine = SimulationEngine(
+            HexTopology(),
+            policy.build_strategy(),
+            MobilityParams(0.3, 0.03),
+            CostParams(10, 1),
+            seed=1,
+        )
+        snapshot = engine.run(5000)
+        assert snapshot.calls > 0
+        assert max(snapshot.delay_histogram) <= 2

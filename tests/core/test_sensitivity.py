@@ -1,0 +1,107 @@
+"""Unit tests for misestimation sensitivity analysis."""
+
+import pytest
+
+from repro import (
+    CostParams,
+    MobilityParams,
+    OneDimensionalModel,
+    ParameterError,
+    TwoDimensionalModel,
+    misestimation_regret,
+    regret_surface,
+)
+
+TRUTH = MobilityParams(0.1, 0.01)
+COSTS = CostParams(100.0, 5.0)
+
+
+class TestMisestimationRegret:
+    def test_perfect_estimate_zero_regret(self):
+        point = misestimation_regret(
+            OneDimensionalModel, TRUTH, COSTS, 1, q_factor=1.0, c_factor=1.0
+        )
+        assert point.regret == pytest.approx(0.0, abs=1e-12)
+        assert point.assumed_threshold == point.true_threshold
+
+    def test_regret_is_nonnegative(self):
+        for qf, cf in ((0.25, 1.0), (4.0, 1.0), (1.0, 0.25), (1.0, 4.0), (0.5, 3.0)):
+            point = misestimation_regret(
+                TwoDimensionalModel, TRUTH, COSTS, 2, q_factor=qf, c_factor=cf
+            )
+            assert point.regret >= -1e-12
+
+    def test_overestimating_mobility_raises_threshold(self):
+        point = misestimation_regret(
+            OneDimensionalModel, TRUTH, COSTS, 1, q_factor=8.0, c_factor=1.0
+        )
+        assert point.assumed_threshold >= point.true_threshold
+
+    def test_overestimating_traffic_lowers_threshold(self):
+        point = misestimation_regret(
+            OneDimensionalModel, TRUTH, COSTS, 1, q_factor=1.0, c_factor=8.0
+        )
+        assert point.assumed_threshold <= point.true_threshold
+
+    def test_proportional_error_is_cheap(self):
+        # d* depends on the parameters mostly through the q/c ratio.
+        proportional = misestimation_regret(
+            TwoDimensionalModel, TRUTH, COSTS, 2, q_factor=2.0, c_factor=2.0
+        )
+        lopsided = misestimation_regret(
+            TwoDimensionalModel, TRUTH, COSTS, 2, q_factor=2.0, c_factor=0.5
+        )
+        assert proportional.regret <= lopsided.regret + 1e-12
+
+    def test_achieved_cost_evaluated_at_truth(self):
+        point = misestimation_regret(
+            OneDimensionalModel, TRUTH, COSTS, 1, q_factor=4.0, c_factor=1.0
+        )
+        from repro import CostEvaluator
+
+        evaluator = CostEvaluator(
+            OneDimensionalModel(TRUTH), COSTS, convention="physical"
+        )
+        assert point.achieved_cost == pytest.approx(
+            evaluator.total_cost(point.assumed_threshold, 1)
+        )
+
+    @pytest.mark.parametrize("qf,cf", [(0.0, 1.0), (-1.0, 1.0), (1.0, 0.0)])
+    def test_invalid_factors(self, qf, cf):
+        with pytest.raises(ParameterError):
+            misestimation_regret(
+                OneDimensionalModel, TRUTH, COSTS, 1, q_factor=qf, c_factor=cf
+            )
+
+
+class TestRegretSurface:
+    @pytest.fixture(scope="class")
+    def surface(self):
+        return regret_surface(
+            OneDimensionalModel,
+            TRUTH,
+            COSTS,
+            1,
+            factors=(0.25, 1.0, 4.0),
+            d_max=40,
+        )
+
+    def test_grid_shape(self, surface):
+        assert set(surface) == {0.25, 1.0, 4.0}
+        for row in surface.values():
+            assert set(row) == {0.25, 1.0, 4.0}
+
+    def test_center_is_zero(self, surface):
+        assert surface[1.0][1.0].regret == pytest.approx(0.0, abs=1e-12)
+
+    def test_regret_grows_away_from_center(self, surface):
+        # Extreme lopsided corners must cost at least as much as the
+        # perfect estimate.
+        assert surface[4.0][0.25].regret >= surface[1.0][1.0].regret
+        assert surface[0.25][4.0].regret >= surface[1.0][1.0].regret
+
+    def test_flat_basin_supports_dynamic_scheme(self, surface):
+        # 4x misestimation of q alone costs well under 100%: crude
+        # online estimators are good enough -- the paper's dynamic-
+        # scheme premise.
+        assert surface[4.0][1.0].regret < 1.0

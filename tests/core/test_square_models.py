@@ -1,0 +1,107 @@
+"""Unit tests for the square-grid model extension."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CostParams,
+    MobilityParams,
+    OneDimensionalModel,
+    SquareGridApproximateModel,
+    SquareGridModel,
+    find_optimal_threshold,
+)
+from repro.simulation import validate_against_model
+
+MOBILITY = MobilityParams(0.1, 0.01)
+
+
+class TestSquareExactModel:
+    def test_transition_rates(self):
+        model = SquareGridModel(MOBILITY)
+        a, b = model.transition_rates(3)
+        q = 0.1
+        assert a[0] == pytest.approx(q)
+        assert a[1] == pytest.approx(q * 0.75)
+        assert b[1] == pytest.approx(q * 0.25)
+        assert a[2] == pytest.approx(q * (0.5 + 1 / 8))
+        assert b[3] == pytest.approx(q * (0.5 - 1 / 12))
+
+    def test_coverage(self):
+        model = SquareGridModel(MOBILITY)
+        assert [model.coverage(d) for d in range(4)] == [1, 5, 13, 25]
+
+    @pytest.mark.parametrize("d", [0, 1, 2, 5, 12])
+    def test_solvers_agree(self, d):
+        model = SquareGridModel(MOBILITY)
+        recursive = model.steady_state(d, method="recursive")
+        matrix = model.steady_state(d, method="matrix")
+        assert np.allclose(recursive, matrix, atol=1e-11)
+
+    def test_update_rate(self):
+        model = SquareGridModel(MOBILITY)
+        assert model.update_rate(0) == pytest.approx(0.1)  # physical
+        assert model.update_rate(2) == pytest.approx(0.1 * (0.5 + 1 / 8))
+
+    def test_optimization_runs(self):
+        solution = find_optimal_threshold(
+            SquareGridModel(MOBILITY), CostParams(50, 5), 2
+        )
+        assert solution.threshold >= 0
+        assert solution.total_cost > 0
+
+    def test_simulation_agreement(self):
+        # The ring chain aggregates corner/edge cells like the hex
+        # model; agreement with the grid walk within a few percent.
+        comparison = validate_against_model(
+            SquareGridModel(MOBILITY),
+            CostParams(50, 5),
+            d=3,
+            m=2,
+            slots=80_000,
+            replications=3,
+            seed=3,
+        )
+        assert comparison.relative_error < 0.05
+
+
+class TestSquareApproximateModel:
+    def test_chain_identical_to_1d(self):
+        # Dropping the q/(4i) terms leaves exactly the 1-D chain, so
+        # the Section 3.2 closed form applies verbatim.
+        square = SquareGridApproximateModel(MOBILITY)
+        line = OneDimensionalModel(MOBILITY)
+        for d in (0, 1, 2, 5, 9):
+            assert np.allclose(square.steady_state(d), line.steady_state(d))
+
+    def test_geometry_differs_from_1d(self):
+        square = SquareGridApproximateModel(MOBILITY)
+        line = OneDimensionalModel(MOBILITY)
+        assert square.coverage(3) == 25
+        assert line.coverage(3) == 7
+
+    @pytest.mark.parametrize("d", [0, 1, 2, 4, 8])
+    def test_closed_form_matches_matrix(self, d):
+        model = SquareGridApproximateModel(MOBILITY)
+        closed = model.steady_state(d, method="closed_form")
+        matrix = model.steady_state(d, method="matrix")
+        assert np.allclose(closed, matrix, atol=1e-11)
+
+    def test_boundary_probability_close_to_exact(self):
+        exact = SquareGridModel(MOBILITY).steady_state(6)
+        approx = SquareGridApproximateModel(MOBILITY).steady_state(6)
+        assert approx[6] == pytest.approx(exact[6], rel=0.6)
+
+    def test_update_rate_is_interior(self):
+        model = SquareGridApproximateModel(MOBILITY)
+        assert model.update_rate(0) == pytest.approx(0.05)
+        assert model.update_rate(5) == pytest.approx(0.05)
+
+    def test_near_optimal_style_threshold_close_to_exact(self):
+        # The approximate model must rank thresholds like the exact one.
+        costs = CostParams(100, 5)
+        exact = find_optimal_threshold(SquareGridModel(MOBILITY), costs, 2).threshold
+        approx = find_optimal_threshold(
+            SquareGridApproximateModel(MOBILITY), costs, 2
+        ).threshold
+        assert abs(exact - approx) <= 1

@@ -1,0 +1,97 @@
+"""Unit tests for the high-level optimal-threshold API."""
+
+import math
+
+import pytest
+
+from repro import (
+    CostParams,
+    MobilityParams,
+    OneDimensionalModel,
+    ParameterError,
+    TwoDimensionalModel,
+    find_optimal_threshold,
+)
+
+
+class TestFindOptimalThreshold:
+    def test_matches_paper_table1(self, model_1d):
+        solution = find_optimal_threshold(model_1d, CostParams(20, 10), 1)
+        assert solution.threshold == 1
+        assert solution.total_cost == pytest.approx(0.527, abs=5e-4)
+
+    def test_matches_paper_table2(self, model_2d):
+        solution = find_optimal_threshold(model_2d, CostParams(1000, 10), 3)
+        assert solution.threshold == 5
+        assert solution.total_cost == pytest.approx(3.177, abs=5e-4)
+
+    def test_components_exposed(self, model_1d):
+        solution = find_optimal_threshold(model_1d, CostParams(50, 10), 2)
+        assert solution.total_cost == pytest.approx(
+            solution.update_cost + solution.paging_cost
+        )
+
+    def test_unbounded_delay(self, model_1d):
+        solution = find_optimal_threshold(model_1d, CostParams(100, 10), math.inf)
+        assert solution.delay_bound == math.inf
+        assert solution.threshold == 7
+
+    def test_annealing_agrees_with_exhaustive(self, model_1d):
+        costs = CostParams(60, 10)
+        exact = find_optimal_threshold(model_1d, costs, 2, d_max=30)
+        annealed = find_optimal_threshold(
+            model_1d, costs, 2, d_max=30, method="annealing", seed=11
+        )
+        assert annealed.total_cost == pytest.approx(exact.total_cost, rel=0.02)
+
+    def test_hill_method_runs(self, model_1d):
+        solution = find_optimal_threshold(model_1d, CostParams(5, 10), 1, method="hill")
+        assert solution.threshold == 0
+
+    def test_unknown_method_rejected(self, model_1d):
+        with pytest.raises(ParameterError):
+            find_optimal_threshold(model_1d, CostParams(5, 10), 1, method="nope")
+
+    def test_higher_update_cost_never_lowers_threshold(self, model_1d):
+        thresholds = [
+            find_optimal_threshold(model_1d, CostParams(U, 10), 1).threshold
+            for U in (1, 10, 50, 200, 1000)
+        ]
+        assert thresholds == sorted(thresholds)
+
+    def test_longer_delay_never_costs_more(self, model_2d):
+        costs = CostParams(200, 10)
+        values = [
+            find_optimal_threshold(model_2d, costs, m).total_cost
+            for m in (1, 2, 3, math.inf)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_d_max_limits_search(self, model_1d):
+        solution = find_optimal_threshold(
+            model_1d, CostParams(1000, 10), math.inf, d_max=5
+        )
+        assert solution.threshold <= 5
+
+    def test_search_metadata(self, model_1d):
+        solution = find_optimal_threshold(model_1d, CostParams(20, 10), 1, d_max=12)
+        assert solution.search.evaluations == 13
+        assert solution.search.method == "exhaustive"
+
+
+class TestAcrossParameterSpace:
+    @pytest.mark.parametrize("q", [0.01, 0.1, 0.4])
+    @pytest.mark.parametrize("c", [0.005, 0.05])
+    def test_solution_is_valid_everywhere(self, q, c):
+        model = TwoDimensionalModel(MobilityParams(q, c))
+        solution = find_optimal_threshold(model, CostParams(50, 5), 2, d_max=60)
+        assert 0 <= solution.threshold <= 60
+        assert solution.total_cost > 0
+        assert math.isfinite(solution.total_cost)
+
+    def test_mostly_stationary_user_updates_rarely(self):
+        # Tiny q with costly updates: big threshold, cost dominated by
+        # paging.
+        model = OneDimensionalModel(MobilityParams(0.001, 0.05))
+        solution = find_optimal_threshold(model, CostParams(500, 1), 1)
+        assert solution.paging_cost > solution.update_cost

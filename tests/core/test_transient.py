@@ -1,0 +1,138 @@
+"""Unit tests for transient analysis of the ring chain."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CostEvaluator,
+    CostParams,
+    MobilityParams,
+    OneDimensionalModel,
+    ParameterError,
+    TwoDimensionalModel,
+    distribution_at,
+    mixing_time,
+    transient_cost,
+)
+
+MODEL = OneDimensionalModel(MobilityParams(0.1, 0.02))
+COSTS = CostParams(50.0, 5.0)
+
+
+class TestDistributionAt:
+    def test_zero_slots_is_start(self):
+        vec = distribution_at(MODEL, 4, 0)
+        assert vec.tolist() == [1, 0, 0, 0, 0]
+
+    def test_stays_a_distribution(self):
+        for slots in (1, 5, 50):
+            vec = distribution_at(MODEL, 4, slots)
+            assert vec.sum() == pytest.approx(1.0)
+            assert np.all(vec >= -1e-15)
+
+    def test_converges_to_steady_state(self):
+        vec = distribution_at(MODEL, 4, 2000)
+        assert np.allclose(vec, MODEL.steady_state(4), atol=1e-8)
+
+    def test_custom_start(self):
+        start = [0, 0, 1, 0, 0]
+        vec = distribution_at(MODEL, 4, 0, start=start)
+        assert vec.tolist() == start
+
+    def test_invalid_start_rejected(self):
+        with pytest.raises(ParameterError):
+            distribution_at(MODEL, 4, 1, start=[0.5, 0.5])
+        with pytest.raises(ParameterError):
+            distribution_at(MODEL, 4, 1, start=[0.5, 0.2, 0.1, 0.1, 0.0])
+
+    def test_negative_slots_rejected(self):
+        with pytest.raises(ParameterError):
+            distribution_at(MODEL, 4, -1)
+
+    def test_one_slot_matches_transition_row(self):
+        vec = distribution_at(MODEL, 3, 1)
+        P = MODEL.chain(3).transition_matrix()
+        assert np.allclose(vec, P[0])
+
+
+class TestMixingTime:
+    def test_already_mixed_is_zero(self):
+        pi = MODEL.steady_state(4)
+        assert mixing_time(MODEL, 4, start=pi) == 0
+
+    def test_mixing_time_is_sufficient(self):
+        t = mixing_time(MODEL, 4, tolerance=0.01)
+        vec = distribution_at(MODEL, 4, t)
+        pi = MODEL.steady_state(4)
+        assert 0.5 * np.abs(vec - pi).sum() <= 0.01 + 1e-12
+
+    def test_one_less_slot_is_insufficient(self):
+        t = mixing_time(MODEL, 4, tolerance=0.01)
+        assert t >= 1
+        vec = distribution_at(MODEL, 4, t - 1)
+        pi = MODEL.steady_state(4)
+        assert 0.5 * np.abs(vec - pi).sum() > 0.01
+
+    def test_tighter_tolerance_takes_longer(self):
+        loose = mixing_time(MODEL, 5, tolerance=0.05)
+        tight = mixing_time(MODEL, 5, tolerance=0.001)
+        assert tight > loose
+
+    def test_faster_traffic_mixes_faster(self):
+        # Calls reset the chain to 0, so heavier traffic mixes faster.
+        slow = mixing_time(OneDimensionalModel(MobilityParams(0.1, 0.005)), 5)
+        fast = mixing_time(OneDimensionalModel(MobilityParams(0.1, 0.1)), 5)
+        assert fast < slow
+
+    def test_bad_tolerance_rejected(self):
+        with pytest.raises(ParameterError):
+            mixing_time(MODEL, 4, tolerance=0.0)
+
+    def test_works_for_2d(self):
+        model = TwoDimensionalModel(MobilityParams(0.2, 0.02))
+        assert mixing_time(model, 5) > 0
+
+
+class TestTransientCost:
+    def test_starts_cheap_converges_to_steady(self):
+        evaluator = CostEvaluator(MODEL, COSTS)
+        analysis = transient_cost(evaluator, 3, 2, horizon=400)
+        # Fresh fix: no chance of being at the boundary; only paging of
+        # the first subarea contributes.
+        assert analysis.per_slot_cost[0] < analysis.steady_state_cost
+        assert analysis.per_slot_cost[-1] == pytest.approx(
+            analysis.steady_state_cost, rel=1e-6
+        )
+
+    def test_costs_monotone_from_fresh_fix(self):
+        evaluator = CostEvaluator(MODEL, COSTS)
+        analysis = transient_cost(evaluator, 3, 1, horizon=100)
+        diffs = np.diff(analysis.per_slot_cost)
+        assert np.all(diffs >= -1e-12)
+
+    def test_slots_to_within(self):
+        evaluator = CostEvaluator(MODEL, COSTS)
+        analysis = transient_cost(evaluator, 3, 1, horizon=500)
+        t = analysis.slots_to_within(0.01)
+        assert 0 < t < 500
+        assert abs(
+            analysis.per_slot_cost[t] - analysis.steady_state_cost
+        ) <= 0.01 * analysis.steady_state_cost
+
+    def test_cumulative_cost(self):
+        evaluator = CostEvaluator(MODEL, COSTS)
+        analysis = transient_cost(evaluator, 2, 1, horizon=10)
+        assert analysis.cumulative_cost == pytest.approx(
+            sum(analysis.per_slot_cost)
+        )
+
+    def test_horizon_zero(self):
+        evaluator = CostEvaluator(MODEL, COSTS)
+        analysis = transient_cost(evaluator, 2, 1, horizon=0)
+        assert analysis.horizon == 0
+        assert analysis.slots_to_within() == 0
+
+    def test_negative_horizon_rejected(self):
+        evaluator = CostEvaluator(MODEL, COSTS)
+        with pytest.raises(ParameterError):
+            transient_cost(evaluator, 2, 1, horizon=-1)

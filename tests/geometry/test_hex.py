@@ -1,0 +1,148 @@
+"""Unit tests for the hexagonal-grid topology."""
+
+import pytest
+
+from repro.geometry import AXIAL_DIRECTIONS, HexTopology
+
+
+class TestBasics:
+    def test_origin(self, hexgrid):
+        assert hexgrid.origin == (0, 0)
+
+    def test_degree_six(self, hexgrid):
+        assert hexgrid.degree == 6
+
+    def test_directions_are_six_unit_steps(self, hexgrid):
+        assert len(AXIAL_DIRECTIONS) == 6
+        for direction in AXIAL_DIRECTIONS:
+            assert hexgrid.distance((0, 0), direction) == 1
+
+    def test_directions_are_distinct(self):
+        assert len(set(AXIAL_DIRECTIONS)) == 6
+
+    def test_equality_and_hash(self):
+        assert HexTopology() == HexTopology()
+        assert hash(HexTopology()) == hash(HexTopology())
+
+
+class TestCellValidation:
+    @pytest.mark.parametrize("bad", [5, (1,), (1, 2, 3), (1.0, 2), "cell", (True, 0)])
+    def test_rejects_malformed_cells(self, hexgrid, bad):
+        with pytest.raises(ValueError):
+            hexgrid.neighbors(bad)
+
+
+class TestDistance:
+    def test_distance_to_self(self, hexgrid):
+        assert hexgrid.distance((3, -2), (3, -2)) == 0
+
+    def test_distance_axis_aligned(self, hexgrid):
+        assert hexgrid.distance((0, 0), (4, 0)) == 4
+        assert hexgrid.distance((0, 0), (0, -3)) == 3
+
+    def test_distance_diagonal(self, hexgrid):
+        # (2, -1): |2| + |-1| + |1| over 2 = 2.
+        assert hexgrid.distance((0, 0), (2, -1)) == 2
+
+    def test_distance_mixed_signs_sum(self, hexgrid):
+        # q and r same sign add up: (2, 3) is 5 steps away.
+        assert hexgrid.distance((0, 0), (2, 3)) == 5
+
+    def test_symmetry(self, hexgrid):
+        assert hexgrid.distance((1, 5), (-3, 2)) == hexgrid.distance((-3, 2), (1, 5))
+
+    def test_translation_invariance(self, hexgrid):
+        base = hexgrid.distance((0, 0), (3, -1))
+        assert hexgrid.distance((7, 4), (10, 3)) == base
+
+    def test_triangle_inequality_sample(self, hexgrid):
+        a, b, c = (0, 0), (3, -2), (-1, 4)
+        assert hexgrid.distance(a, c) <= hexgrid.distance(a, b) + hexgrid.distance(b, c)
+
+    def test_neighbors_at_distance_one(self, hexgrid):
+        for nb in hexgrid.neighbors((5, -3)):
+            assert hexgrid.distance((5, -3), nb) == 1
+
+
+class TestRings:
+    def test_ring_zero(self, hexgrid):
+        assert hexgrid.ring((2, 2), 0) == [(2, 2)]
+
+    def test_ring_sizes_are_6i(self, hexgrid):
+        for r in range(1, 8):
+            assert hexgrid.ring_size(r) == 6 * r
+            assert len(hexgrid.ring((0, 0), r)) == 6 * r
+
+    def test_ring_cells_at_exact_distance(self, hexgrid):
+        center = (1, -4)
+        for r in range(4):
+            for cell in hexgrid.ring(center, r):
+                assert hexgrid.distance(center, cell) == r
+
+    def test_ring_cells_are_unique(self, hexgrid):
+        cells = hexgrid.ring((0, 0), 5)
+        assert len(set(cells)) == len(cells)
+
+    def test_ring_translation(self, hexgrid):
+        base = hexgrid.ring((0, 0), 2)
+        shifted = hexgrid.ring((3, -1), 2)
+        assert {(q + 3, r - 1) for q, r in base} == set(shifted)
+
+    def test_negative_radius_rejected(self, hexgrid):
+        with pytest.raises(ValueError):
+            hexgrid.ring((0, 0), -1)
+
+
+class TestCoverage:
+    def test_coverage_formula(self, hexgrid):
+        # Paper equation (1): g(d) = 3d(d+1) + 1.
+        for d in range(8):
+            assert hexgrid.coverage(d) == 3 * d * (d + 1) + 1
+
+    def test_coverage_matches_disk(self, hexgrid):
+        for d in range(5):
+            disk = list(hexgrid.disk((0, 0), d))
+            assert len(disk) == hexgrid.coverage(d)
+            assert len(set(disk)) == len(disk)
+
+    def test_disk_is_distance_ball(self, hexgrid):
+        # Every cell at distance <= d is in the disk, and nothing else.
+        d = 3
+        disk = set(hexgrid.disk((0, 0), d))
+        for q in range(-d - 1, d + 2):
+            for r in range(-d - 1, d + 2):
+                inside = hexgrid.distance((0, 0), (q, r)) <= d
+                assert ((q, r) in disk) == inside
+
+
+class TestCorners:
+    def test_ring_one_all_corners(self, hexgrid):
+        for cell in hexgrid.ring((0, 0), 1):
+            assert hexgrid.is_corner((0, 0), cell)
+
+    def test_ring_two_has_six_corners(self, hexgrid):
+        corners = [
+            cell
+            for cell in hexgrid.ring((0, 0), 2)
+            if hexgrid.is_corner((0, 0), cell)
+        ]
+        assert len(corners) == 6
+
+    def test_ring_i_has_six_corners(self, hexgrid):
+        for radius in range(2, 6):
+            corners = [
+                cell
+                for cell in hexgrid.ring((0, 0), radius)
+                if hexgrid.is_corner((0, 0), cell)
+            ]
+            assert len(corners) == 6
+
+    def test_corner_neighbor_profile(self, hexgrid):
+        # Corner cells have 3 outward / 2 same / 1 inward neighbors.
+        for radius in (1, 2, 4):
+            for cell in hexgrid.ring((0, 0), radius):
+                counts = hexgrid.ring_transition_counts((0, 0), cell)
+                if hexgrid.is_corner((0, 0), cell):
+                    assert counts == (3, 2, 1)
+                else:
+                    assert counts == (2, 2, 2)

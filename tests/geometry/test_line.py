@@ -1,0 +1,114 @@
+"""Unit tests for the 1-D line topology."""
+
+import pytest
+
+from repro.geometry import LineTopology
+
+
+class TestBasics:
+    def test_origin_is_zero(self, line):
+        assert line.origin == 0
+
+    def test_degree_two(self, line):
+        assert line.degree == 2
+
+    def test_dimensions(self, line):
+        assert line.dimensions == 1
+
+    def test_repr_and_equality(self):
+        assert LineTopology() == LineTopology()
+        assert repr(LineTopology()) == "LineTopology()"
+        assert hash(LineTopology()) == hash(LineTopology())
+
+
+class TestNeighbors:
+    def test_neighbors_of_origin(self, line):
+        assert tuple(line.neighbors(0)) == (-1, 1)
+
+    def test_neighbors_of_negative_cell(self, line):
+        assert tuple(line.neighbors(-5)) == (-6, -4)
+
+    def test_neighbor_count_matches_degree(self, line):
+        assert len(line.neighbors(17)) == line.degree
+
+    def test_rejects_non_integer_cell(self, line):
+        with pytest.raises(ValueError):
+            line.neighbors(1.5)
+
+    def test_rejects_bool_cell(self, line):
+        # bool is an int subclass; cells must be genuine integers.
+        with pytest.raises(ValueError):
+            line.neighbors(True)
+
+
+class TestDistance:
+    def test_distance_is_absolute_difference(self, line):
+        assert line.distance(3, -4) == 7
+
+    def test_distance_symmetry(self, line):
+        assert line.distance(-2, 9) == line.distance(9, -2)
+
+    def test_distance_zero_to_self(self, line):
+        assert line.distance(11, 11) == 0
+
+    def test_triangle_inequality(self, line):
+        a, b, c = -3, 5, 12
+        assert line.distance(a, c) <= line.distance(a, b) + line.distance(b, c)
+
+
+class TestRings:
+    def test_ring_zero_is_center(self, line):
+        assert line.ring(4, 0) == [4]
+
+    def test_ring_has_two_cells(self, line):
+        assert line.ring(0, 3) == [-3, 3]
+
+    def test_ring_around_offset_center(self, line):
+        assert line.ring(10, 2) == [8, 12]
+
+    def test_ring_size(self, line):
+        assert line.ring_size(0) == 1
+        assert line.ring_size(1) == 2
+        assert line.ring_size(100) == 2
+
+    def test_ring_size_matches_enumeration(self, line):
+        for r in range(6):
+            assert line.ring_size(r) == len(line.ring(0, r))
+
+    def test_negative_radius_rejected(self, line):
+        with pytest.raises(ValueError):
+            line.ring(0, -1)
+        with pytest.raises(ValueError):
+            line.ring_size(-2)
+
+
+class TestCoverage:
+    def test_coverage_formula(self, line):
+        # Paper equation (1): g(d) = 2d + 1.
+        for d in range(10):
+            assert line.coverage(d) == 2 * d + 1
+
+    def test_coverage_matches_disk_enumeration(self, line):
+        for d in range(6):
+            disk = list(line.disk(0, d))
+            assert len(disk) == line.coverage(d)
+            assert len(set(disk)) == len(disk)
+
+    def test_disk_cells_within_distance(self, line):
+        for cell in line.disk(5, 3):
+            assert line.distance(5, cell) <= 3
+
+    def test_negative_radius_rejected(self, line):
+        with pytest.raises(ValueError):
+            line.coverage(-1)
+
+
+class TestRingTransitions:
+    def test_interior_cell_splits_evenly(self, line):
+        # A cell in ring i >= 1 has one outward and one inward neighbor.
+        out, same, inward = line.ring_transition_counts(0, 4)
+        assert (out, same, inward) == (1, 0, 1)
+
+    def test_center_cell_moves_only_outward(self, line):
+        out, same, inward = line.ring_transition_counts(0, 0)
+        assert (out, same, inward) == (2, 0, 0)

@@ -1,0 +1,87 @@
+"""Tests verifying the paper's ring-movement probability formulas."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.geometry import (
+    HexTopology,
+    LineTopology,
+    paper_p_minus,
+    paper_p_plus,
+    ring_movement_stats,
+)
+
+
+class TestPaperFormulas:
+    def test_p_plus_equation_39(self):
+        # p+(i) = 1/3 + 1/(6i).
+        assert paper_p_plus(1) == Fraction(1, 2)
+        assert paper_p_plus(2) == Fraction(5, 12)
+        assert paper_p_plus(3) == Fraction(7, 18)
+
+    def test_p_minus_equation_40(self):
+        # p-(i) = 1/3 - 1/(6i).
+        assert paper_p_minus(1) == Fraction(1, 6)
+        assert paper_p_minus(2) == Fraction(1, 4)
+        assert paper_p_minus(3) == Fraction(5, 18)
+
+    def test_center_conventions(self):
+        assert paper_p_plus(0) == 1
+        assert paper_p_minus(0) == 0
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            paper_p_plus(-1)
+        with pytest.raises(ValueError):
+            paper_p_minus(-1)
+
+    def test_probabilities_approach_one_third(self):
+        # As i grows, both tend to 1/3 -- the basis of Section 4.2's
+        # approximation.
+        assert abs(float(paper_p_plus(100)) - 1 / 3) < 0.002
+        assert abs(float(paper_p_minus(100)) - 1 / 3) < 0.002
+
+
+class TestMeasuredHexStats:
+    @pytest.mark.parametrize("radius", [1, 2, 3, 4, 5, 8])
+    def test_hex_matches_paper_exactly(self, radius):
+        # Counting edges on the real grid must give exactly the paper's
+        # ring-averaged probabilities (exact rational comparison).
+        stats = ring_movement_stats(HexTopology(), radius)
+        assert stats.p_outward == paper_p_plus(radius)
+        assert stats.p_inward == paper_p_minus(radius)
+
+    def test_hex_ring_stats_sum_to_one(self):
+        stats = ring_movement_stats(HexTopology(), 3)
+        assert stats.p_outward + stats.p_same + stats.p_inward == 1
+
+    def test_hex_center(self):
+        stats = ring_movement_stats(HexTopology(), 0)
+        assert stats.p_outward == 1
+        assert stats.p_same == 0
+        assert stats.p_inward == 0
+
+    def test_cells_counted(self):
+        stats = ring_movement_stats(HexTopology(), 4)
+        assert stats.cells == 24
+
+    def test_as_floats(self):
+        floats = ring_movement_stats(HexTopology(), 2).as_floats()
+        assert floats == (float(Fraction(5, 12)), float(Fraction(1, 3)), 0.25)
+
+
+class TestMeasuredLineStats:
+    def test_line_interior_half_half(self):
+        stats = ring_movement_stats(LineTopology(), 3)
+        assert stats.p_outward == Fraction(1, 2)
+        assert stats.p_same == 0
+        assert stats.p_inward == Fraction(1, 2)
+
+    def test_line_center(self):
+        stats = ring_movement_stats(LineTopology(), 0)
+        assert stats.p_outward == 1
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            ring_movement_stats(LineTopology(), -1)

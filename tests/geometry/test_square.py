@@ -1,0 +1,122 @@
+"""Unit tests for the square-grid topology extension."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.geometry import (
+    SQUARE_DIRECTIONS,
+    SquareTopology,
+    ring_movement_stats,
+    square_p_minus,
+    square_p_plus,
+)
+
+
+@pytest.fixture
+def square():
+    return SquareTopology()
+
+
+class TestBasics:
+    def test_origin_and_degree(self, square):
+        assert square.origin == (0, 0)
+        assert square.degree == 4
+        assert square.dimensions == 2
+
+    def test_directions_are_unit_steps(self, square):
+        assert len(SQUARE_DIRECTIONS) == 4
+        for direction in SQUARE_DIRECTIONS:
+            assert square.distance((0, 0), direction) == 1
+
+    def test_equality_and_hash(self):
+        assert SquareTopology() == SquareTopology()
+        assert hash(SquareTopology()) == hash(SquareTopology())
+
+    @pytest.mark.parametrize("bad", [3, (1,), (1.0, 2), (True, 1), "x"])
+    def test_cell_validation(self, square, bad):
+        with pytest.raises(ValueError):
+            square.neighbors(bad)
+
+
+class TestMetric:
+    def test_manhattan_distance(self, square):
+        assert square.distance((0, 0), (3, -4)) == 7
+
+    def test_symmetry_and_identity(self, square):
+        assert square.distance((2, 5), (-1, 3)) == square.distance((-1, 3), (2, 5))
+        assert square.distance((4, 4), (4, 4)) == 0
+
+    def test_neighbors_at_distance_one(self, square):
+        for nb in square.neighbors((3, -2)):
+            assert square.distance((3, -2), nb) == 1
+
+    def test_parity_no_same_ring_moves(self, square):
+        # Every move changes the Manhattan distance by exactly 1.
+        for radius in (1, 2, 4):
+            for cell in square.ring((0, 0), radius):
+                out, same, inward = square.ring_transition_counts((0, 0), cell)
+                assert same == 0
+                assert out + inward == 4
+
+
+class TestRings:
+    def test_ring_sizes(self, square):
+        assert square.ring_size(0) == 1
+        for r in range(1, 7):
+            assert square.ring_size(r) == 4 * r
+            assert len(square.ring((0, 0), r)) == 4 * r
+
+    def test_ring_cells_at_exact_distance(self, square):
+        for r in range(4):
+            for cell in square.ring((2, -3), r):
+                assert square.distance((2, -3), cell) == r
+
+    def test_ring_cells_unique(self, square):
+        cells = square.ring((0, 0), 5)
+        assert len(set(cells)) == len(cells)
+
+    def test_coverage_formula(self, square):
+        # g(d) = 2d(d+1) + 1.
+        for d in range(7):
+            assert square.coverage(d) == 2 * d * (d + 1) + 1
+            assert len(list(square.disk((0, 0), d))) == square.coverage(d)
+
+    def test_negative_radius_rejected(self, square):
+        with pytest.raises(ValueError):
+            square.ring((0, 0), -1)
+
+
+class TestCornerStats:
+    def test_four_corners_per_ring(self, square):
+        for radius in (1, 3, 5):
+            corners = [
+                cell
+                for cell in square.ring((0, 0), radius)
+                if square.is_corner((0, 0), cell)
+            ]
+            assert len(corners) == 4
+
+    def test_corner_and_edge_profiles(self, square):
+        for radius in (2, 3):
+            for cell in square.ring((0, 0), radius):
+                counts = square.ring_transition_counts((0, 0), cell)
+                if square.is_corner((0, 0), cell):
+                    assert counts == (3, 0, 1)
+                else:
+                    assert counts == (2, 0, 2)
+
+    @pytest.mark.parametrize("radius", [1, 2, 3, 5])
+    def test_ring_averages_match_formula(self, square, radius):
+        stats = ring_movement_stats(square, radius)
+        assert stats.p_outward == square_p_plus(radius)
+        assert stats.p_inward == square_p_minus(radius)
+        assert stats.p_same == 0
+
+    def test_formula_boundary_conventions(self):
+        assert square_p_plus(0) == Fraction(1)
+        assert square_p_minus(0) == Fraction(0)
+        with pytest.raises(ValueError):
+            square_p_plus(-1)
+        with pytest.raises(ValueError):
+            square_p_minus(-1)

@@ -1,0 +1,76 @@
+"""Integration: analytic baseline models vs the simulated strategies.
+
+The analytic models in :mod:`repro.core.baselines` and the strategy
+implementations in :mod:`repro.strategies` were written independently
+(closed-form balance equations vs an event-driven state machine), so
+agreement here is strong evidence both are right.
+"""
+
+import pytest
+
+from repro import (
+    CostParams,
+    MobilityParams,
+    location_area_costs,
+    movement_based_costs,
+    time_based_costs,
+)
+from repro.geometry import HexTopology, LineTopology
+from repro.simulation import run_replicated
+from repro.strategies import LocationAreaStrategy, MovementStrategy, TimerStrategy
+
+MOBILITY = MobilityParams(0.2, 0.02)
+COSTS = CostParams(30.0, 2.0)
+SLOTS = 80_000
+
+
+def simulate(topology, factory, seed):
+    return run_replicated(
+        topology, factory, MOBILITY, COSTS, slots=SLOTS, replications=3, seed=seed
+    )
+
+
+class TestMovementAgreement:
+    @pytest.mark.parametrize("M", [1, 3, 6])
+    def test_line(self, M):
+        analytic = movement_based_costs(LineTopology(), MOBILITY, COSTS, M)
+        sim = simulate(LineTopology(), lambda: MovementStrategy(M, max_delay=1), 40 + M)
+        assert sim.mean_total_cost == pytest.approx(analytic.total_cost, rel=0.03)
+
+    def test_hex(self):
+        analytic = movement_based_costs(HexTopology(), MOBILITY, COSTS, 3)
+        sim = simulate(HexTopology(), lambda: MovementStrategy(3, max_delay=1), 50)
+        assert sim.mean_total_cost == pytest.approx(analytic.total_cost, rel=0.03)
+
+    def test_components_agree(self):
+        analytic = movement_based_costs(LineTopology(), MOBILITY, COSTS, 4)
+        sim = simulate(LineTopology(), lambda: MovementStrategy(4, max_delay=1), 51)
+        assert sim.mean_update_cost == pytest.approx(analytic.update_cost, rel=0.05)
+        assert sim.mean_paging_cost == pytest.approx(analytic.paging_cost, rel=0.05)
+
+
+class TestTimerAgreement:
+    @pytest.mark.parametrize("T", [1, 5, 12])
+    def test_line(self, T):
+        analytic = time_based_costs(LineTopology(), MOBILITY, COSTS, T)
+        sim = simulate(LineTopology(), lambda: TimerStrategy(T, max_delay=1), 60 + T)
+        assert sim.mean_total_cost == pytest.approx(analytic.total_cost, rel=0.03)
+
+    def test_hex(self):
+        analytic = time_based_costs(HexTopology(), MOBILITY, COSTS, 5)
+        sim = simulate(HexTopology(), lambda: TimerStrategy(5, max_delay=1), 70)
+        assert sim.mean_total_cost == pytest.approx(analytic.total_cost, rel=0.03)
+
+
+class TestLocationAreaAgreement:
+    @pytest.mark.parametrize("n", [1, 2, 4])
+    def test_line(self, n):
+        analytic = location_area_costs(LineTopology(), MOBILITY, COSTS, n)
+        sim = simulate(LineTopology(), lambda: LocationAreaStrategy(n), 80 + n)
+        assert sim.mean_total_cost == pytest.approx(analytic.total_cost, rel=0.04)
+
+    @pytest.mark.parametrize("n", [1, 2])
+    def test_hex(self, n):
+        analytic = location_area_costs(HexTopology(), MOBILITY, COSTS, n)
+        sim = simulate(HexTopology(), lambda: LocationAreaStrategy(n), 90 + n)
+        assert sim.mean_total_cost == pytest.approx(analytic.total_cost, rel=0.04)

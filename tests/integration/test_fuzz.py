@@ -1,0 +1,112 @@
+"""Randomized stress tests: protocol invariants under fuzzed configs.
+
+Each fuzz case builds a random (topology, strategy, mobility, costs)
+combination and runs the engine for a few thousand slots.  The
+invariants below must hold for *every* combination -- any violation is
+a real bug, not a tolerance issue:
+
+1. the engine never raises (in particular, paging never misses the
+   terminal -- the uncertainty-tracking contract);
+2. accounting identities: total cost == U * updates + V * polled cells;
+3. paging delays never exceed the strategy's worst-case bound;
+4. the residing-area invariant holds for distance strategies.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro import CostParams, MobilityParams
+from repro.geometry import HexTopology, LineTopology, SquareTopology
+from repro.simulation import SimulationEngine
+from repro.strategies import (
+    DistanceStrategy,
+    DynamicStrategy,
+    LocationAreaStrategy,
+    MovementStrategy,
+    TimerStrategy,
+)
+
+TOPOLOGIES = [LineTopology(), HexTopology(), SquareTopology()]
+
+
+def random_config(rng: random.Random):
+    topology = rng.choice(TOPOLOGIES)
+    q = rng.uniform(0.02, 0.7)
+    c = rng.uniform(0.0, min(0.2, 1.0 - q))
+    mobility = MobilityParams(q, c)
+    costs = CostParams(rng.uniform(0, 200), rng.uniform(0, 20))
+    delay = rng.choice([1, 2, 3, 5, math.inf])
+    kind = rng.choice(["distance", "movement", "timer", "la", "dynamic"])
+    if kind == "distance":
+        strategy = DistanceStrategy(rng.randint(0, 6), max_delay=delay)
+    elif kind == "movement":
+        strategy = MovementStrategy(rng.randint(1, 8), max_delay=delay)
+    elif kind == "timer":
+        strategy = TimerStrategy(rng.randint(1, 20), max_delay=delay)
+    elif kind == "la":
+        if isinstance(topology, SquareTopology):
+            topology = HexTopology()  # LA supports line/hex only
+        strategy = LocationAreaStrategy(rng.randint(0, 4))
+    else:
+        strategy = DynamicStrategy(costs, max_delay=delay, recompute_interval=5)
+    return topology, strategy, mobility, costs
+
+
+@pytest.mark.parametrize("case_seed", range(30))
+def test_fuzzed_configuration_invariants(case_seed):
+    rng = random.Random(1000 + case_seed)
+    topology, strategy, mobility, costs = random_config(rng)
+    engine = SimulationEngine(
+        topology, strategy, mobility, costs, seed=case_seed,
+        event_mode=rng.choice(["exclusive", "independent"]),
+    )
+    slots = 4000
+    snapshot = engine.run(slots)  # invariant 1: must not raise
+
+    # Invariant 2: exact accounting identity.
+    expected_total = (
+        snapshot.updates * costs.update_cost
+        + snapshot.polled_cells * costs.poll_cost
+    )
+    assert snapshot.total_cost == pytest.approx(expected_total)
+    assert snapshot.slots == slots
+
+    # Invariant 3: delay bound respected when the strategy declares one.
+    bound = strategy.worst_case_delay()
+    if bound is not None and snapshot.delay_histogram:
+        assert max(snapshot.delay_histogram) <= bound
+
+    # Invariant 4: distance strategies keep the residing-area contract.
+    if isinstance(strategy, DistanceStrategy):
+        distance = topology.distance(strategy.last_known, engine.walk.position)
+        assert distance <= strategy.threshold
+
+
+@pytest.mark.parametrize("case_seed", range(8))
+def test_fuzzed_multi_terminal_network(case_seed):
+    from repro.simulation import PCNetwork
+
+    rng = random.Random(2000 + case_seed)
+    topology = rng.choice([LineTopology(), HexTopology()])
+    costs = CostParams(rng.uniform(1, 100), rng.uniform(0.1, 10))
+    network = PCNetwork(topology, costs, seed=case_seed)
+    for _ in range(rng.randint(2, 6)):
+        q = rng.uniform(0.05, 0.5)
+        c = rng.uniform(0.005, 0.1)
+        network.add_terminal(
+            DistanceStrategy(rng.randint(0, 4), max_delay=rng.choice([1, 2, 3])),
+            MobilityParams(q, min(c, 1.0 - q)),
+        )
+    network.run(2500)
+    # Register must agree with every strategy's own last-known state.
+    for terminal in network.terminals:
+        assert network.register.lookup(terminal.terminal_id) == (
+            terminal.strategy.last_known
+        )
+    # Station counters must sum to the meters' event counts.
+    total_updates = sum(s.updates_received for s in network.stations.values())
+    assert total_updates == sum(
+        t.engine.meter.snapshot().updates for t in network.terminals
+    )

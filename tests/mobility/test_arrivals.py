@@ -1,0 +1,87 @@
+"""Unit tests for call-arrival processes."""
+
+import numpy as np
+import pytest
+
+from repro import ParameterError
+from repro.mobility import BatchedArrivals, BernoulliArrivals
+
+
+class TestBernoulliArrivals:
+    def test_zero_probability_never_fires(self):
+        arrivals = BernoulliArrivals(0.0, rng=np.random.default_rng(1))
+        assert not any(arrivals.step() for _ in range(1000))
+
+    def test_empirical_rate(self):
+        arrivals = BernoulliArrivals(0.05, rng=np.random.default_rng(2))
+        hits = sum(arrivals.step() for _ in range(40_000))
+        assert hits / 40_000 == pytest.approx(0.05, abs=0.005)
+        assert arrivals.empirical_rate == pytest.approx(hits / 40_000)
+
+    def test_empirical_rate_before_any_slot(self):
+        assert BernoulliArrivals(0.1).empirical_rate == 0.0
+
+    def test_interarrival_mean_is_geometric(self):
+        arrivals = BernoulliArrivals(0.02, rng=np.random.default_rng(3))
+        gaps = list(arrivals.interarrival_times(300))
+        assert len(gaps) == 300
+        assert np.mean(gaps) == pytest.approx(50.0, rel=0.2)
+
+    def test_interarrival_undefined_for_zero_rate(self):
+        with pytest.raises(ParameterError):
+            list(BernoulliArrivals(0.0).interarrival_times(1))
+
+    def test_interarrival_negative_count(self):
+        with pytest.raises(ParameterError):
+            list(BernoulliArrivals(0.1).interarrival_times(-1))
+
+    @pytest.mark.parametrize("c", [-0.1, 1.0])
+    def test_invalid_probability(self, c):
+        with pytest.raises(ParameterError):
+            BernoulliArrivals(c)
+
+
+class TestBatchedArrivals:
+    def test_long_run_rate_matches_target(self):
+        arrivals = BatchedArrivals(
+            0.02, burstiness=5.0, mean_busy_slots=50.0, rng=np.random.default_rng(4)
+        )
+        slots = 300_000
+        hits = sum(arrivals.step() for _ in range(slots))
+        assert hits / slots == pytest.approx(0.02, rel=0.15)
+
+    def test_burstier_than_bernoulli(self):
+        # Variance of per-window counts must exceed the Bernoulli
+        # binomial variance at the same mean rate.
+        rng = np.random.default_rng(5)
+        arrivals = BatchedArrivals(0.02, burstiness=8.0, mean_busy_slots=100.0, rng=rng)
+        window = 200
+        counts = []
+        for _ in range(500):
+            counts.append(sum(arrivals.step() for _ in range(window)))
+        mean = np.mean(counts)
+        bernoulli_var = window * 0.02 * 0.98
+        assert np.var(counts) > 1.5 * bernoulli_var or mean < 1.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"call_probability": 0.0},
+            {"call_probability": 1.0},
+            {"burstiness": 1.0},
+            {"burstiness": 60.0},  # busy rate would exceed 1
+            {"mean_busy_slots": 0.5},
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        defaults = {"call_probability": 0.02, "burstiness": 5.0, "mean_busy_slots": 50.0}
+        defaults.update(kwargs)
+        with pytest.raises(ParameterError):
+            BatchedArrivals(**defaults)
+
+    def test_empirical_rate_accessor(self):
+        arrivals = BatchedArrivals(0.05, rng=np.random.default_rng(6))
+        assert arrivals.empirical_rate == 0.0
+        for _ in range(100):
+            arrivals.step()
+        assert 0.0 <= arrivals.empirical_rate <= 1.0

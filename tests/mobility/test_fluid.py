@@ -1,0 +1,55 @@
+"""Unit tests for the fluid-flow baseline model."""
+
+import pytest
+
+from repro import ParameterError
+from repro.mobility import FluidFlowModel
+
+
+class TestFluidFlow:
+    def test_rate_positive(self):
+        model = FluidFlowModel(mean_speed=0.1)
+        assert model.crossing_rate(3) > 0
+
+    def test_rate_decreases_with_area(self):
+        # Larger residing areas have a smaller perimeter-to-area ratio,
+        # so the per-terminal crossing rate falls.
+        model = FluidFlowModel(mean_speed=0.1)
+        rates = [model.crossing_rate(d) for d in range(8)]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_rate_scales_with_speed(self):
+        slow = FluidFlowModel(mean_speed=0.05).crossing_rate(2)
+        fast = FluidFlowModel(mean_speed=0.25).crossing_rate(2)
+        assert fast == pytest.approx(5 * slow)
+
+    def test_update_rate_alias(self):
+        model = FluidFlowModel(mean_speed=0.1)
+        assert model.update_rate(4) == model.crossing_rate(4)
+
+    def test_expected_updates(self):
+        model = FluidFlowModel(mean_speed=0.1)
+        assert model.expected_updates(2, 1000) == pytest.approx(
+            model.crossing_rate(2) * 1000
+        )
+
+    def test_comparable_scale_to_random_walk(self):
+        # Calibrated at mean_speed = q, the fluid crossing rate out of a
+        # single cell should be the same order of magnitude as the
+        # walk's physical boundary rate q.
+        q = 0.1
+        rate = FluidFlowModel(mean_speed=q).crossing_rate(0)
+        assert 0.2 * q < rate < 5 * q
+
+    @pytest.mark.parametrize("speed", [0.0, -0.1])
+    def test_invalid_speed(self, speed):
+        with pytest.raises(ParameterError):
+            FluidFlowModel(mean_speed=speed)
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ParameterError):
+            FluidFlowModel(mean_speed=0.1).crossing_rate(-1)
+
+    def test_negative_slots_rejected(self):
+        with pytest.raises(ParameterError):
+            FluidFlowModel(mean_speed=0.1).expected_updates(1, -5)

@@ -1,0 +1,135 @@
+"""Unit tests for the direction-persistent walk."""
+
+import numpy as np
+import pytest
+
+from repro import ParameterError
+from repro.geometry import HexTopology, LineTopology
+from repro.mobility import PersistentWalk, RandomWalk
+
+
+class TestConstruction:
+    def test_is_a_random_walk(self, hexgrid, rng):
+        walk = PersistentWalk(hexgrid, 0.5, persistence=0.5, rng=rng)
+        assert isinstance(walk, RandomWalk)
+
+    @pytest.mark.parametrize("eps", [-0.1, 1.0, 1.5])
+    def test_invalid_persistence(self, hexgrid, eps):
+        with pytest.raises(ParameterError):
+            PersistentWalk(hexgrid, 0.5, persistence=eps)
+
+    def test_repr(self, hexgrid, rng):
+        walk = PersistentWalk(hexgrid, 0.5, persistence=0.3, rng=rng)
+        assert "persistence=0.3" in repr(walk)
+
+
+class TestBehavior:
+    def test_zero_persistence_matches_plain_walk(self, hexgrid):
+        # With persistence 0 every draw comes from the same uniform
+        # branch, but the RNG consumption differs (the persistence coin
+        # is flipped after the first move), so compare statistically.
+        rng = np.random.default_rng(1)
+        walk = PersistentWalk(hexgrid, 1.0, persistence=0.0, rng=rng)
+        repeats = 0
+        last = None
+        for _ in range(6000):
+            before = walk.position
+            walk.move()
+            direction = (walk.position[0] - before[0], walk.position[1] - before[1])
+            if direction == last:
+                repeats += 1
+            last = direction
+        assert repeats / 6000 == pytest.approx(1 / 6, abs=0.02)
+
+    def test_high_persistence_repeats_direction(self, hexgrid):
+        rng = np.random.default_rng(2)
+        walk = PersistentWalk(hexgrid, 1.0, persistence=0.9, rng=rng)
+        repeats = 0
+        last = None
+        for _ in range(6000):
+            before = walk.position
+            walk.move()
+            direction = (walk.position[0] - before[0], walk.position[1] - before[1])
+            if direction == last:
+                repeats += 1
+            last = direction
+        # Repeat probability = eps + (1 - eps)/6.
+        assert repeats / 6000 == pytest.approx(0.9 + 0.1 / 6, abs=0.02)
+
+    def test_persistence_increases_displacement(self, line):
+        def mean_displacement(eps, seed):
+            rng = np.random.default_rng(seed)
+            total = 0
+            for _ in range(300):
+                walk = PersistentWalk(line, 1.0, persistence=eps, rng=rng)
+                for _ in range(100):
+                    walk.move()
+                total += abs(walk.position)
+            return total / 300
+
+        meandering = mean_displacement(0.0, 3)
+        directed = mean_displacement(0.8, 3)
+        assert directed > 1.5 * meandering
+
+    def test_move_rate_unchanged(self, hexgrid):
+        rng = np.random.default_rng(4)
+        walk = PersistentWalk(hexgrid, 0.2, persistence=0.7, rng=rng)
+        for _ in range(20_000):
+            walk.step()
+        assert walk.moves / walk.slots == pytest.approx(0.2, abs=0.01)
+
+
+class TestEngineIntegration:
+    def test_walker_factory_used(self, hexgrid):
+        from repro import CostParams, MobilityParams
+        from repro.simulation import SimulationEngine
+        from repro.strategies import DistanceStrategy
+
+        engine = SimulationEngine(
+            hexgrid,
+            DistanceStrategy(2, max_delay=1),
+            MobilityParams(0.3, 0.02),
+            CostParams(10, 1),
+            seed=5,
+            walker_factory=lambda topo, q, rng, start: PersistentWalk(
+                topo, q, persistence=0.8, rng=rng, start=start
+            ),
+        )
+        assert isinstance(engine.walk, PersistentWalk)
+        engine.run(5000)  # paging invariant must survive persistence
+
+    def test_bad_factory_rejected(self, hexgrid):
+        from repro import CostParams, MobilityParams, ParameterError
+        from repro.simulation import SimulationEngine
+        from repro.strategies import DistanceStrategy
+
+        with pytest.raises(ParameterError):
+            SimulationEngine(
+                hexgrid,
+                DistanceStrategy(2),
+                MobilityParams(0.3, 0.02),
+                CostParams(10, 1),
+                walker_factory=lambda topo, q, rng, start: "not a walk",
+            )
+
+    def test_persistence_raises_update_rate(self, hexgrid):
+        # The core robustness fact: same q, more updates under
+        # persistence, because net displacement grows faster.
+        from repro import CostParams, MobilityParams
+        from repro.simulation import SimulationEngine
+        from repro.strategies import DistanceStrategy
+
+        def updates(persistence, seed=6):
+            engine = SimulationEngine(
+                hexgrid,
+                DistanceStrategy(3, max_delay=1),
+                MobilityParams(0.4, 0.01),
+                CostParams(10, 1),
+                seed=seed,
+                walker_factory=lambda topo, q, rng, start: PersistentWalk(
+                    topo, q, persistence=persistence, rng=rng, start=start
+                ),
+            )
+            return engine.run(60_000).updates
+
+        assert updates(0.85) > 1.3 * updates(0.0)

@@ -1,0 +1,97 @@
+"""Unit tests for trace generation, statistics, and serialization."""
+
+import pytest
+
+from repro import ParameterError, SimulationError
+from repro.geometry import HexTopology, LineTopology
+from repro.mobility import Trace, generate_trace
+
+
+class TestGeneration:
+    def test_length(self, line):
+        trace = generate_trace(line, 0.3, 0.02, slots=500, seed=1)
+        assert len(trace) == 500
+
+    def test_deterministic_per_seed(self, hexgrid):
+        a = generate_trace(hexgrid, 0.3, 0.02, slots=200, seed=9)
+        b = generate_trace(hexgrid, 0.3, 0.02, slots=200, seed=9)
+        assert a.steps == b.steps
+
+    def test_different_seeds_differ(self, hexgrid):
+        a = generate_trace(hexgrid, 0.5, 0.02, slots=200, seed=1)
+        b = generate_trace(hexgrid, 0.5, 0.02, slots=200, seed=2)
+        assert a.steps != b.steps
+
+    def test_positions_are_adjacent_or_equal(self, hexgrid):
+        trace = generate_trace(hexgrid, 0.6, 0.05, slots=300, seed=3)
+        previous = trace.start
+        for cell, _ in trace.steps:
+            assert hexgrid.distance(previous, cell) <= 1
+            previous = cell
+
+    def test_call_slots_have_no_movement(self, line):
+        # Exclusive slot semantics: a call slot never moves the
+        # terminal.
+        trace = generate_trace(line, 0.9, 0.3, slots=400, seed=4)
+        previous = trace.start
+        for cell, call in trace.steps:
+            if call:
+                assert cell == previous
+            previous = cell
+
+    def test_empirical_rates(self, line):
+        trace = generate_trace(line, 0.2, 0.05, slots=30_000, seed=5)
+        calls = len(trace.call_slots)
+        assert calls / len(trace) == pytest.approx(0.05, abs=0.01)
+        # Moves happen in non-call slots with probability q.
+        assert trace.move_count / len(trace) == pytest.approx(0.2 * 0.95, abs=0.02)
+
+    def test_custom_start(self, line):
+        trace = generate_trace(line, 0.5, 0.0, slots=10, seed=6, start=42)
+        assert trace.start == 42
+
+    def test_negative_slots_rejected(self, line):
+        with pytest.raises(ParameterError):
+            generate_trace(line, 0.5, 0.0, slots=-1)
+
+
+class TestStatistics:
+    def test_max_distance(self, line):
+        trace = generate_trace(line, 1.0, 0.0, slots=100, seed=7)
+        assert trace.max_distance_from_start() >= 1
+        assert trace.max_distance_from_start() <= 100
+
+    def test_positions_property(self, line):
+        trace = generate_trace(line, 0.5, 0.0, slots=20, seed=8)
+        assert trace.positions == [cell for cell, _ in trace.steps]
+
+
+class TestSerialization:
+    def test_line_roundtrip(self, line, tmp_path):
+        trace = generate_trace(line, 0.4, 0.03, slots=150, seed=10)
+        path = tmp_path / "trace.json"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.start == trace.start
+        assert loaded.steps == trace.steps
+        assert isinstance(loaded.topology, LineTopology)
+
+    def test_hex_roundtrip(self, hexgrid, tmp_path):
+        trace = generate_trace(hexgrid, 0.4, 0.03, slots=150, seed=11)
+        path = tmp_path / "trace.json"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.steps == trace.steps
+        assert isinstance(loaded.topology, HexTopology)
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(SimulationError):
+            Trace.from_json("{not json")
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(SimulationError):
+            Trace.from_json('{"topology": "hex"}')
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(SimulationError):
+            Trace.from_json('{"topology": "torus", "start": 0, "steps": []}')

@@ -1,0 +1,111 @@
+"""Unit tests for the random-walk mobility process."""
+
+import numpy as np
+import pytest
+
+from repro import MobilityParams, ParameterError
+from repro.geometry import HexTopology, LineTopology
+from repro.mobility import RandomWalk
+
+
+class TestConstruction:
+    def test_defaults_to_origin(self, line):
+        walk = RandomWalk(line, 0.5)
+        assert walk.position == 0
+
+    def test_custom_start(self, hexgrid):
+        walk = RandomWalk(hexgrid, 0.5, start=(2, -1))
+        assert walk.position == (2, -1)
+
+    def test_from_params(self, line, paper_mobility):
+        walk = RandomWalk.from_params(line, paper_mobility)
+        assert walk.move_probability == 0.05
+
+    @pytest.mark.parametrize("q", [0.0, -0.1, 1.1])
+    def test_invalid_probability(self, line, q):
+        with pytest.raises(ParameterError):
+            RandomWalk(line, q)
+
+    def test_invalid_start(self, line):
+        with pytest.raises(ValueError):
+            RandomWalk(line, 0.5, start=(0, 0))
+
+
+class TestMovement:
+    def test_move_goes_to_neighbor(self, hexgrid, rng):
+        walk = RandomWalk(hexgrid, 0.5, rng=rng)
+        before = walk.position
+        after = walk.move()
+        assert hexgrid.distance(before, after) == 1
+
+    def test_move_counter(self, line, rng):
+        walk = RandomWalk(line, 1.0, rng=rng)
+        for _ in range(10):
+            walk.move()
+        assert walk.moves == 10
+
+    def test_step_with_q_one_always_moves(self, line, rng):
+        walk = RandomWalk(line, 1.0, rng=rng)
+        positions = [walk.step() for _ in range(20)]
+        # Every step changes the cell on the line with q = 1.
+        previous = 0
+        for pos in positions:
+            assert abs(pos - previous) == 1
+            previous = pos
+
+    def test_step_counts_slots(self, line, rng):
+        walk = RandomWalk(line, 0.3, rng=rng)
+        for _ in range(50):
+            walk.step()
+        assert walk.slots == 50
+        assert walk.moves <= 50
+
+    def test_walk_iterator(self, line, rng):
+        walk = RandomWalk(line, 0.5, rng=rng)
+        assert len(list(walk.walk(25))) == 25
+        assert walk.slots == 25
+
+    def test_walk_negative_rejected(self, line, rng):
+        walk = RandomWalk(line, 0.5, rng=rng)
+        with pytest.raises(ParameterError):
+            list(walk.walk(-1))
+
+    def test_distance_from(self, line, rng):
+        walk = RandomWalk(line, 1.0, rng=rng)
+        walk.move()
+        assert walk.distance_from(0) == 1
+
+
+class TestStatistics:
+    def test_empirical_move_rate(self, line):
+        rng = np.random.default_rng(7)
+        walk = RandomWalk(line, 0.2, rng=rng)
+        slots = 20_000
+        for _ in range(slots):
+            walk.step()
+        assert walk.moves / slots == pytest.approx(0.2, abs=0.01)
+
+    def test_direction_symmetry_on_line(self, line):
+        rng = np.random.default_rng(11)
+        walk = RandomWalk(line, 1.0, rng=rng)
+        for _ in range(20_000):
+            walk.move()
+        # Unbiased walk: endpoint scales like sqrt(n), far below n.
+        assert abs(walk.position) < 600
+
+    def test_hex_neighbor_uniformity(self, hexgrid):
+        rng = np.random.default_rng(13)
+        counts = {}
+        for _ in range(12_000):
+            walk = RandomWalk(hexgrid, 1.0, rng=rng)
+            walk.move()
+            counts[walk.position] = counts.get(walk.position, 0) + 1
+        assert len(counts) == 6
+        for count in counts.values():
+            assert count == pytest.approx(2000, rel=0.15)
+
+    def test_reproducible_with_seed(self, hexgrid):
+        a = RandomWalk(hexgrid, 0.7, rng=np.random.default_rng(99))
+        b = RandomWalk(hexgrid, 0.7, rng=np.random.default_rng(99))
+        for _ in range(100):
+            assert a.step() == b.step()

@@ -1,0 +1,169 @@
+"""Unit tests for paging plans and the paper's SDF partition."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import PartitionError
+from repro.geometry import HexTopology, LineTopology
+from repro.paging import (
+    PagingPlan,
+    blanket_partition,
+    partition_from_sizes,
+    per_ring_partition,
+    sdf_partition,
+    subarea_count,
+)
+
+
+class TestSubareaCount:
+    def test_equation_2(self):
+        # l = min(d + 1, m).
+        assert subarea_count(4, 3) == 3
+        assert subarea_count(2, 5) == 3
+        assert subarea_count(0, 1) == 1
+
+    def test_unbounded_delay(self):
+        assert subarea_count(6, math.inf) == 7
+
+
+class TestSDFPartition:
+    def test_paper_steps_d2_m2(self):
+        # gamma = floor(3/2) = 1: A1 = {r0}, A2 = {r1, r2}.
+        plan = sdf_partition(2, 2)
+        assert plan.subareas == ((0,), (1, 2))
+
+    def test_paper_steps_d5_m3(self):
+        # gamma = floor(6/3) = 2: equal groups of two rings.
+        plan = sdf_partition(5, 3)
+        assert plan.subareas == ((0, 1), (2, 3), (4, 5))
+
+    def test_remainder_goes_to_last_subarea(self):
+        # d=6, m=3: gamma = floor(7/3) = 2 -> (2, 2, 3).
+        plan = sdf_partition(6, 3)
+        assert [len(g) for g in plan.subareas] == [2, 2, 3]
+
+    def test_m1_is_blanket(self):
+        assert sdf_partition(4, 1).subareas == ((0, 1, 2, 3, 4),)
+
+    def test_unbounded_is_per_ring(self):
+        assert sdf_partition(3, math.inf).subareas == ((0,), (1,), (2,), (3,))
+
+    def test_delay_bound_never_exceeds_m(self):
+        for d in range(8):
+            for m in (1, 2, 3, 5):
+                assert sdf_partition(d, m).delay_bound <= m
+
+    def test_d_zero(self):
+        assert sdf_partition(0, 3).subareas == ((0,),)
+
+
+class TestConstructors:
+    def test_blanket(self):
+        assert blanket_partition(2).delay_bound == 1
+
+    def test_per_ring(self):
+        plan = per_ring_partition(4)
+        assert plan.delay_bound == 5
+        assert all(len(g) == 1 for g in plan.subareas)
+
+    def test_from_sizes(self):
+        plan = partition_from_sizes(5, [2, 1, 3])
+        assert plan.subareas == ((0, 1), (2,), (3, 4, 5))
+
+    def test_from_sizes_must_sum(self):
+        with pytest.raises(PartitionError):
+            partition_from_sizes(5, [2, 2])
+
+    def test_from_sizes_rejects_zero_group(self):
+        with pytest.raises(PartitionError):
+            partition_from_sizes(2, [0, 3])
+
+
+class TestValidation:
+    def test_missing_ring_rejected(self):
+        with pytest.raises(PartitionError):
+            PagingPlan(threshold=2, subareas=((0,), (2,)))
+
+    def test_duplicate_ring_rejected(self):
+        with pytest.raises(PartitionError):
+            PagingPlan(threshold=2, subareas=((0, 1), (1, 2)))
+
+    def test_empty_subarea_rejected(self):
+        with pytest.raises(PartitionError):
+            PagingPlan(threshold=1, subareas=((), (0, 1)))
+
+    def test_extra_ring_rejected(self):
+        with pytest.raises(PartitionError):
+            PagingPlan(threshold=1, subareas=((0, 1, 2),))
+
+    def test_non_contiguous_grouping_allowed(self):
+        # The paper only requires a partition; order within groups and
+        # contiguity are scheme choices.
+        plan = PagingPlan(threshold=2, subareas=((0, 2), (1,)))
+        assert plan.delay_bound == 2
+
+
+class TestCosts:
+    def test_cumulative_polled_1d(self):
+        plan = sdf_partition(2, 2)
+        w = plan.cumulative_polled(LineTopology())
+        # N(A1)=1, N(A2)=2+2=4 -> w = (1, 5); paper eqn (64).
+        assert w.tolist() == [1, 5]
+
+    def test_cumulative_polled_hex(self):
+        plan = sdf_partition(2, 3)
+        w = plan.cumulative_polled(HexTopology())
+        assert w.tolist() == [1, 7, 19]
+
+    def test_subarea_probabilities(self):
+        plan = sdf_partition(2, 2)
+        alpha = plan.subarea_probabilities([0.5, 0.3, 0.2])
+        assert alpha.tolist() == pytest.approx([0.5, 0.5])
+
+    def test_probability_length_checked(self):
+        plan = sdf_partition(2, 2)
+        with pytest.raises(PartitionError):
+            plan.subarea_probabilities([0.5, 0.5])
+
+    def test_expected_polled_cells_blanket_is_coverage(self):
+        plan = blanket_partition(3)
+        p = np.array([0.4, 0.3, 0.2, 0.1])
+        assert plan.expected_polled_cells(HexTopology(), p) == pytest.approx(37)
+
+    def test_expected_polled_cells_hand_value(self):
+        # d=1, m=2, p=(6/11, 5/11): E = 6/11*1 + 5/11*3 (1-D).
+        plan = sdf_partition(1, 2)
+        expected = 6 / 11 * 1 + 5 / 11 * 3
+        assert plan.expected_polled_cells(
+            LineTopology(), [6 / 11, 5 / 11]
+        ) == pytest.approx(expected)
+
+    def test_expected_delay(self):
+        plan = per_ring_partition(2)
+        assert plan.expected_delay([0.5, 0.3, 0.2]) == pytest.approx(
+            0.5 * 1 + 0.3 * 2 + 0.2 * 3
+        )
+
+    def test_subarea_of_ring(self):
+        plan = sdf_partition(5, 3)
+        assert plan.subarea_of_ring(0) == 0
+        assert plan.subarea_of_ring(3) == 1
+        assert plan.subarea_of_ring(5) == 2
+
+    def test_subarea_of_unknown_ring(self):
+        with pytest.raises(PartitionError):
+            sdf_partition(2, 2).subarea_of_ring(9)
+
+
+class TestDescribe:
+    def test_contiguous_description(self):
+        assert sdf_partition(5, 3).describe() == "r0-r1 | r2-r3 | r4-r5"
+
+    def test_single_rings(self):
+        assert per_ring_partition(2).describe() == "r0 | r1 | r2"
+
+    def test_non_contiguous_description(self):
+        plan = PagingPlan(threshold=2, subareas=((0, 2), (1,)))
+        assert plan.describe() == "{r0,r2} | r1"

@@ -1,0 +1,100 @@
+"""Property-based tests for steady-state solvers and closed forms.
+
+Across random parameters, all solvers must return the same stationary
+distribution, the distribution must actually be stationary, and the
+closed forms must match the generic solver they shortcut.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import closed_form
+from repro.core.chains import (
+    ResetChain,
+    solve_steady_state_matrix,
+    solve_steady_state_recursive,
+)
+from repro.core.models import (
+    OneDimensionalModel,
+    TwoDimensionalApproximateModel,
+    TwoDimensionalModel,
+)
+from repro.core.parameters import MobilityParams
+
+probabilities = st.tuples(
+    st.floats(min_value=0.01, max_value=0.8),
+    st.floats(min_value=0.0, max_value=0.15),
+)
+thresholds = st.integers(min_value=0, max_value=25)
+
+
+def mobility(qc):
+    q, c = qc
+    return MobilityParams(move_probability=q, call_probability=c)
+
+
+class TestSolverAgreement:
+    @given(qc=probabilities, d=thresholds)
+    @settings(max_examples=60, deadline=None)
+    def test_1d_closed_form_matches_matrix(self, qc, d):
+        q, c = qc
+        model = OneDimensionalModel(mobility(qc))
+        closed = model.steady_state(d, method="closed_form")
+        matrix = model.steady_state(d, method="matrix")
+        assert np.allclose(closed, matrix, atol=1e-9)
+
+    @given(qc=probabilities, d=thresholds)
+    @settings(max_examples=60, deadline=None)
+    def test_2d_approx_closed_form_matches_matrix(self, qc, d):
+        model = TwoDimensionalApproximateModel(mobility(qc))
+        closed = model.steady_state(d, method="closed_form")
+        matrix = model.steady_state(d, method="matrix")
+        assert np.allclose(closed, matrix, atol=1e-9)
+
+    @given(qc=probabilities, d=thresholds)
+    @settings(max_examples=60, deadline=None)
+    def test_2d_exact_recursive_matches_matrix(self, qc, d):
+        model = TwoDimensionalModel(mobility(qc))
+        recursive = model.steady_state(d, method="recursive")
+        matrix = model.steady_state(d, method="matrix")
+        assert np.allclose(recursive, matrix, atol=1e-9)
+
+
+class TestStationarity:
+    @given(qc=probabilities, d=thresholds)
+    @settings(max_examples=60, deadline=None)
+    def test_distribution_is_stationary(self, qc, d):
+        model = TwoDimensionalModel(mobility(qc))
+        chain = model.chain(d)
+        pi = solve_steady_state_recursive(chain)
+        assert pi.sum() == np.float64(1.0) or abs(pi.sum() - 1.0) < 1e-12
+        assert np.all(pi >= 0)
+        P = chain.transition_matrix()
+        assert np.allclose(pi @ P, pi, atol=1e-10)
+
+    @given(qc=probabilities, d=st.integers(min_value=1, max_value=25))
+    @settings(max_examples=60, deadline=None)
+    def test_center_state_is_modal_under_resets(self, qc, d):
+        # With any positive call probability, state 0 collects resets
+        # from everywhere: it must carry at least the average mass.
+        q, c = qc
+        if c < 1e-6:
+            return
+        model = OneDimensionalModel(mobility(qc))
+        pi = model.steady_state(d)
+        assert pi[0] >= 1.0 / (d + 1) - 1e-12
+
+
+class TestClosedFormInternals:
+    @given(beta=st.floats(min_value=2.0, max_value=50.0))
+    def test_roots_multiply_to_one(self, beta):
+        e1, e2 = closed_form.characteristic_roots(beta)
+        assert abs(e1 * e2 - 1.0) < 1e-9
+        assert e1 >= 1.0 >= e2
+
+    @given(qc=probabilities)
+    def test_beta_definitions(self, qc):
+        q, c = qc
+        assert closed_form.beta_1d(q, c) == 2 + 2 * c / q
+        assert closed_form.beta_2d_approx(q, c) == 2 + 3 * c / q

@@ -1,0 +1,103 @@
+"""Property-based tests for the cell geometries.
+
+The hex distance must be a true metric compatible with the neighbor
+graph, and rings/disks must behave like metric spheres/balls -- these
+invariants underpin both the Markov model (ring aggregation) and every
+strategy's paging-coverage guarantee.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import HexTopology, LineTopology
+
+HEX = HexTopology()
+LINE = LineTopology()
+
+coordinate = st.integers(min_value=-50, max_value=50)
+hex_cell = st.tuples(coordinate, coordinate)
+line_cell = coordinate
+radius = st.integers(min_value=0, max_value=12)
+
+
+class TestHexMetric:
+    @given(a=hex_cell, b=hex_cell)
+    def test_symmetry(self, a, b):
+        assert HEX.distance(a, b) == HEX.distance(b, a)
+
+    @given(a=hex_cell, b=hex_cell)
+    def test_identity(self, a, b):
+        assert (HEX.distance(a, b) == 0) == (a == b)
+
+    @given(a=hex_cell, b=hex_cell, c=hex_cell)
+    def test_triangle_inequality(self, a, b, c):
+        assert HEX.distance(a, c) <= HEX.distance(a, b) + HEX.distance(b, c)
+
+    @given(a=hex_cell, b=hex_cell, dq=coordinate, dr=coordinate)
+    def test_translation_invariance(self, a, b, dq, dr):
+        shifted_a = (a[0] + dq, a[1] + dr)
+        shifted_b = (b[0] + dq, b[1] + dr)
+        assert HEX.distance(shifted_a, shifted_b) == HEX.distance(a, b)
+
+    @given(cell=hex_cell)
+    def test_neighbors_are_exactly_distance_one(self, cell):
+        for nb in HEX.neighbors(cell):
+            assert HEX.distance(cell, nb) == 1
+
+    @given(a=hex_cell, b=hex_cell)
+    def test_distance_is_graph_distance(self, a, b):
+        # A move changes the distance by at most 1, so hex distance is a
+        # lower bound on path length; conversely greedy descent always
+        # finds a neighbor one closer, so it is also an upper bound.
+        if a == b:
+            return
+        current = a
+        steps = 0
+        while current != b:
+            closer = [
+                nb
+                for nb in HEX.neighbors(current)
+                if HEX.distance(nb, b) == HEX.distance(current, b) - 1
+            ]
+            assert closer, "greedy descent must always make progress"
+            current = closer[0]
+            steps += 1
+        assert steps == HEX.distance(a, b)
+
+
+class TestHexRings:
+    @given(center=hex_cell, r=radius)
+    @settings(max_examples=40)
+    def test_ring_cells_at_exact_distance(self, center, r):
+        for cell in HEX.ring(center, r):
+            assert HEX.distance(center, cell) == r
+
+    @given(center=hex_cell, r=radius)
+    @settings(max_examples=40)
+    def test_ring_size_formula(self, center, r):
+        cells = HEX.ring(center, r)
+        assert len(cells) == HEX.ring_size(r)
+        assert len(set(cells)) == len(cells)
+
+    @given(center=hex_cell, r=st.integers(min_value=0, max_value=8))
+    @settings(max_examples=25)
+    def test_coverage_formula(self, center, r):
+        disk = list(HEX.disk(center, r))
+        assert len(disk) == 3 * r * (r + 1) + 1
+        assert len(set(disk)) == len(disk)
+
+
+class TestLine:
+    @given(a=line_cell, b=line_cell, c=line_cell)
+    def test_triangle_inequality(self, a, b, c):
+        assert LINE.distance(a, c) <= LINE.distance(a, b) + LINE.distance(b, c)
+
+    @given(center=line_cell, r=radius)
+    def test_ring_and_coverage(self, center, r):
+        ring = LINE.ring(center, r)
+        assert all(LINE.distance(center, cell) == r for cell in ring)
+        assert LINE.coverage(r) == 2 * r + 1
+
+    @given(cell=line_cell)
+    def test_neighbors(self, cell):
+        assert set(LINE.neighbors(cell)) == {cell - 1, cell + 1}

@@ -1,0 +1,115 @@
+"""Property-based tests for paging partitions and their costs."""
+
+import math
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import HexTopology, LineTopology
+from repro.paging import (
+    PagingPlan,
+    optimal_contiguous_partition,
+    per_ring_partition,
+    sdf_partition,
+    blanket_partition,
+)
+
+HEX = HexTopology()
+LINE = LineTopology()
+
+thresholds = st.integers(min_value=0, max_value=15)
+delays = st.one_of(st.integers(min_value=1, max_value=8), st.just(math.inf))
+
+
+@st.composite
+def distributions(draw, d):
+    raw = draw(
+        st.lists(
+            st.floats(min_value=0.001, max_value=1.0),
+            min_size=d + 1,
+            max_size=d + 1,
+        )
+    )
+    arr = np.asarray(raw)
+    return arr / arr.sum()
+
+
+class TestSDFInvariants:
+    @given(d=thresholds, m=delays)
+    def test_covers_rings_exactly_once(self, d, m):
+        plan = sdf_partition(d, m)
+        rings = [r for group in plan.subareas for r in group]
+        assert sorted(rings) == list(range(d + 1))
+
+    @given(d=thresholds, m=delays)
+    def test_delay_bound_respected(self, d, m):
+        plan = sdf_partition(d, m)
+        bound = d + 1 if m == math.inf else min(d + 1, m)
+        assert plan.delay_bound <= bound
+
+    @given(d=thresholds, m=delays)
+    def test_groups_are_contiguous_and_ordered(self, d, m):
+        plan = sdf_partition(d, m)
+        expected_next = 0
+        for group in plan.subareas:
+            assert list(group) == list(
+                range(expected_next, expected_next + len(group))
+            )
+            expected_next += len(group)
+
+    @given(d=thresholds, m=delays, data=st.data())
+    @settings(max_examples=50)
+    def test_expected_cells_between_bounds(self, d, m, data):
+        # Blanket polling is the worst plan, per-ring the best among
+        # SDF-ordered plans; SDF must fall in between.
+        p = data.draw(distributions(d))
+        sdf = sdf_partition(d, m).expected_polled_cells(HEX, p)
+        blanket = blanket_partition(d).expected_polled_cells(HEX, p)
+        per_ring = per_ring_partition(d).expected_polled_cells(HEX, p)
+        assert per_ring <= sdf + 1e-9
+        assert sdf <= blanket + 1e-9
+
+    @given(d=thresholds, m=delays, data=st.data())
+    @settings(max_examples=50)
+    def test_expected_delay_at_most_bound(self, d, m, data):
+        p = data.draw(distributions(d))
+        plan = sdf_partition(d, m)
+        assert plan.expected_delay(p) <= plan.delay_bound + 1e-9
+        assert plan.expected_delay(p) >= 1.0 - 1e-9
+
+
+class TestOptimalPartitionInvariants:
+    @given(d=thresholds, m=delays, data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_never_worse_than_sdf(self, d, m, data):
+        p = data.draw(distributions(d))
+        sizes = [HEX.ring_size(i) for i in range(d + 1)]
+        opt = optimal_contiguous_partition(d, m, p, sizes)
+        sdf = sdf_partition(d, m)
+        assert opt.expected_polled_cells(HEX, p) <= sdf.expected_polled_cells(
+            HEX, p
+        ) + 1e-9
+
+    @given(d=thresholds, m=delays, data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_respects_delay_bound(self, d, m, data):
+        p = data.draw(distributions(d))
+        sizes = [LINE.ring_size(i) for i in range(d + 1)]
+        opt = optimal_contiguous_partition(d, m, p, sizes)
+        bound = d + 1 if m == math.inf else min(d + 1, m)
+        assert opt.delay_bound <= bound
+
+    @given(d=st.integers(min_value=0, max_value=9), data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_unbounded_beats_every_bounded(self, d, data):
+        p = data.draw(distributions(d))
+        sizes = [HEX.ring_size(i) for i in range(d + 1)]
+        unbounded = optimal_contiguous_partition(
+            d, math.inf, p, sizes
+        ).expected_polled_cells(HEX, p)
+        for m in (1, 2, 3):
+            bounded = optimal_contiguous_partition(
+                d, m, p, sizes
+            ).expected_polled_cells(HEX, p)
+            assert unbounded <= bounded + 1e-9

@@ -1,0 +1,90 @@
+"""Property-based tests for policy serialization and paging plans."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Policy
+from repro.geometry import HexTopology, LineTopology, SquareTopology
+from repro.paging import PagingPlan, partition_from_sizes
+
+TOPOLOGIES = (LineTopology(), HexTopology(), SquareTopology())
+
+
+@st.composite
+def contiguous_plans(draw):
+    """A random valid contiguous partition of rings 0..d."""
+    d = draw(st.integers(min_value=0, max_value=12))
+    sizes = []
+    remaining = d + 1
+    while remaining > 0:
+        take = draw(st.integers(min_value=1, max_value=remaining))
+        sizes.append(take)
+        remaining -= take
+    return partition_from_sizes(d, sizes)
+
+
+@st.composite
+def policies(draw):
+    plan = draw(contiguous_plans())
+    topology = draw(st.sampled_from(TOPOLOGIES))
+    bound = draw(
+        st.one_of(
+            st.integers(min_value=plan.delay_bound, max_value=plan.delay_bound + 5),
+            st.just(math.inf),
+        )
+    )
+    return Policy(
+        topology=topology,
+        threshold=plan.threshold,
+        max_delay=bound,
+        plan=plan,
+    )
+
+
+class TestPolicyRoundTrip:
+    @given(policy=policies())
+    @settings(max_examples=80)
+    def test_json_roundtrip_is_identity(self, policy):
+        restored = Policy.from_json(policy.to_json())
+        assert restored.topology == policy.topology
+        assert restored.threshold == policy.threshold
+        assert restored.max_delay == policy.max_delay
+        assert restored.plan == policy.plan
+
+    @given(policy=policies())
+    @settings(max_examples=40)
+    def test_serialized_form_is_valid_json_object(self, policy):
+        import json
+
+        payload = json.loads(policy.to_json())
+        assert payload["version"] == 1
+        assert sorted(r for group in payload["subareas"] for r in group) == list(
+            range(policy.threshold + 1)
+        )
+
+    @given(policy=policies())
+    @settings(max_examples=40, deadline=None)
+    def test_built_strategy_matches_policy(self, policy):
+        strategy = policy.build_strategy()
+        assert strategy.threshold == policy.threshold
+        assert strategy.plan == policy.plan
+        strategy.attach(policy.topology, policy.topology.origin)
+        covered = {cell for group in strategy.polling_groups() for cell in group}
+        assert covered == set(
+            policy.topology.disk(policy.topology.origin, policy.threshold)
+        )
+
+
+class TestPlanEquality:
+    @given(plan=contiguous_plans())
+    @settings(max_examples=60)
+    def test_plan_equality_is_structural(self, plan):
+        clone = PagingPlan(threshold=plan.threshold, subareas=plan.subareas)
+        assert clone == plan
+
+    @given(plan=contiguous_plans())
+    @settings(max_examples=60)
+    def test_delay_bound_is_group_count(self, plan):
+        assert plan.delay_bound == len(plan.subareas)

@@ -1,0 +1,160 @@
+"""Unit tests for the single-terminal simulation engine."""
+
+import math
+
+import pytest
+
+from repro import CostParams, MobilityParams, ParameterError, SimulationError
+from repro.simulation import EventLog, MoveEvent, PagingEvent, SimulationEngine, UpdateEvent
+from repro.strategies import DistanceStrategy, TimerStrategy
+
+COSTS = CostParams(update_cost=50.0, poll_cost=10.0)
+
+
+def make_engine(line, q=0.3, c=0.05, d=2, m=1, seed=0, **kwargs):
+    return SimulationEngine(
+        topology=line,
+        strategy=DistanceStrategy(d, max_delay=m),
+        mobility=MobilityParams(q, c),
+        costs=COSTS,
+        seed=seed,
+        **kwargs,
+    )
+
+
+class TestBasics:
+    def test_run_counts_slots(self, line):
+        engine = make_engine(line)
+        snapshot = engine.run(1000)
+        assert snapshot.slots == 1000
+        assert engine.slot == 1000
+
+    def test_deterministic_per_seed(self, line):
+        a = make_engine(line, seed=42).run(2000)
+        b = make_engine(line, seed=42).run(2000)
+        assert a.mean_total_cost == b.mean_total_cost
+        assert a.updates == b.updates
+        assert a.calls == b.calls
+
+    def test_different_seeds_differ(self, line):
+        a = make_engine(line, seed=1).run(2000)
+        b = make_engine(line, seed=2).run(2000)
+        assert (a.updates, a.calls) != (b.updates, b.calls)
+
+    def test_negative_slots_rejected(self, line):
+        with pytest.raises(ParameterError):
+            make_engine(line).run(-1)
+
+    def test_bad_event_mode_rejected(self, line):
+        with pytest.raises(ParameterError):
+            make_engine(line, event_mode="sometimes")
+
+
+class TestProtocolInvariants:
+    def test_residing_area_invariant(self, line):
+        # After every slot the terminal is within d of the strategy's
+        # center -- the invariant the paging guarantee rests on.
+        engine = make_engine(line, d=3)
+        for _ in range(5000):
+            engine.step()
+            dist = line.distance(engine.strategy.last_known, engine.walk.position)
+            assert dist <= 3
+
+    def test_hex_residing_area_invariant(self, hexgrid):
+        engine = SimulationEngine(
+            topology=hexgrid,
+            strategy=DistanceStrategy(2, max_delay=2),
+            mobility=MobilityParams(0.5, 0.05),
+            costs=COSTS,
+            seed=5,
+        )
+        for _ in range(3000):
+            engine.step()
+            dist = hexgrid.distance(engine.strategy.last_known, engine.walk.position)
+            assert dist <= 2
+
+    def test_paging_failure_detected(self, line):
+        # A strategy whose polling misses the terminal must be caught.
+        class Broken(DistanceStrategy):
+            def polling_groups(self):
+                yield [self.center + 1_000]
+
+        engine = SimulationEngine(
+            topology=line,
+            strategy=Broken(2, max_delay=1),
+            mobility=MobilityParams(0.1, 0.5),
+            costs=COSTS,
+            seed=0,
+        )
+        with pytest.raises(SimulationError):
+            engine.run(200)
+
+    def test_event_rates_match_parameters(self, line):
+        engine = make_engine(line, q=0.2, c=0.05, d=100, seed=9)
+        snapshot = engine.run(50_000)
+        assert snapshot.calls / snapshot.slots == pytest.approx(0.05, abs=0.01)
+        assert snapshot.moves / snapshot.slots == pytest.approx(0.2, abs=0.01)
+
+    def test_timer_strategy_updates_without_moving(self, line):
+        engine = SimulationEngine(
+            topology=line,
+            strategy=TimerStrategy(10, max_delay=1),
+            mobility=MobilityParams(0.01, 0.0),
+            costs=COSTS,
+            seed=1,
+        )
+        snapshot = engine.run(1000)
+        # Roughly one update per 10 slots regardless of movement.
+        assert snapshot.updates == pytest.approx(100, abs=15)
+
+
+class TestEventLog:
+    def test_events_recorded(self, line):
+        log = EventLog()
+        engine = make_engine(line, q=0.5, c=0.1, d=1, seed=3, event_log=log)
+        engine.run(500)
+        moves = log.of_type(MoveEvent)
+        updates = log.of_type(UpdateEvent)
+        pages = log.of_type(PagingEvent)
+        assert moves and updates and pages
+        snapshot = engine.meter.snapshot()
+        assert len(moves) == snapshot.moves
+        assert len(updates) == snapshot.updates
+        assert len(pages) == snapshot.calls
+
+    def test_paging_events_have_valid_cycles(self, line):
+        log = EventLog()
+        engine = make_engine(line, d=4, m=2, c=0.2, seed=4, event_log=log)
+        engine.run(2000)
+        for event in log.of_type(PagingEvent):
+            assert 1 <= event.cycles <= 2
+
+    def test_log_capacity_truncates(self, line):
+        log = EventLog(capacity=10)
+        engine = make_engine(line, q=0.9, c=0.05, d=1, seed=5, event_log=log)
+        engine.run(2000)
+        assert len(log) == 10
+        assert log.truncated
+
+    def test_log_indexing(self, line):
+        log = EventLog()
+        engine = make_engine(line, q=1.0, c=0.0, d=0, seed=6, event_log=log)
+        engine.run(10)
+        assert log[0] is list(log)[0]
+
+
+class TestIndependentEventMode:
+    def test_runs_and_meters(self, line):
+        engine = make_engine(line, event_mode="independent", seed=7)
+        snapshot = engine.run(10_000)
+        assert snapshot.slots == 10_000
+
+    def test_rates_close_to_exclusive_for_small_qc(self, line):
+        exclusive = make_engine(line, q=0.1, c=0.01, seed=8).run(80_000)
+        independent = make_engine(
+            line, q=0.1, c=0.01, seed=8, event_mode="independent"
+        ).run(80_000)
+        # q*c = 0.001: the two semantics differ by O(qc) per slot.
+        assert independent.mean_total_cost == pytest.approx(
+            exclusive.mean_total_cost, rel=0.1
+        )

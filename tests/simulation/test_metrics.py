@@ -1,0 +1,138 @@
+"""Unit tests for the cost meter."""
+
+import math
+
+import pytest
+
+from repro import ParameterError, SimulationError
+from repro.simulation import CostMeter
+
+
+def make_meter():
+    return CostMeter(update_cost=50.0, poll_cost=10.0)
+
+
+class TestSlotProtocol:
+    def test_basic_accounting(self):
+        meter = make_meter()
+        meter.begin_slot()
+        meter.charge_update()
+        meter.end_slot()
+        meter.begin_slot()
+        meter.charge_paging(cells_polled=3, cycles=2)
+        meter.end_slot()
+        assert meter.slots == 2
+        assert meter.updates == 1
+        assert meter.calls == 1
+        assert meter.polled_cells == 3
+        assert meter.mean_total_cost == pytest.approx((50.0 + 30.0) / 2)
+
+    def test_double_begin_rejected(self):
+        meter = make_meter()
+        meter.begin_slot()
+        with pytest.raises(SimulationError):
+            meter.begin_slot()
+
+    def test_end_without_begin_rejected(self):
+        with pytest.raises(SimulationError):
+            make_meter().end_slot()
+
+    def test_charge_outside_slot_rejected(self):
+        with pytest.raises(SimulationError):
+            make_meter().charge_update()
+
+    def test_note_move_outside_slot_rejected(self):
+        with pytest.raises(SimulationError):
+            make_meter().note_move()
+
+    def test_invalid_paging_charge(self):
+        meter = make_meter()
+        meter.begin_slot()
+        with pytest.raises(SimulationError):
+            meter.charge_paging(cells_polled=0, cycles=1)
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ParameterError):
+            CostMeter(update_cost=-1.0, poll_cost=1.0)
+
+
+class TestStatistics:
+    def test_empty_meter_zero_mean(self):
+        assert make_meter().mean_total_cost == 0.0
+
+    def test_confidence_interval_shrinks(self):
+        import numpy as np
+
+        rng = np.random.default_rng(1)
+
+        def run(slots):
+            meter = make_meter()
+            for _ in range(slots):
+                meter.begin_slot()
+                if rng.random() < 0.3:
+                    meter.charge_update()
+                meter.end_slot()
+            return meter.confidence_interval(0.95)[1]
+
+        assert run(4000) < run(100)
+
+    def test_confidence_levels(self):
+        meter = make_meter()
+        for _ in range(100):
+            meter.begin_slot()
+            meter.charge_update()
+            meter.end_slot()
+        wide = meter.confidence_interval(0.99)[1]
+        narrow = meter.confidence_interval(0.90)[1]
+        assert wide >= narrow
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ParameterError):
+            make_meter().confidence_interval(0.5)
+
+    def test_ci_infinite_with_one_slot(self):
+        meter = make_meter()
+        meter.begin_slot()
+        meter.end_slot()
+        assert meter.confidence_interval()[1] == math.inf
+
+    def test_delay_histogram_and_mean(self):
+        meter = make_meter()
+        for cycles in (1, 1, 3):
+            meter.begin_slot()
+            meter.charge_paging(cells_polled=2, cycles=cycles)
+            meter.end_slot()
+        assert meter.delay_histogram[1] == 2
+        assert meter.delay_histogram[3] == 1
+        assert meter.mean_paging_delay == pytest.approx(5 / 3)
+
+    def test_mean_delay_without_calls(self):
+        assert make_meter().mean_paging_delay == 0.0
+
+
+class TestSnapshot:
+    def test_snapshot_fields(self):
+        meter = make_meter()
+        meter.begin_slot()
+        meter.note_move()
+        meter.charge_update()
+        meter.end_slot()
+        snap = meter.snapshot()
+        assert snap.slots == 1
+        assert snap.moves == 1
+        assert snap.updates == 1
+        assert snap.update_cost == 50.0
+        assert snap.paging_cost == 0.0
+        assert snap.total_cost == 50.0
+
+    def test_snapshot_mean_components(self):
+        meter = make_meter()
+        for _ in range(4):
+            meter.begin_slot()
+            meter.end_slot()
+        meter.begin_slot()
+        meter.charge_paging(cells_polled=5, cycles=1)
+        meter.end_slot()
+        snap = meter.snapshot()
+        assert snap.mean_paging_cost == pytest.approx(50.0 / 5)
+        assert snap.mean_update_cost == 0.0

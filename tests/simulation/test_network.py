@@ -1,0 +1,102 @@
+"""Unit tests for the multi-terminal PCN layer."""
+
+import pytest
+
+from repro import CostParams, MobilityParams, ParameterError, SimulationError
+from repro.geometry import HexTopology, LineTopology
+from repro.simulation import LocationRegister, PCNetwork
+from repro.strategies import DistanceStrategy
+
+COSTS = CostParams(update_cost=50.0, poll_cost=10.0)
+MOBILITY = MobilityParams(0.3, 0.05)
+
+
+class TestLocationRegister:
+    def test_update_and_lookup(self):
+        register = LocationRegister()
+        register.update(0, (1, 2))
+        assert register.lookup(0) == (1, 2)
+        assert 0 in register
+        assert len(register) == 1
+
+    def test_lookup_unknown_terminal(self):
+        with pytest.raises(SimulationError):
+            LocationRegister().lookup(99)
+
+    def test_counters(self):
+        register = LocationRegister()
+        register.update(0, 5)
+        register.update(0, 6)
+        register.lookup(0)
+        assert register.writes == 2
+        assert register.reads == 1
+
+
+class TestPCNetwork:
+    def make_network(self, terminals=3, seed=0):
+        network = PCNetwork(HexTopology(), COSTS, seed=seed)
+        for _ in range(terminals):
+            network.add_terminal(DistanceStrategy(2, max_delay=1), MOBILITY)
+        return network
+
+    def test_terminals_registered(self):
+        network = self.make_network(terminals=4)
+        assert len(network.terminals) == 4
+        assert len(network.register) == 4
+
+    def test_run_advances_all(self):
+        network = self.make_network()
+        network.run(200)
+        assert network.slot == 200
+        for terminal in network.terminals:
+            assert terminal.engine.slot == 200
+
+    def test_register_tracks_last_fix(self):
+        network = self.make_network(seed=3)
+        network.run(3000)
+        for terminal in network.terminals:
+            recorded = network.register.lookup(terminal.terminal_id)
+            assert recorded == terminal.strategy.last_known
+
+    def test_station_counters_accumulate(self):
+        network = self.make_network(seed=4)
+        network.run(3000)
+        total_updates = sum(s.updates_received for s in network.stations.values())
+        expected = sum(t.engine.meter.snapshot().updates for t in network.terminals)
+        assert total_updates == expected
+
+    def test_terminals_are_independent(self):
+        network = self.make_network(terminals=2, seed=5)
+        network.run(2000)
+        a, b = network.snapshots()
+        assert (a.updates, a.calls) != (b.updates, b.calls)
+
+    def test_aggregate_mean_cost(self):
+        network = self.make_network(seed=6)
+        network.run(2000)
+        snaps = network.snapshots()
+        expected = sum(s.mean_total_cost for s in snaps) / len(snaps)
+        assert network.aggregate_mean_cost() == pytest.approx(expected)
+
+    def test_aggregate_empty_network(self):
+        network = PCNetwork(LineTopology(), COSTS)
+        assert network.aggregate_mean_cost() == 0.0
+
+    def test_busiest_stations(self):
+        network = self.make_network(seed=7)
+        network.run(3000)
+        top = network.busiest_stations(3)
+        assert len(top) <= 3
+        loads = [load for _, load in top]
+        assert loads == sorted(loads, reverse=True)
+
+    def test_negative_slots_rejected(self):
+        with pytest.raises(ParameterError):
+            self.make_network().run(-1)
+
+    def test_reproducible_per_seed(self):
+        a = self.make_network(seed=11)
+        b = self.make_network(seed=11)
+        a.run(1000)
+        b.run(1000)
+        assert a.aggregate_mean_cost() == b.aggregate_mean_cost()

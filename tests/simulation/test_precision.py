@@ -1,0 +1,123 @@
+"""Tests for warm-up handling and precision-driven stopping."""
+
+import pytest
+
+from repro import CostParams, MobilityParams, ParameterError
+from repro.geometry import LineTopology
+from repro.simulation import run_replicated, run_until_precision
+from repro.strategies import DistanceStrategy
+
+MOBILITY = MobilityParams(0.2, 0.02)
+COSTS = CostParams(30.0, 2.0)
+
+
+def factory():
+    return DistanceStrategy(3, max_delay=2)
+
+
+class TestWarmup:
+    def test_warmup_slots_not_metered(self, line):
+        result = run_replicated(
+            line, factory, MOBILITY, COSTS,
+            slots=5000, replications=2, seed=1, warmup_slots=2000,
+        )
+        for snapshot in result.snapshots:
+            assert snapshot.slots == 5000
+
+    def test_warmup_reduces_fresh_fix_bias(self, line):
+        # Short runs from a fresh fix under-measure cost; warm-up must
+        # move the estimate up toward steady state.
+        kwargs = dict(
+            topology=line,
+            strategy_factory=factory,
+            mobility=MOBILITY,
+            costs=COSTS,
+            slots=60,
+            replications=400,
+            seed=2,
+        )
+        cold = run_replicated(**kwargs).mean_total_cost
+        warm = run_replicated(warmup_slots=2000, **kwargs).mean_total_cost
+        assert warm > cold
+
+    def test_warm_short_run_matches_steady_state(self, line):
+        from repro import CostEvaluator, OneDimensionalModel
+
+        evaluator = CostEvaluator(
+            OneDimensionalModel(MOBILITY), COSTS, convention="physical"
+        )
+        steady = evaluator.total_cost(3, 2)
+        warm = run_replicated(
+            line, factory, MOBILITY, COSTS,
+            slots=200, replications=600, seed=3, warmup_slots=1500,
+        ).mean_total_cost
+        assert warm == pytest.approx(steady, rel=0.08)
+
+    def test_negative_warmup_rejected(self, line):
+        with pytest.raises(ParameterError):
+            run_replicated(
+                line, factory, MOBILITY, COSTS,
+                slots=100, replications=2, warmup_slots=-1,
+            )
+
+
+class TestRunUntilPrecision:
+    def test_achieves_target(self, line):
+        result = run_until_precision(
+            line, factory, MOBILITY, COSTS,
+            target_half_width=0.05, batch_slots=10_000,
+            replications=4, seed=4,
+        )
+        assert result.total_cost_ci() <= 0.05
+
+    def test_tighter_target_needs_more_slots(self, line):
+        loose = run_until_precision(
+            line, factory, MOBILITY, COSTS,
+            target_half_width=0.20, batch_slots=4000, replications=4, seed=5,
+        )
+        tight = run_until_precision(
+            line, factory, MOBILITY, COSTS,
+            target_half_width=0.02, batch_slots=4000, replications=4, seed=5,
+        )
+        assert tight.snapshots[0].slots >= loose.snapshots[0].slots
+        assert tight.total_cost_ci() <= 0.02
+
+    def test_budget_cap_respected(self, line):
+        result = run_until_precision(
+            line, factory, MOBILITY, COSTS,
+            target_half_width=1e-9,  # unreachable
+            batch_slots=5000, replications=3,
+            max_slots_per_replication=10_000, seed=6,
+        )
+        assert result.snapshots[0].slots <= 10_000 + 5000
+
+    def test_estimate_is_accurate(self, line):
+        from repro import CostEvaluator, OneDimensionalModel
+
+        evaluator = CostEvaluator(
+            OneDimensionalModel(MOBILITY), COSTS, convention="physical"
+        )
+        steady = evaluator.total_cost(3, 2)
+        result = run_until_precision(
+            line, factory, MOBILITY, COSTS,
+            target_half_width=0.02, batch_slots=20_000,
+            replications=4, seed=7, warmup_slots=1000,
+        )
+        assert abs(result.mean_total_cost - steady) <= 3 * 0.02
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"target_half_width": 0.0},
+            {"target_half_width": -1.0},
+            {"batch_slots": 0},
+            {"replications": 1},
+        ],
+    )
+    def test_invalid_parameters(self, line, kwargs):
+        defaults = dict(
+            target_half_width=0.1, batch_slots=1000, replications=3
+        )
+        defaults.update(kwargs)
+        with pytest.raises(ParameterError):
+            run_until_precision(line, factory, MOBILITY, COSTS, **defaults)

@@ -1,0 +1,123 @@
+"""Unit tests for replicated runs and model validation."""
+
+import math
+
+import pytest
+
+from repro import (
+    CostParams,
+    MobilityParams,
+    OneDimensionalModel,
+    ParameterError,
+)
+from repro.geometry import LineTopology
+from repro.simulation import run_replicated, validate_against_model
+from repro.strategies import DistanceStrategy
+
+COSTS = CostParams(update_cost=50.0, poll_cost=10.0)
+MOBILITY = MobilityParams(0.2, 0.02)
+
+
+def factory():
+    return DistanceStrategy(2, max_delay=1)
+
+
+class TestRunReplicated:
+    def test_replication_count(self, line):
+        result = run_replicated(
+            line, factory, MOBILITY, COSTS, slots=2000, replications=4, seed=1
+        )
+        assert result.replications == 4
+
+    def test_replications_are_independent(self, line):
+        result = run_replicated(
+            line, factory, MOBILITY, COSTS, slots=2000, replications=3, seed=2
+        )
+        costs = [s.mean_total_cost for s in result.snapshots]
+        assert len(set(costs)) > 1
+
+    def test_deterministic_per_seed(self, line):
+        a = run_replicated(line, factory, MOBILITY, COSTS, slots=1000, seed=5)
+        b = run_replicated(line, factory, MOBILITY, COSTS, slots=1000, seed=5)
+        assert a.mean_total_cost == b.mean_total_cost
+
+    def test_mean_decomposition(self, line):
+        result = run_replicated(
+            line, factory, MOBILITY, COSTS, slots=3000, replications=3, seed=3
+        )
+        assert result.mean_total_cost == pytest.approx(
+            result.mean_update_cost + result.mean_paging_cost
+        )
+
+    def test_ci_infinite_for_single_replication(self, line):
+        result = run_replicated(
+            line, factory, MOBILITY, COSTS, slots=500, replications=1, seed=4
+        )
+        assert result.total_cost_ci() == math.inf
+
+    def test_zero_replications_rejected(self, line):
+        with pytest.raises(ParameterError):
+            run_replicated(line, factory, MOBILITY, COSTS, slots=100, replications=0)
+
+    def test_mean_paging_delay(self, line):
+        result = run_replicated(
+            line,
+            lambda: DistanceStrategy(4, max_delay=3),
+            MOBILITY,
+            COSTS,
+            slots=5000,
+            replications=2,
+            seed=6,
+        )
+        assert 1.0 <= result.mean_paging_delay <= 3.0
+
+
+class TestValidateAgainstModel:
+    def test_1d_agreement(self):
+        model = OneDimensionalModel(MOBILITY)
+        comparison = validate_against_model(
+            model, COSTS, d=2, m=1, slots=60_000, replications=4, seed=7
+        )
+        assert comparison.relative_error < 0.05
+
+    def test_components_compared(self):
+        model = OneDimensionalModel(MOBILITY)
+        comparison = validate_against_model(
+            model, COSTS, d=2, m=2, slots=40_000, replications=3, seed=8
+        )
+        assert comparison.measured_update == pytest.approx(
+            comparison.predicted_update, rel=0.15
+        )
+        assert comparison.measured_paging == pytest.approx(
+            comparison.predicted_paging, rel=0.15
+        )
+
+    def test_physical_convention_at_d0(self):
+        # The simulator physically updates at rate q when d = 0; the
+        # default "physical" convention must match it, while the paper
+        # convention (q/2 in 1-D) must not.
+        model = OneDimensionalModel(MOBILITY)
+        physical = validate_against_model(
+            model, COSTS, d=0, m=1, slots=60_000, replications=3, seed=9
+        )
+        assert physical.relative_error < 0.05
+        paper = validate_against_model(
+            model,
+            COSTS,
+            d=0,
+            m=1,
+            slots=60_000,
+            replications=3,
+            seed=9,
+            convention="paper",
+        )
+        assert paper.measured_update == pytest.approx(
+            2 * paper.predicted_update, rel=0.1
+        )
+
+    def test_relative_error_zero_prediction(self):
+        from repro.simulation.runner import ModelComparison
+
+        comparison = ModelComparison(0.0, 0.0, 0.1, 0.0, 0.0, 0.0, 0.0)
+        assert comparison.relative_error == 0.0
+        assert comparison.within_ci

@@ -1,0 +1,80 @@
+"""Unit tests for the strategy interface and registry."""
+
+import pytest
+
+from repro import ParameterError, SimulationError
+from repro.geometry import LineTopology
+from repro.strategies import (
+    DistanceStrategy,
+    create_strategy,
+    register_strategy,
+    strategy_names,
+)
+from repro.strategies.base import UpdateStrategy
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = strategy_names()
+        for expected in ("distance", "movement", "timer", "location-area", "dynamic"):
+            assert expected in names
+
+    def test_create_by_name(self):
+        strategy = create_strategy("distance", threshold=3, max_delay=2)
+        assert isinstance(strategy, DistanceStrategy)
+        assert strategy.threshold == 3
+
+    def test_unknown_name(self):
+        with pytest.raises(ParameterError):
+            create_strategy("teleport")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ParameterError):
+            register_strategy("distance", DistanceStrategy)
+
+
+class TestLifecycle:
+    def test_unattached_access_raises(self):
+        strategy = DistanceStrategy(2)
+        with pytest.raises(SimulationError):
+            _ = strategy.topology
+        with pytest.raises(SimulationError):
+            _ = strategy.last_known
+
+    def test_attach_sets_last_known(self, line):
+        strategy = DistanceStrategy(2)
+        strategy.attach(line, 5)
+        assert strategy.last_known == 5
+        assert strategy.topology is line
+
+    def test_attach_validates_cell(self, line):
+        strategy = DistanceStrategy(2)
+        with pytest.raises(ValueError):
+            strategy.attach(line, (0, 0))
+
+    def test_on_location_known_updates(self, line):
+        strategy = DistanceStrategy(2)
+        strategy.attach(line, 0)
+        strategy.on_location_known(7)
+        assert strategy.last_known == 7
+
+    def test_default_on_slot_is_noop(self, line):
+        strategy = DistanceStrategy(2)
+        strategy.attach(line, 0)
+        assert strategy.on_slot(0, 0) is False
+
+    def test_default_worst_case_delay(self, line):
+        class Minimal(UpdateStrategy):
+            name = "minimal"
+
+            def on_move(self, position):
+                return False
+
+            def polling_groups(self):
+                yield [self.last_known]
+
+            def _reset_state(self, position):
+                pass
+
+        strategy = Minimal()
+        assert strategy.worst_case_delay() is None

@@ -1,0 +1,91 @@
+"""Unit tests for the paper's distance-based strategy."""
+
+import math
+
+import pytest
+
+from repro.geometry import HexTopology, LineTopology
+from repro.paging import partition_from_sizes
+from repro.strategies import DistanceStrategy
+
+
+class TestUpdateRule:
+    def test_no_update_within_threshold(self, line):
+        strategy = DistanceStrategy(2)
+        strategy.attach(line, 0)
+        assert not strategy.on_move(1)
+        assert not strategy.on_move(2)
+
+    def test_update_beyond_threshold(self, line):
+        strategy = DistanceStrategy(2)
+        strategy.attach(line, 0)
+        assert strategy.on_move(3)
+
+    def test_center_resets_after_update(self, line):
+        strategy = DistanceStrategy(1)
+        strategy.attach(line, 0)
+        assert strategy.on_move(2)
+        strategy.on_location_known(2)
+        assert strategy.center == 2
+        assert not strategy.on_move(3)
+        assert strategy.on_move(4)
+
+    def test_threshold_zero_updates_on_any_move(self, hexgrid):
+        strategy = DistanceStrategy(0)
+        strategy.attach(hexgrid, (0, 0))
+        assert strategy.on_move((1, 0))
+
+    def test_hex_distances(self, hexgrid):
+        strategy = DistanceStrategy(2)
+        strategy.attach(hexgrid, (0, 0))
+        assert not strategy.on_move((1, 1))  # distance 2
+        assert strategy.on_move((2, 1))  # distance 3
+
+
+class TestPaging:
+    def test_groups_follow_sdf_plan(self, line):
+        strategy = DistanceStrategy(2, max_delay=2)
+        strategy.attach(line, 0)
+        groups = list(strategy.polling_groups())
+        assert groups[0] == [0]
+        assert sorted(groups[1]) == [-2, -1, 1, 2]
+
+    def test_groups_cover_residing_area(self, hexgrid):
+        strategy = DistanceStrategy(3, max_delay=2)
+        strategy.attach(hexgrid, (1, -1))
+        covered = {cell for group in strategy.polling_groups() for cell in group}
+        assert covered == set(hexgrid.disk((1, -1), 3))
+
+    def test_groups_centered_on_current_center(self, line):
+        strategy = DistanceStrategy(1, max_delay=1)
+        strategy.attach(line, 0)
+        strategy.on_location_known(10)
+        (group,) = strategy.polling_groups()
+        assert sorted(group) == [9, 10, 11]
+
+    def test_unbounded_delay_polls_per_ring(self, line):
+        strategy = DistanceStrategy(3, max_delay=math.inf)
+        strategy.attach(line, 0)
+        groups = list(strategy.polling_groups())
+        assert len(groups) == 4
+        assert groups[0] == [0]
+
+    def test_worst_case_delay(self):
+        assert DistanceStrategy(5, max_delay=3).worst_case_delay() == 3
+        assert DistanceStrategy(5, max_delay=math.inf).worst_case_delay() == 6
+
+    def test_custom_plan(self, line):
+        plan = partition_from_sizes(2, [2, 1])
+        strategy = DistanceStrategy(2, max_delay=2, plan=plan)
+        strategy.attach(line, 0)
+        groups = list(strategy.polling_groups())
+        assert sorted(groups[0]) == [-1, 0, 1]
+        assert sorted(groups[1]) == [-2, 2]
+
+    def test_mismatched_plan_rejected(self):
+        plan = partition_from_sizes(3, [2, 2])
+        with pytest.raises(ValueError):
+            DistanceStrategy(2, max_delay=2, plan=plan)
+
+    def test_repr(self):
+        assert "threshold=4" in repr(DistanceStrategy(4, max_delay=2))

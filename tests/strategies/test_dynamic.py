@@ -1,0 +1,87 @@
+"""Unit tests for the dynamic (online-adaptive) strategy."""
+
+import pytest
+
+from repro import CostParams, MobilityParams, ParameterError
+from repro.geometry import HexTopology, LineTopology
+from repro.simulation import SimulationEngine
+from repro.strategies import DynamicStrategy
+
+COSTS = CostParams(update_cost=50.0, poll_cost=10.0)
+
+
+class TestConstruction:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"smoothing": 0.0},
+            {"smoothing": 1.0},
+            {"recompute_interval": 0},
+            {"initial_threshold": -1},
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ParameterError):
+            DynamicStrategy(COSTS, **kwargs)
+
+    def test_initial_threshold_used(self, line):
+        strategy = DynamicStrategy(COSTS, initial_threshold=3)
+        strategy.attach(line, 0)
+        assert not strategy.on_move(3)
+        assert strategy.on_move(4)
+
+
+class TestEstimation:
+    def test_estimates_track_truth(self, line):
+        mobility = MobilityParams(0.2, 0.05)
+        strategy = DynamicStrategy(COSTS, smoothing=0.005, initial_threshold=2)
+        engine = SimulationEngine(line, strategy, mobility, COSTS, seed=3)
+        engine.run(30_000)
+        assert strategy.q_hat == pytest.approx(0.2 * 0.95, abs=0.05)
+        assert strategy.c_hat == pytest.approx(0.05, abs=0.03)
+
+    def test_recomputation_happens(self, line):
+        mobility = MobilityParams(0.2, 0.05)
+        strategy = DynamicStrategy(COSTS, recompute_interval=5, initial_threshold=2)
+        engine = SimulationEngine(line, strategy, mobility, COSTS, seed=4)
+        engine.run(20_000)
+        assert strategy.recomputations > 0
+
+
+class TestConvergence:
+    def test_threshold_converges_near_static_optimum_1d(self, line):
+        from repro import OneDimensionalModel, find_optimal_threshold
+
+        mobility = MobilityParams(0.2, 0.02)
+        optimal = find_optimal_threshold(
+            OneDimensionalModel(mobility), COSTS, 1
+        ).threshold
+        strategy = DynamicStrategy(
+            COSTS, max_delay=1, smoothing=0.002, recompute_interval=10
+        )
+        engine = SimulationEngine(line, strategy, mobility, COSTS, seed=5)
+        engine.run(60_000)
+        assert abs(strategy.threshold - optimal) <= 1
+
+    def test_runs_on_hex_grid(self, hexgrid):
+        mobility = MobilityParams(0.3, 0.03)
+        strategy = DynamicStrategy(COSTS, max_delay=2, recompute_interval=5)
+        engine = SimulationEngine(hexgrid, strategy, mobility, COSTS, seed=6)
+        snapshot = engine.run(15_000)
+        assert snapshot.slots == 15_000
+        assert strategy.recomputations > 0
+
+    def test_adapts_when_mobility_changes(self, line):
+        # Slow walker becomes fast: the threshold should not shrink.
+        strategy = DynamicStrategy(
+            COSTS, max_delay=1, smoothing=0.01, recompute_interval=5
+        )
+        slow = MobilityParams(0.02, 0.02)
+        engine = SimulationEngine(line, strategy, slow, COSTS, seed=7)
+        engine.run(30_000)
+        threshold_slow = strategy.threshold
+        # Re-drive the same strategy object with faster mobility.
+        engine2 = SimulationEngine(line, strategy, MobilityParams(0.4, 0.02), COSTS, seed=8)
+        # attach() reset last_known but keeps the learned estimates; run on.
+        engine2.run(30_000)
+        assert strategy.threshold >= threshold_slow

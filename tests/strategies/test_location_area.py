@@ -1,0 +1,205 @@
+"""Unit tests for the static location-area baseline, including the hex
+LA tessellation."""
+
+import pytest
+
+from repro import ParameterError
+from repro.geometry import HexTopology, LineTopology
+from repro.strategies import LocationAreaStrategy, hex_la_center, line_la_index
+
+
+class TestLineLAs:
+    def test_block_indexing(self):
+        # radius 1 -> width 3, LA 0 covers cells -1..1.
+        assert [line_la_index(c, 1) for c in (-2, -1, 0, 1, 2)] == [-1, 0, 0, 0, 1]
+
+    def test_radius_zero_one_cell_per_la(self):
+        assert line_la_index(5, 0) == 5
+
+    def test_update_on_boundary_crossing(self):
+        strategy = LocationAreaStrategy(1)
+        strategy.attach(LineTopology(), 0)
+        assert not strategy.on_move(1)
+        assert strategy.on_move(2)  # enters LA 1
+
+    def test_ping_pong_at_boundary(self):
+        # The classic LA pathology the paper's introduction describes:
+        # oscillating across a boundary updates every move.
+        strategy = LocationAreaStrategy(1)
+        strategy.attach(LineTopology(), 1)  # LA 0 edge cell
+        assert strategy.on_move(2)  # LA 1
+        strategy.on_location_known(2)
+        assert strategy.on_move(1)  # back to LA 0
+        strategy.on_location_known(1)
+        assert strategy.on_move(2)
+
+    def test_paging_polls_whole_la(self):
+        strategy = LocationAreaStrategy(1)
+        strategy.attach(LineTopology(), 4)  # LA 1 covers 2..4? width 3: (4+1)//3=1 -> cells 2,3,4
+        (group,) = strategy.polling_groups()
+        assert sorted(group) == [2, 3, 4]
+
+    def test_worst_case_delay_is_one(self):
+        assert LocationAreaStrategy(2).worst_case_delay() == 1
+
+
+class TestHexLATessellation:
+    @pytest.mark.parametrize("radius", [1, 2, 3])
+    def test_perfect_tiling(self, radius):
+        # Every cell in a large patch must belong to exactly one LA
+        # center within distance radius -- the cluster lattice tiles.
+        topo = HexTopology()
+        span = 3 * radius + 4
+        for q in range(-span, span + 1):
+            for r in range(-span, span + 1):
+                center = hex_la_center((q, r), radius)
+                assert topo.distance(center, (q, r)) <= radius
+
+    @pytest.mark.parametrize("radius", [1, 2])
+    def test_la_sizes_are_coverage(self, radius):
+        # Group a patch by LA center; interior LAs must have exactly
+        # g(radius) cells.
+        topo = HexTopology()
+        span = 6 * radius + 6
+        las = {}
+        for q in range(-span, span + 1):
+            for r in range(-span, span + 1):
+                las.setdefault(hex_la_center((q, r), radius), []).append((q, r))
+        expected = topo.coverage(radius)
+        interior = [
+            cells
+            for center, cells in las.items()
+            if topo.distance((0, 0), center) <= span - 2 * radius - 1
+        ]
+        assert interior
+        for cells in interior:
+            assert len(cells) == expected
+
+    def test_center_cell_maps_to_itself(self):
+        assert hex_la_center((0, 0), 2) == (0, 0)
+
+    def test_lattice_points_are_centers(self):
+        # v1 = (n+1, n) is an LA center for n = 2.
+        assert hex_la_center((3, 2), 2) == (3, 2)
+
+    def test_assignment_is_deterministic(self):
+        a = hex_la_center((7, -3), 2)
+        b = hex_la_center((7, -3), 2)
+        assert a == b
+
+
+class TestHexLAStrategy:
+    def test_update_only_on_la_change(self):
+        strategy = LocationAreaStrategy(2)
+        topo = HexTopology()
+        strategy.attach(topo, (0, 0))
+        # Moves within the radius-2 LA around (0,0) never update.
+        assert not strategy.on_move((1, 0))
+        assert not strategy.on_move((2, 0))
+        # (3, 0) is distance 3 from (0,0): a different LA.
+        assert strategy.on_move((3, 0))
+
+    def test_paging_covers_current_la(self):
+        strategy = LocationAreaStrategy(1)
+        topo = HexTopology()
+        strategy.attach(topo, (0, 0))
+        (group,) = strategy.polling_groups()
+        assert set(group) == set(topo.disk((0, 0), 1))
+
+    def test_current_la_after_fix(self):
+        strategy = LocationAreaStrategy(1)
+        strategy.attach(HexTopology(), (0, 0))
+        strategy.on_location_known((2, 1))
+        assert strategy.current_la == hex_la_center((2, 1), 1)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [-1, 0.5, True])
+    def test_invalid_radius(self, bad):
+        with pytest.raises(ParameterError):
+            LocationAreaStrategy(bad)
+
+    def test_unsupported_topology(self):
+        class FakeTopology(LineTopology):
+            pass
+
+        strategy = LocationAreaStrategy(1)
+        # Subclass is fine; a genuinely different topology is not.
+        strategy.attach(FakeTopology(), 0)
+
+
+class TestSquareLATessellation:
+    @pytest.mark.parametrize("radius", [1, 2, 3])
+    def test_perfect_lee_tiling(self, radius):
+        from repro.geometry import SquareTopology
+        from repro.strategies import square_la_center
+
+        topo = SquareTopology()
+        span = 3 * radius + 4
+        for x in range(-span, span + 1):
+            for y in range(-span, span + 1):
+                center = square_la_center((x, y), radius)
+                assert topo.distance(center, (x, y)) <= radius
+
+    @pytest.mark.parametrize("radius", [1, 2])
+    def test_interior_la_sizes_are_coverage(self, radius):
+        from repro.geometry import SquareTopology
+        from repro.strategies import square_la_center
+
+        topo = SquareTopology()
+        span = 6 * radius + 6
+        las = {}
+        for x in range(-span, span + 1):
+            for y in range(-span, span + 1):
+                las.setdefault(square_la_center((x, y), radius), []).append((x, y))
+        expected = topo.coverage(radius)
+        interior = [
+            cells
+            for center, cells in las.items()
+            if topo.distance((0, 0), center) <= span - 2 * radius - 1
+        ]
+        assert interior
+        for cells in interior:
+            assert len(cells) == expected
+
+    def test_lattice_point_is_own_center(self):
+        from repro.strategies import square_la_center
+
+        # v1 = (n, n+1) for n = 2.
+        assert square_la_center((2, 3), 2) == (2, 3)
+
+    def test_strategy_runs_on_square_grid(self):
+        from repro.geometry import SquareTopology
+        from repro import CostParams, MobilityParams
+        from repro.simulation import SimulationEngine
+
+        engine = SimulationEngine(
+            SquareTopology(),
+            LocationAreaStrategy(2),
+            MobilityParams(0.3, 0.03),
+            CostParams(10, 1),
+            seed=3,
+        )
+        snapshot = engine.run(10_000)
+        assert snapshot.calls > 0  # paging succeeded throughout
+
+    def test_square_la_analytic_matches_simulation(self):
+        from repro.geometry import SquareTopology
+        from repro import CostParams, MobilityParams, location_area_costs
+        from repro.simulation import run_replicated
+
+        mobility = MobilityParams(0.2, 0.02)
+        costs = CostParams(30.0, 2.0)
+        analytic = location_area_costs(SquareTopology(), mobility, costs, 2)
+        result = run_replicated(
+            SquareTopology(),
+            lambda: LocationAreaStrategy(2),
+            mobility,
+            costs,
+            slots=80_000,
+            replications=3,
+            seed=4,
+        )
+        assert result.mean_total_cost == pytest.approx(
+            analytic.total_cost, rel=0.04
+        )

@@ -1,0 +1,121 @@
+"""Unit tests for the movement-based and time-based baseline strategies."""
+
+import math
+
+import pytest
+
+from repro import ParameterError
+from repro.strategies import MovementStrategy, TimerStrategy
+
+
+class TestMovementStrategy:
+    def test_update_fires_on_mth_move(self, line):
+        strategy = MovementStrategy(3)
+        strategy.attach(line, 0)
+        assert not strategy.on_move(1)
+        assert not strategy.on_move(0)
+        assert strategy.on_move(1)
+
+    def test_counter_resets_on_fix(self, line):
+        strategy = MovementStrategy(2)
+        strategy.attach(line, 0)
+        strategy.on_move(1)
+        strategy.on_location_known(1)
+        assert strategy.moves_since_known == 0
+        assert not strategy.on_move(2)
+        assert strategy.on_move(1)
+
+    def test_oscillation_still_counts(self, line):
+        # The documented weakness vs distance-based: ping-ponging
+        # between two cells burns the movement budget without going
+        # anywhere.
+        strategy = MovementStrategy(4)
+        strategy.attach(line, 0)
+        results = [strategy.on_move(c) for c in (1, 0, 1, 0)]
+        assert results == [False, False, False, True]
+
+    def test_uncertainty_radius_tracks_moves(self, line):
+        strategy = MovementStrategy(5)
+        strategy.attach(line, 0)
+        strategy.on_move(1)
+        strategy.on_move(2)
+        assert strategy.uncertainty_radius() == 2
+
+    def test_paging_covers_reachable_cells(self, hexgrid):
+        strategy = MovementStrategy(4, max_delay=2)
+        strategy.attach(hexgrid, (0, 0))
+        strategy.on_move((1, 0))
+        strategy.on_move((1, -1))
+        covered = {cell for group in strategy.polling_groups() for cell in group}
+        assert set(hexgrid.disk((0, 0), 2)) <= covered
+
+    def test_paging_fresh_fix_polls_one_cell(self, line):
+        strategy = MovementStrategy(4)
+        strategy.attach(line, 7)
+        groups = list(strategy.polling_groups())
+        assert groups == [[7]]
+
+    def test_worst_case_delay(self):
+        assert MovementStrategy(4, max_delay=2).worst_case_delay() == 2
+        assert MovementStrategy(4, max_delay=math.inf).worst_case_delay() == 4
+
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, True])
+    def test_invalid_threshold(self, bad):
+        with pytest.raises(ParameterError):
+            MovementStrategy(bad)
+
+
+class TestTimerStrategy:
+    def test_update_fires_every_period(self, line):
+        strategy = TimerStrategy(3)
+        strategy.attach(line, 0)
+        fired = [strategy.on_slot(0, t) for t in range(3)]
+        assert fired == [False, False, True]
+
+    def test_fires_even_without_movement(self, line):
+        # The stationary-terminal weakness: updates burn energy anyway.
+        strategy = TimerStrategy(2)
+        strategy.attach(line, 5)
+        assert not strategy.on_slot(5, 0)
+        assert strategy.on_slot(5, 1)
+
+    def test_moves_never_trigger(self, line):
+        strategy = TimerStrategy(10)
+        strategy.attach(line, 0)
+        assert not strategy.on_move(1)
+        assert not strategy.on_move(2)
+
+    def test_timer_resets_on_fix(self, line):
+        strategy = TimerStrategy(3)
+        strategy.attach(line, 0)
+        strategy.on_slot(0, 0)
+        strategy.on_location_known(0)
+        fired = [strategy.on_slot(0, t) for t in (1, 2, 3)]
+        assert fired == [False, False, True]
+
+    def test_uncertainty_grows_with_time(self, line):
+        strategy = TimerStrategy(5)
+        strategy.attach(line, 0)
+        strategy.on_slot(0, 0)
+        strategy.on_slot(0, 1)
+        assert strategy.uncertainty_radius() == 2
+
+    def test_paging_covers_elapsed_radius(self, line):
+        strategy = TimerStrategy(5, max_delay=1)
+        strategy.attach(line, 0)
+        strategy.on_slot(0, 0)
+        strategy.on_move(1)
+        strategy.on_slot(1, 1)
+        strategy.on_move(2)
+        (group,) = strategy.polling_groups()
+        assert 2 in group  # actual position covered
+        assert sorted(group) == [-2, -1, 0, 1, 2]
+
+    def test_worst_case_delay(self):
+        assert TimerStrategy(7, max_delay=3).worst_case_delay() == 3
+        assert TimerStrategy(7, max_delay=math.inf).worst_case_delay() == 8
+
+    @pytest.mark.parametrize("bad", [0, -2, 0.5, True])
+    def test_invalid_period(self, bad):
+        with pytest.raises(ParameterError):
+            TimerStrategy(bad)

@@ -1,0 +1,141 @@
+"""Unit tests for the paging-channel queueing substrate."""
+
+import math
+
+import pytest
+
+from repro import CostParams, MobilityParams, ParameterError, TwoDimensionalModel
+from repro.channel import (
+    ServiceDistribution,
+    analyze_queue,
+    channel_operating_point,
+    dimension_channel,
+    simulate_queue,
+)
+
+MODEL = TwoDimensionalModel(MobilityParams(0.05, 0.01))
+COSTS = CostParams(100.0, 10.0)
+
+
+class TestServiceDistribution:
+    def test_moments(self):
+        service = ServiceDistribution([0.5, 0.3, 0.2])
+        assert service.mean == pytest.approx(1.7)
+        assert service.second_moment == pytest.approx(0.5 + 0.3 * 4 + 0.2 * 9)
+        assert service.second_factorial_moment == pytest.approx(
+            service.second_moment - service.mean
+        )
+
+    @pytest.mark.parametrize("pmf", [[], [0.5, 0.4], [1.2, -0.2]])
+    def test_invalid_pmf(self, pmf):
+        with pytest.raises(ParameterError):
+            ServiceDistribution(pmf)
+
+    def test_sampling_range(self, rng):
+        service = ServiceDistribution([0.0, 1.0, 0.0])
+        samples = service.sample(rng, 100)
+        assert set(samples.tolist()) == {2}
+
+
+class TestAnalyzeQueue:
+    def test_deterministic_unit_service_never_waits(self):
+        # With S = 1 and at most one Bernoulli arrival per slot, the
+        # channel is always free when a request arrives.
+        analysis = analyze_queue(0.5, ServiceDistribution([1.0]))
+        assert analysis.mean_wait == 0.0
+        assert analysis.mean_sojourn == 1.0
+
+    def test_utilization(self):
+        analysis = analyze_queue(0.2, ServiceDistribution([0.0, 0.0, 1.0]))
+        assert analysis.utilization == pytest.approx(0.6)
+        assert analysis.stable
+
+    def test_overload_rejected(self):
+        with pytest.raises(ParameterError):
+            analyze_queue(0.4, ServiceDistribution([0.0, 0.0, 1.0]))
+
+    def test_zero_arrivals(self):
+        analysis = analyze_queue(0.0, ServiceDistribution([0.5, 0.5]))
+        assert analysis.mean_wait == 0.0
+        assert analysis.utilization == 0.0
+
+    def test_wait_grows_with_load(self):
+        service = ServiceDistribution([0.3, 0.4, 0.3])
+        waits = [analyze_queue(lam, service).mean_wait for lam in (0.05, 0.2, 0.4)]
+        assert waits == sorted(waits)
+
+    @pytest.mark.parametrize(
+        "lam,pmf",
+        [
+            (0.1, [0.5, 0.3, 0.2]),
+            (0.2, [0.0, 0.0, 1.0]),
+            (0.3, [0.2, 0.5, 0.2, 0.1]),
+        ],
+    )
+    def test_formula_matches_simulation(self, lam, pmf):
+        service = ServiceDistribution(pmf)
+        formula = analyze_queue(lam, service)
+        simulated = simulate_queue(lam, service, slots=1_500_000, seed=3)
+        assert simulated.mean_wait == pytest.approx(formula.mean_wait, rel=0.05, abs=0.01)
+        assert simulated.utilization == pytest.approx(formula.utilization, rel=0.05)
+
+    def test_simulation_validates_inputs(self):
+        with pytest.raises(ParameterError):
+            simulate_queue(0.5, ServiceDistribution([1.0]), slots=0)
+
+
+class TestChannelOperatingPoint:
+    def test_blanket_paging_never_queues(self):
+        # m = 1 means every paging is one cycle: zero wait always.
+        point = channel_operating_point(MODEL, COSTS, d=2, m=1, terminals=50)
+        assert point.mean_wait_slots == 0.0
+        assert point.setup_latency == pytest.approx(1.0)
+
+    def test_bandwidth_scales_with_terminals(self):
+        small = channel_operating_point(MODEL, COSTS, d=2, m=2, terminals=10)
+        large = channel_operating_point(MODEL, COSTS, d=2, m=2, terminals=40)
+        assert large.polling_bandwidth == pytest.approx(4 * small.polling_bandwidth)
+
+    def test_overload_is_reported_not_raised(self):
+        point = channel_operating_point(MODEL, COSTS, d=5, m=math.inf, terminals=90)
+        assert not point.feasible
+        assert point.setup_latency == math.inf
+        assert point.utilization >= 1.0
+
+    def test_aggregate_arrival_cap(self):
+        with pytest.raises(ParameterError):
+            channel_operating_point(MODEL, COSTS, d=2, m=2, terminals=150)
+
+    def test_invalid_terminal_count(self):
+        with pytest.raises(ParameterError):
+            channel_operating_point(MODEL, COSTS, d=2, m=2, terminals=0)
+
+
+class TestDimensionChannel:
+    def test_sweep_structure(self):
+        points = dimension_channel(MODEL, COSTS, terminals=40, delays=(1, 2, 3))
+        assert [p.delay_bound for p in points] == [1, 2, 3]
+        for point in points:
+            assert point.terminals == 40
+
+    def test_tension_between_cost_and_latency(self):
+        # The paper's per-terminal story: cost falls with m.  The
+        # system story: utilization (and eventually wait) rises with m.
+        points = dimension_channel(
+            MODEL, COSTS, terminals=60, delays=(1, 2, 3, math.inf)
+        )
+        costs = [p.per_terminal_cost for p in points]
+        assert costs == sorted(costs, reverse=True)
+        utilizations = [p.utilization for p in points]
+        assert utilizations == sorted(utilizations)
+
+    def test_small_population_everything_feasible(self):
+        points = dimension_channel(MODEL, COSTS, terminals=5)
+        assert all(p.feasible for p in points)
+
+    def test_large_population_loses_large_delay_bounds(self):
+        points = dimension_channel(
+            MODEL, COSTS, terminals=60, delays=(1, 3, math.inf)
+        )
+        assert points[0].feasible
+        assert not points[-1].feasible

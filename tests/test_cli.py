@@ -1,0 +1,211 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_delay_accepts_inf(self):
+        args = build_parser().parse_args(
+            ["optimize", "--q", "0.05", "--c", "0.01",
+             "--update-cost", "10", "--poll-cost", "1", "--max-delay", "inf"]
+        )
+        assert args.max_delay == float("inf")
+
+    def test_delay_accepts_int(self):
+        args = build_parser().parse_args(
+            ["optimize", "--q", "0.05", "--c", "0.01",
+             "--update-cost", "10", "--poll-cost", "1", "--max-delay", "3"]
+        )
+        assert args.max_delay == 3
+
+
+class TestOptimizeCommand:
+    def test_reproduces_table2_row(self, capsys):
+        code = main(
+            ["optimize", "--model", "2d-exact", "--q", "0.05", "--c", "0.01",
+             "--update-cost", "100", "--poll-cost", "10", "--max-delay", "3"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "optimal d*:       2" in out
+        assert "1.335" in out
+
+    def test_annealing_method(self, capsys):
+        code = main(
+            ["optimize", "--model", "1d", "--q", "0.05", "--c", "0.01",
+             "--update-cost", "20", "--poll-cost", "10", "--max-delay", "1",
+             "--method", "annealing", "--d-max", "30"]
+        )
+        assert code == 0
+        assert "optimal d*" in capsys.readouterr().out
+
+    def test_parameter_error_exit_code(self, capsys):
+        code = main(
+            ["optimize", "--q", "2.0", "--c", "0.01",
+             "--update-cost", "10", "--poll-cost", "1"]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestTableCommands:
+    def test_table1_output_and_csv(self, capsys, tmp_path):
+        csv_path = tmp_path / "t1.csv"
+        code = main(["table1", "--csv", str(csv_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Table 1" in out
+        assert "0.527" in out  # U=20, delay 1
+        assert csv_path.exists()
+        assert len(csv_path.read_text().splitlines()) == 29  # header + 28 rows
+
+
+class TestFigureCommands:
+    def test_fig4_small(self, capsys):
+        code = main(["fig4", "--dimensions", "1", "--points", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "figure4a" in out
+        assert "max delay = 1" in out
+
+    def test_fig5_no_plot(self, capsys, tmp_path):
+        csv_path = tmp_path / "f5.csv"
+        code = main(
+            ["fig5", "--dimensions", "2", "--points", "4",
+             "--no-plot", "--csv", str(csv_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "figure5b" in out
+        assert "(log x)" not in out
+        assert csv_path.exists()
+
+
+class TestSimulateCommand:
+    def test_simulate_runs(self, capsys):
+        code = main(
+            ["simulate", "--dimensions", "1", "--q", "0.1", "--c", "0.02",
+             "--threshold", "2", "--slots", "5000", "--replications", "2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "mean C_T" in out
+
+
+class TestSoftDelayCommand:
+    def test_runs_and_reports(self, capsys):
+        code = main(
+            ["soft-delay", "--model", "2d-exact", "--q", "0.1", "--c", "0.02",
+             "--update-cost", "50", "--poll-cost", "5", "--penalty", "10",
+             "--d-max", "20"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "partition:" in out
+        assert "delay cost:" in out
+
+    def test_square_model_available(self, capsys):
+        code = main(
+            ["soft-delay", "--model", "square-exact", "--q", "0.1", "--c", "0.02",
+             "--update-cost", "20", "--poll-cost", "2", "--penalty", "1",
+             "--d-max", "15"]
+        )
+        assert code == 0
+
+
+class TestCompareCommand:
+    def test_2d_comparison(self, capsys):
+        code = main(
+            ["compare", "--dimensions", "2", "--q", "0.05", "--c", "0.01",
+             "--update-cost", "50", "--poll-cost", "2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "distance (paper)" in out
+        assert "location-area [8]" in out
+
+    def test_1d_comparison(self, capsys):
+        code = main(
+            ["compare", "--dimensions", "1", "--q", "0.2", "--c", "0.02",
+             "--update-cost", "30", "--poll-cost", "2"]
+        )
+        assert code == 0
+
+
+class TestShowCommand:
+    def test_rings(self, capsys):
+        code = main(["show", "rings", "--threshold", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        body = "\n".join(out.splitlines()[1:])  # drop the header line
+        assert body.count("0") == 1
+        assert body.count("2") == 12
+
+    def test_paging(self, capsys):
+        code = main(["show", "paging", "--threshold", "3", "--max-delay", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Polling cycle" in out
+        assert "1" in out and "2" in out
+
+    def test_occupancy(self, capsys):
+        code = main(["show", "occupancy", "--threshold", "3", "--q", "0.2", "--c", "0.02"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "@" in out
+
+
+class TestMetricsCommand:
+    def test_reports_all_quantities(self, capsys):
+        code = main(
+            ["metrics", "--model", "2d-exact", "--q", "0.05", "--c", "0.01",
+             "--threshold", "2", "--max-delay", "3"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        for field in (
+            "update rate", "mean fix gap", "register staleness",
+            "cells polled per call", "polling cycles per call",
+        ):
+            assert field in out
+
+    def test_unbounded_delay(self, capsys):
+        code = main(
+            ["metrics", "--model", "1d", "--q", "0.1", "--c", "0.02",
+             "--threshold", "4", "--max-delay", "inf"]
+        )
+        assert code == 0
+
+
+class TestPolicyCommand:
+    def test_stdout_json(self, capsys):
+        code = main(
+            ["policy", "--model", "2d-exact", "--q", "0.05", "--c", "0.01",
+             "--update-cost", "100", "--poll-cost", "10", "--max-delay", "3"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        import json
+
+        payload = json.loads(out)
+        assert payload["threshold"] == 2  # Table 2, U=100, delay 3
+        assert payload["topology"] == "hex"
+
+    def test_file_output_roundtrips(self, capsys, tmp_path):
+        from repro import Policy
+
+        path = tmp_path / "p.json"
+        code = main(
+            ["policy", "--model", "1d", "--q", "0.05", "--c", "0.01",
+             "--update-cost", "20", "--poll-cost", "10", "--max-delay", "2",
+             "--output", str(path)]
+        )
+        assert code == 0
+        policy = Policy.load(path)
+        assert policy.threshold == 1  # Table 1, U=20, delay 2

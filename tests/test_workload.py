@@ -1,0 +1,148 @@
+"""Unit tests for subscriber populations and fleet planning."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import CostParams, MobilityParams, OneDimensionalModel, ParameterError
+from repro.workload import (
+    DEFAULT_MIX,
+    PEDESTRIAN,
+    Population,
+    STATIC,
+    UserProfile,
+    VEHICLE,
+    plan_fleet,
+)
+
+COSTS = CostParams(50.0, 2.0)
+
+
+class TestUserProfile:
+    def test_zero_jitter_is_deterministic(self):
+        profile = UserProfile("p", MobilityParams(0.1, 0.02), jitter=0.0)
+        rng = np.random.default_rng(1)
+        assert profile.sample(rng) == profile.mobility
+
+    def test_jittered_samples_vary_but_stay_valid(self):
+        profile = UserProfile("p", MobilityParams(0.1, 0.02), jitter=0.4)
+        rng = np.random.default_rng(2)
+        samples = [profile.sample(rng) for _ in range(200)]
+        qs = {s.q for s in samples}
+        assert len(qs) > 100
+        for s in samples:
+            assert 0 < s.q <= 0.95
+            assert 0 <= s.c <= 0.5
+            assert s.q + s.c <= 1.0 + 1e-12
+
+    def test_jitter_centers_on_archetype(self):
+        profile = UserProfile("p", MobilityParams(0.1, 0.02), jitter=0.2)
+        rng = np.random.default_rng(3)
+        qs = [profile.sample(rng).q for _ in range(4000)]
+        # Log-normal with sigma 0.2 has mean exp(sigma^2/2) ~ 1.02.
+        assert np.mean(qs) == pytest.approx(0.1, rel=0.1)
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"weight": 0.0}, {"weight": -1.0}, {"jitter": 1.0}, {"jitter": -0.1}]
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ParameterError):
+            UserProfile("p", MobilityParams(0.1, 0.02), **kwargs)
+
+
+class TestPopulation:
+    def test_shares_normalized(self):
+        population = Population(DEFAULT_MIX)
+        assert sum(population.shares.values()) == pytest.approx(1.0)
+        assert population.shares["pedestrian"] == pytest.approx(0.6)
+
+    def test_mean_mobility(self):
+        population = Population([PEDESTRIAN, VEHICLE, STATIC])
+        mean = population.mean_mobility()
+        expected_q = 0.6 * 0.05 + 0.3 * 0.4 + 0.1 * 0.002
+        assert mean.q == pytest.approx(expected_q)
+
+    def test_sampling_respects_weights(self):
+        population = Population(DEFAULT_MIX)
+        users = population.sample_users(3000, seed=4)
+        names = [profile.name for profile, _ in users]
+        assert names.count("pedestrian") / 3000 == pytest.approx(0.6, abs=0.05)
+        assert names.count("vehicle") / 3000 == pytest.approx(0.3, abs=0.05)
+
+    def test_sampling_deterministic_per_seed(self):
+        population = Population(DEFAULT_MIX)
+        a = population.sample_users(50, seed=5)
+        b = population.sample_users(50, seed=5)
+        assert [m for _, m in a] == [m for _, m in b]
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ParameterError):
+            Population([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ParameterError):
+            Population([PEDESTRIAN, PEDESTRIAN])
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ParameterError):
+            Population(DEFAULT_MIX).sample_users(-1)
+
+
+class TestPlanFleet:
+    @pytest.fixture(scope="class")
+    def plan(self):
+        return plan_fleet(
+            Population(DEFAULT_MIX),
+            COSTS,
+            max_delay=2,
+            users=80,
+            seed=6,
+            model_class=OneDimensionalModel,
+            d_max=40,
+        )
+
+    def test_every_user_planned(self, plan):
+        assert plan.size == 80
+
+    def test_personal_never_worse_than_shared(self, plan):
+        for user in plan.users:
+            assert user.personal_cost <= user.shared_cost + 1e-12
+            assert user.regret >= -1e-12
+
+    def test_fleet_saving_positive_for_heterogeneous_mix(self, plan):
+        # Mixing pedestrians, vehicles, and static users must make
+        # per-user tuning strictly valuable.
+        assert plan.fleet_saving > 0.02
+
+    def test_shared_threshold_is_population_compromise(self, plan):
+        thresholds = [u.personal_threshold for u in plan.users]
+        assert min(thresholds) <= plan.shared_threshold <= max(thresholds)
+
+    def test_regret_quantiles_monotone(self, plan):
+        quantiles = plan.regret_quantiles((0.5, 0.9, 0.99))
+        assert quantiles[0.5] <= quantiles[0.9] <= quantiles[0.99]
+
+    def test_by_profile_covers_all(self, plan):
+        groups = plan.by_profile()
+        assert set(groups) <= {"pedestrian", "vehicle", "static"}
+        for personal, shared in groups.values():
+            assert personal <= shared + 1e-12
+
+    def test_homogeneous_population_has_no_saving(self):
+        uniform = Population(
+            [UserProfile("only", MobilityParams(0.1, 0.02), jitter=0.0)]
+        )
+        plan = plan_fleet(
+            uniform,
+            COSTS,
+            max_delay=1,
+            users=20,
+            seed=7,
+            model_class=OneDimensionalModel,
+        )
+        assert plan.fleet_saving == pytest.approx(0.0, abs=1e-12)
+
+    def test_zero_users_rejected(self):
+        with pytest.raises(ParameterError):
+            plan_fleet(Population(DEFAULT_MIX), COSTS, 1, users=0)
