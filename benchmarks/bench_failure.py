@@ -26,7 +26,7 @@ from repro.geometry import HexTopology
 from repro.simulation import LossyUpdateEngine
 from repro.strategies import DistanceStrategy
 
-from conftest import emit
+from conftest import emit, emit_json
 
 MOBILITY = MobilityParams(0.3, 0.02)
 COSTS = CostParams(30.0, 2.0)
@@ -105,6 +105,27 @@ def test_update_loss_degradation(benchmark, out_dir):
         ]
     )
     emit(out_dir, "failure_injection", text)
+    emit_json(
+        out_dir,
+        "failure_injection",
+        {
+            "config": {
+                "topology": "hex", "q": MOBILITY.q, "c": MOBILITY.c,
+                "d": D, "m": M, "slots": SLOTS, "seeds": [1, 2, 3],
+            },
+            "rows": [
+                {
+                    "loss_rate": loss,
+                    "mean_total_cost": float(row[1]),
+                    "cost_vs_lossless": row[2],
+                    "mean_paging_delay": float(row[3]),
+                    "delay_violation_fraction": row[4],
+                    "recovery_pagings": int(row[5]),
+                }
+                for loss, row in zip(LOSS_RATES, rows)
+            ],
+        },
+    )
     costs = [float(row[1]) for row in rows]
     assert costs == sorted(costs)  # monotone degradation
     assert costs[-1] < 2.0 * costs[0]  # graceful at 50% loss

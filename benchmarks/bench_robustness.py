@@ -31,7 +31,7 @@ from repro.mobility import BatchedArrivals
 from repro.simulation import SimulationEngine
 from repro.strategies import DistanceStrategy
 
-from conftest import emit
+from conftest import emit, emit_json
 
 COSTS = CostParams(update_cost=50.0, poll_cost=2.0)
 SLOTS = 150_000
@@ -118,6 +118,29 @@ def test_assumption_robustness(benchmark, out_dir):
         ]
     )
     emit(out_dir, "robustness", text)
+    emit_json(
+        out_dir,
+        "robustness",
+        {
+            "config": {
+                "topology": "hex", "m": 2, "slots": SLOTS,
+                "update_cost": COSTS.update_cost, "poll_cost": COSTS.poll_cost,
+            },
+            "rows": [
+                {
+                    "q": row[0], "c": row[1], "optimal_d": int(row[2]),
+                    "cost_bernoulli": float(row[3]),
+                    "cost_bursty": float(row[4]),
+                    "bursty_shift": row[5],
+                    "cost_independent": float(row[6]),
+                    "independent_shift": row[7],
+                }
+                for row in rows
+            ],
+            "worst_bursty_shift": worst_bursty,
+            "worst_independent_shift": worst_indep,
+        },
+    )
     for row in rows:
         base, bursty = row[3], row[4]
         assert bursty <= base * 1.05, "bursty traffic made the tuned policy pricier"

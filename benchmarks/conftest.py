@@ -7,6 +7,7 @@ evaluation section of the paper on stdout.  Output also works without
 ``-s``: every bench writes its rendering into ``benchmarks/out/``.
 """
 
+import json
 from pathlib import Path
 
 import pytest
@@ -25,3 +26,15 @@ def emit(out_dir: Path, name: str, text: str) -> None:
     print()
     print(text)
     (out_dir / f"{name}.txt").write_text(text + "\n")
+
+
+def emit_json(out_dir: Path, name: str, payload: dict) -> None:
+    """Persist a bench's results as ``benchmarks/out/<name>.json``.
+
+    The text rendering is for humans; dashboards and regression
+    trackers consume this machine-readable twin instead of scraping
+    tables.
+    """
+    (out_dir / f"{name}.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )

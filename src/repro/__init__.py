@@ -71,8 +71,10 @@ from .core import (
     transient_cost,
 )
 from .exceptions import (
+    FaultInjectionError,
     ParameterError,
     PartitionError,
+    RecoveryExhaustedError,
     ReproError,
     SimulationError,
     SolverError,
@@ -97,6 +99,7 @@ __all__ = [
     "CostParams",
     "CostSurface",
     "DEFAULT_MAX_THRESHOLD",
+    "FaultInjectionError",
     "HexTopology",
     "LineTopology",
     "MobilityModel",
@@ -109,6 +112,7 @@ __all__ = [
     "PolicyMetrics",
     "ParameterError",
     "PartitionError",
+    "RecoveryExhaustedError",
     "ReproError",
     "ResetChain",
     "SimulationError",

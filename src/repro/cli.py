@@ -11,6 +11,7 @@ library's own validation tooling::
              --poll-cost 10 --max-delay 3 --model 2d-exact
     repro-lm simulate --q 0.05 --c 0.01 --threshold 3 --slots 100000
     repro-lm validate               # simulation-vs-model campaign
+    repro-lm faults --loss 0.2 --outage-rate 0.01   # resilience report
 
 Every data-producing command accepts ``--csv PATH`` to also write the
 rows as CSV.
@@ -103,6 +104,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--replications", type=int, default=3)
 
     p = sub.add_parser(
+        "faults",
+        help="fault injection: cost/delay degradation vs the fault-free baseline",
+    )
+    p.add_argument("--dimensions", type=int, choices=(1, 2), default=2)
+    p.add_argument("--q", type=float, default=0.2, help="move probability")
+    p.add_argument("--c", type=float, default=0.02, help="call probability")
+    p.add_argument("--update-cost", type=float, default=50.0)
+    p.add_argument("--poll-cost", type=float, default=2.0)
+    p.add_argument("--threshold", type=int, default=3, help="d")
+    p.add_argument("--max-delay", type=_delay, default=2)
+    p.add_argument("--slots", type=int, default=50_000)
+    p.add_argument("--replications", type=int, default=3)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--loss", type=float, default=0.0, help="update-loss probability")
+    p.add_argument("--page-loss", type=float, default=0.0, help="missed-poll probability")
+    p.add_argument("--outage-rate", type=float, default=0.0,
+                   help="per-tick base-station outage hazard")
+    p.add_argument("--outage-duration", type=int, default=10,
+                   help="outage length in ticks")
+    p.add_argument("--register-failure-rate", type=float, default=0.0,
+                   help="per-slot register failover hazard")
+    p.add_argument("--failover-slots", type=int, default=20,
+                   help="stale-read window after a register failure")
+    p.add_argument("--retries", type=int, default=3,
+                   help="max update retransmissions (each charged U)")
+    p.add_argument("--backoff", type=float, default=2.0,
+                   help="exponential backoff factor between retries")
+    p.add_argument("--repages", type=int, default=1,
+                   help="full re-pages before expanding-ring recovery")
+    p.add_argument("--json", dest="json_path",
+                   help="also write the machine-readable report here")
+
+    p = sub.add_parser(
         "soft-delay",
         help="jointly optimize threshold and partition under a delay penalty",
     )
@@ -177,6 +211,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "optimize": _cmd_optimize,
             "simulate": _cmd_simulate,
             "validate": _cmd_validate,
+            "faults": _cmd_faults,
             "soft-delay": _cmd_soft_delay,
             "compare": _cmd_compare,
             "show": _cmd_show,
@@ -272,6 +307,141 @@ def _cmd_simulate(args) -> int:
     print(f"  mean C_u:       {result.mean_update_cost:.6f}")
     print(f"  mean C_v:       {result.mean_paging_cost:.6f}")
     print(f"mean page delay:  {result.mean_paging_delay:.3f} cycles")
+    return 0
+
+
+def _cmd_faults(args) -> int:
+    import numpy as np
+
+    from .faults import (
+        BaseStationOutage,
+        PageLoss,
+        RegisterDegradation,
+        ResilientEngine,
+        SignalingPolicy,
+        UpdateLoss,
+    )
+    from .geometry import HexTopology, LineTopology
+
+    def build_faults():
+        faults = []
+        if args.loss:
+            faults.append(UpdateLoss(args.loss))
+        if args.page_loss:
+            faults.append(PageLoss(args.page_loss))
+        if args.outage_rate:
+            faults.append(BaseStationOutage(args.outage_rate, args.outage_duration))
+        if args.register_failure_rate:
+            faults.append(
+                RegisterDegradation(args.register_failure_rate, args.failover_slots)
+            )
+        return faults
+
+    topology_factory = LineTopology if args.dimensions == 1 else HexTopology
+    mobility = MobilityParams(move_probability=args.q, call_probability=args.c)
+    costs = CostParams(update_cost=args.update_cost, poll_cost=args.poll_cost)
+    signaling = SignalingPolicy(
+        max_update_retries=args.retries,
+        backoff_factor=args.backoff,
+        max_repage_attempts=args.repages,
+    )
+
+    def campaign(faulted: bool):
+        import numpy.random as npr
+
+        snapshots, reports = [], []
+        children = npr.SeedSequence(args.seed).spawn(args.replications)
+        for child in children:
+            engine = ResilientEngine(
+                topology=topology_factory(),
+                strategy=DistanceStrategy(args.threshold, max_delay=args.max_delay),
+                mobility=mobility,
+                costs=costs,
+                faults=build_faults() if faulted else [],
+                signaling=signaling,
+                seed=child,
+            )
+            snapshots.append(engine.run(args.slots))
+            reports.append(engine.fault_report())
+        return snapshots, reports
+
+    base_snaps, _ = campaign(faulted=False)
+    fault_snaps, fault_reports = campaign(faulted=True)
+
+    def mean(values):
+        return float(np.mean(values))
+
+    base_cost = mean([s.mean_total_cost for s in base_snaps])
+    fault_cost = mean([s.mean_total_cost for s in fault_snaps])
+    base_delay = mean([s.mean_paging_delay for s in base_snaps])
+    fault_delay = mean([s.mean_paging_delay for s in fault_snaps])
+    rows = [
+        ["mean C_T / slot", base_cost, fault_cost,
+         f"{fault_cost / base_cost - 1:+.1%}" if base_cost else "n/a"],
+        ["mean C_u / slot",
+         mean([s.mean_update_cost for s in base_snaps]),
+         mean([s.mean_update_cost for s in fault_snaps]), ""],
+        ["mean C_v / slot",
+         mean([s.mean_paging_cost for s in base_snaps]),
+         mean([s.mean_paging_cost for s in fault_snaps]), ""],
+        ["mean page delay (cycles)", base_delay, fault_delay,
+         f"{fault_delay / base_delay - 1:+.1%}" if base_delay else "n/a"],
+    ]
+    totals = {
+        key: sum(r[key] for r in fault_reports)
+        for key in (
+            "lost_transmissions", "lost_updates", "update_retries",
+            "stale_lookups", "missed_polls", "repages",
+            "recovery_pagings", "recovery_cells",
+        )
+    }
+    faults_desc = ", ".join(fault_reports[0]["faults"]) or "none"
+    print(
+        render_table(
+            ["metric", "fault-free", "faulted", "degradation"],
+            rows,
+            title=(
+                f"Fault injection ({args.dimensions}-D, q={args.q}, c={args.c}, "
+                f"d={args.threshold}, m={args.max_delay}, "
+                f"{args.replications} x {args.slots} slots)"
+            ),
+        )
+    )
+    print(f"\nfaults:            {faults_desc}")
+    print(f"signaling:         retries={args.retries} backoff={args.backoff} "
+          f"repages={args.repages}")
+    for key in ("lost_transmissions", "update_retries", "lost_updates",
+                "stale_lookups", "missed_polls", "repages",
+                "recovery_pagings", "recovery_cells"):
+        print(f"{key + ':':<19}{totals[key]}")
+    if args.json_path:
+        import json
+        from pathlib import Path
+
+        payload = {
+            "config": {
+                "dimensions": args.dimensions, "q": args.q, "c": args.c,
+                "update_cost": args.update_cost, "poll_cost": args.poll_cost,
+                "threshold": args.threshold,
+                "max_delay": None if args.max_delay == math.inf else args.max_delay,
+                "slots": args.slots, "replications": args.replications,
+                "seed": args.seed,
+                "faults": fault_reports[0]["faults"],
+                "signaling": {"retries": args.retries, "backoff": args.backoff,
+                              "repages": args.repages},
+            },
+            "baseline": {"mean_total_cost": base_cost,
+                         "mean_paging_delay": base_delay},
+            "faulted": {"mean_total_cost": fault_cost,
+                        "mean_paging_delay": fault_delay},
+            "degradation": {
+                "cost": fault_cost / base_cost - 1 if base_cost else None,
+                "delay": fault_delay / base_delay - 1 if base_delay else None,
+            },
+            "counters": totals,
+        }
+        Path(args.json_path).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nwrote JSON report to {args.json_path}")
     return 0
 
 

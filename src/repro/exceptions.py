@@ -13,6 +13,8 @@ __all__ = [
     "SolverError",
     "PartitionError",
     "SimulationError",
+    "FaultInjectionError",
+    "RecoveryExhaustedError",
 ]
 
 
@@ -48,3 +50,23 @@ class PartitionError(ReproError, ValueError):
 
 class SimulationError(ReproError, RuntimeError):
     """The discrete-time PCN simulator reached an inconsistent state."""
+
+
+class FaultInjectionError(ReproError, RuntimeError):
+    """A fault model was used inconsistently with the engine's protocol.
+
+    Raised when a :class:`~repro.faults.FaultModel` is exercised before
+    being bound to an engine, or produces output the signaling layer
+    cannot interpret.  Configuration errors (out-of-range rates) raise
+    :class:`ParameterError` at construction instead.
+    """
+
+
+class RecoveryExhaustedError(SimulationError):
+    """Escalating recovery ran out of attempts without locating a party.
+
+    Raised when recovery paging hits its hard ring/cycle cap, or when a
+    strict :class:`~repro.faults.SignalingPolicy` exhausts its update
+    retries.  Subclasses :class:`SimulationError` so existing recovery
+    callers keep working.
+    """

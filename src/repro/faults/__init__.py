@@ -1,0 +1,28 @@
+"""Fault injection for the signaling plane.
+
+Composable failure processes (update loss, page loss, base-station
+outages, register degradation) behind one :class:`FaultModel`
+interface, a :class:`SignalingPolicy` describing ack/retry/backoff and
+re-page escalation, and a :class:`ResilientEngine` that keeps the
+paper's update/paging protocol correct under any composition of them.
+"""
+
+from .models import (
+    BaseStationOutage,
+    FaultModel,
+    PageLoss,
+    RegisterDegradation,
+    UpdateLoss,
+)
+from .resilient import ResilientEngine
+from .signaling import SignalingPolicy
+
+__all__ = [
+    "BaseStationOutage",
+    "FaultModel",
+    "PageLoss",
+    "RegisterDegradation",
+    "ResilientEngine",
+    "SignalingPolicy",
+    "UpdateLoss",
+]

@@ -7,11 +7,11 @@ confidence intervals, and replicated analytic-vs-simulation validation.
 
 from .engine import SimulationEngine
 from .events import EventLog, MoveEvent, PagingEvent, UpdateEvent
-from .lossy import LossyUpdateEngine
 from .metrics import CostMeter, MeterSnapshot
 from .network import BaseStation, LocationRegister, MobileTerminal, PCNetwork
 from .runner import (
     ModelComparison,
+    PartialReplication,
     ReplicatedResult,
     run_replicated,
     run_until_precision,
@@ -30,6 +30,7 @@ __all__ = [
     "MoveEvent",
     "PCNetwork",
     "PagingEvent",
+    "PartialReplication",
     "ReplicatedResult",
     "SimulationEngine",
     "UpdateEvent",
@@ -37,3 +38,15 @@ __all__ = [
     "run_until_precision",
     "validate_against_model",
 ]
+
+
+def __getattr__(name: str):
+    # LossyUpdateEngine is now a shim over repro.faults.ResilientEngine,
+    # and repro.faults builds on repro.simulation.engine; importing the
+    # shim lazily keeps the historical `from repro.simulation import
+    # LossyUpdateEngine` working without an import cycle.
+    if name == "LossyUpdateEngine":
+        from .lossy import LossyUpdateEngine
+
+        return LossyUpdateEngine
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -16,9 +16,10 @@ results are an unbiased estimate of the analytical quantities:
     otherwise            -> idle slot
 
 ``event_mode="independent"`` draws movement and call independently per
-slot (both can happen; the call is processed after the move) -- the
-physically plausible variant, used by the robustness bench to show the
-model's predictions survive the relaxation for small ``q c``.
+slot (both can happen; the call is processed *before* the move, so
+paging sees the position the elapsed-slot-derived radius covers) --
+the physically plausible variant, used by the robustness bench to show
+the model's predictions survive the relaxation for small ``q c``.
 
 Per-slot sequence
 -----------------

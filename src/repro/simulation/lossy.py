@@ -6,56 +6,51 @@ failure this protocol has: the *terminal* resets its center cell (it
 transmitted; it doesn't know the message died), the *register* keeps
 the stale one, and the two views diverge -- the terminal can now
 legally wander outside what the network believes is its residing area.
-The next call's paging then misses entirely.
+The next call's paging then misses entirely, and recovery paging
+(expanding ring search) restores correctness at the price of extra
+polled cells and a busted delay bound.
 
-:class:`LossyUpdateEngine` models exactly this:
-
-* the terminal runs an unmodified :class:`DistanceStrategy` (its own
-  view: center resets on every *transmitted* update);
-* the engine separately tracks the register's view, updated only by
-  updates that survive the loss coin-flip and by located calls;
-* paging runs the SDF plan around the *register's* center and, when it
-  exhausts the plan without an answer, falls back to **recovery
-  paging**: polling outward ring by ring beyond the residing area
-  until the terminal answers (delay bound forfeited -- correctness
-  over latency, as a real network must choose);
-* after any located call the two views re-synchronize.
+This scenario is now one configuration of the composable fault
+subsystem: :class:`LossyUpdateEngine` is a thin compatibility shim over
+:class:`~repro.faults.ResilientEngine` with a single
+:class:`~repro.faults.UpdateLoss` fault and the paper's fire-and-forget
+signaling (no acks, no retries, no re-page).  New code should use
+:class:`~repro.faults.ResilientEngine` directly -- it composes update
+loss with page loss, base-station outages, and register degradation,
+and adds acknowledged updates with retry/backoff.
 
 The failure-injection bench measures cost and delay degradation as a
 function of the loss probability; the tests assert the invariant that
-matters: *every* call is eventually answered, at any loss rate.
+matters: *every* call is eventually answered, at any loss rate --
+including total loss (``loss_probability = 1.0``), where the register
+is only ever refreshed by located calls.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
-
 from ..core.parameters import CostParams, MobilityParams
-from ..exceptions import ParameterError, SimulationError
+from ..exceptions import ParameterError
+from ..faults.models import UpdateLoss
+from ..faults.resilient import ResilientEngine
+from ..faults.signaling import SignalingPolicy
 from ..geometry.topology import Cell, CellTopology
 from ..strategies.distance import DistanceStrategy
-from .engine import SimulationEngine
-from .events import PagingEvent, UpdateEvent
 
 __all__ = ["LossyUpdateEngine"]
 
-#: Hard cap on recovery expansion, far beyond anything reachable: the
-#: terminal drifts at most one ring per slot, so hitting this means a
-#: bookkeeping bug, not an unlucky walk.
-_MAX_RECOVERY_RADIUS = 10_000
 
-
-class LossyUpdateEngine(SimulationEngine):
+class LossyUpdateEngine(ResilientEngine):
     """A :class:`SimulationEngine` whose update messages can be lost.
 
     Parameters (beyond the base engine's)
     -------------------------------------
     loss_probability:
         Probability that a transmitted update never reaches the
-        register, in ``[0, 1)``.  The terminal is always charged ``U``
-        (it did transmit).
+        register, in the closed interval ``[0, 1]``.  The terminal is
+        always charged ``U`` (it did transmit).  ``1.0`` models a dead
+        uplink: every call is then located by recovery paging alone.
     """
 
     def __init__(
@@ -74,85 +69,19 @@ class LossyUpdateEngine(SimulationEngine):
                 "LossyUpdateEngine models the paper's distance scheme; "
                 f"got {strategy!r}"
             )
-        if not 0.0 <= loss_probability < 1.0:
+        if not 0.0 <= loss_probability <= 1.0:
             raise ParameterError(
-                f"loss_probability must be in [0, 1), got {loss_probability}"
+                f"loss_probability must be in [0, 1], got {loss_probability}"
             )
         super().__init__(
             topology=topology,
             strategy=strategy,
             mobility=mobility,
             costs=costs,
+            faults=[UpdateLoss(loss_probability)],
+            signaling=SignalingPolicy.fire_and_forget(),
             seed=seed,
             start=start,
             event_mode=event_mode,
         )
         self.loss_probability = loss_probability
-        #: The register's belief; diverges from the terminal's center
-        #: after a lost update.
-        self.network_center: Cell = self.walk.position
-        self.lost_updates = 0
-        self.recovery_pagings = 0
-        self.recovery_cells = 0
-
-    # -- update path -------------------------------------------------------
-
-    def _perform_update(self, timer: bool) -> None:
-        position = self.walk.position
-        self.meter.charge_update()  # the terminal transmitted either way
-        self.strategy.on_location_known(position)  # terminal view resets
-        delivered = self.rng.random() >= self.loss_probability
-        if delivered:
-            self.network_center = position
-        else:
-            self.lost_updates += 1
-        if self.log is not None:
-            self.log.append(
-                UpdateEvent(slot=self.slot, cell=position, timer_triggered=timer)
-            )
-
-    # -- paging path ---------------------------------------------------------
-
-    def _handle_call(self) -> None:
-        position = self.walk.position
-        topo = self.topology
-        plan = self.strategy.plan
-        polled = 0
-        cycles = 0
-        found = False
-        for group in plan.subareas:
-            cycles += 1
-            for ring in group:
-                polled += topo.ring_size(ring)
-            if topo.distance(self.network_center, position) in {
-                ring for ring in group
-            }:
-                found = True
-                break
-        if not found:
-            # Recovery: expand ring by ring beyond the residing area.
-            self.recovery_pagings += 1
-            radius = self.strategy.threshold + 1
-            actual = topo.distance(self.network_center, position)
-            while radius <= _MAX_RECOVERY_RADIUS:
-                cycles += 1
-                cells = topo.ring_size(radius)
-                polled += cells
-                self.recovery_cells += cells
-                if radius == actual:
-                    found = True
-                    break
-                radius += 1
-            if not found:  # pragma: no cover - _MAX_RECOVERY_RADIUS guard
-                raise SimulationError(
-                    f"recovery paging failed: terminal {actual} rings out"
-                )
-        self.meter.charge_paging(cells_polled=polled, cycles=cycles)
-        self.network_center = position  # the call re-synchronizes views
-        self.strategy.on_location_known(position)
-        if self.log is not None:
-            self.log.append(
-                PagingEvent(
-                    slot=self.slot, cell=position, cells_polled=polled, cycles=cycles
-                )
-            )

@@ -58,6 +58,52 @@ class MeterSnapshot:
         """Empirical ``C_v`` (per slot)."""
         return self.paging_cost / self.slots if self.slots else 0.0
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (checkpoints, machine-readable benches).
+
+        ``delay_histogram`` keys become strings (JSON objects cannot
+        have integer keys); :meth:`from_dict` restores them.
+        """
+        return {
+            "slots": self.slots,
+            "moves": self.moves,
+            "updates": self.updates,
+            "calls": self.calls,
+            "polled_cells": self.polled_cells,
+            "update_cost": self.update_cost,
+            "paging_cost": self.paging_cost,
+            "mean_total_cost": self.mean_total_cost,
+            "total_cost_half_width_95": self.total_cost_half_width_95,
+            "mean_paging_delay": self.mean_paging_delay,
+            "delay_histogram": {
+                str(cycles): count
+                for cycles, count in sorted(self.delay_histogram.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "MeterSnapshot":
+        """Inverse of :meth:`to_dict`; raises on malformed payloads."""
+        try:
+            return cls(
+                slots=int(payload["slots"]),
+                moves=int(payload["moves"]),
+                updates=int(payload["updates"]),
+                calls=int(payload["calls"]),
+                polled_cells=int(payload["polled_cells"]),
+                update_cost=float(payload["update_cost"]),
+                paging_cost=float(payload["paging_cost"]),
+                mean_total_cost=float(payload["mean_total_cost"]),
+                total_cost_half_width_95=float(payload["total_cost_half_width_95"]),
+                mean_paging_delay=float(payload["mean_paging_delay"]),
+                delay_histogram={
+                    int(cycles): int(count)
+                    for cycles, count in dict(payload["delay_histogram"]).items()
+                },
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ParameterError(f"malformed snapshot payload: {exc}") from exc
+
 
 class CostMeter:
     """Accumulates per-slot costs and event counts during a simulation."""

@@ -32,16 +32,31 @@ __all__ = ["BaseStation", "LocationRegister", "MobileTerminal", "PCNetwork"]
 
 @dataclass
 class BaseStation:
-    """Per-cell access point with signaling counters."""
+    """Per-cell access point with signaling and availability counters.
+
+    ``outage_slots`` counts slots this station spent dark under
+    injected outages; ``lost_updates``/``wasted_polls`` count signaling
+    transactions that hit it while dark (the update never reached the
+    register; the poll could not be answered).
+    """
 
     cell: Cell
     polls_received: int = 0
     updates_received: int = 0
+    outage_slots: int = 0
+    lost_updates: int = 0
+    wasted_polls: int = 0
 
     @property
     def signaling_load(self) -> int:
         """Total wireless signaling transactions at this station."""
         return self.polls_received + self.updates_received
+
+    def availability(self, total_slots: int) -> float:
+        """Fraction of ``total_slots`` this station was in service."""
+        if total_slots <= 0:
+            return 1.0
+        return 1.0 - self.outage_slots / total_slots
 
 
 class LocationRegister:
@@ -122,6 +137,8 @@ class PCNetwork:
         self.terminals: List[MobileTerminal] = []
         self._seed_seq = np.random.SeedSequence(seed)
         self.slot = 0
+        self._outage = None  # set by inject_outages
+        self.signaling_lost = 0
 
     # -- population -----------------------------------------------------
 
@@ -173,8 +190,13 @@ class PCNetwork:
         def charge_update() -> None:
             original_update()
             cell = engine.walk.position
-            network._station(cell).updates_received += 1
-            network.register.update(terminal.terminal_id, cell)
+            station = network._station(cell)
+            station.updates_received += 1
+            if network._is_dark(station):
+                station.lost_updates += 1
+                network.signaling_lost += 1
+            else:
+                network.register.update(terminal.terminal_id, cell)
 
         def charge_paging(cells_polled: int, cycles: int) -> None:
             original_paging(cells_polled, cycles)
@@ -182,16 +204,53 @@ class PCNetwork:
             # Attribute the successful poll to the terminal's cell; the
             # unanswered polls are spread over the paged area, which we
             # count at the area's stations lazily only when small.
-            network._station(cell).polls_received += 1
-            network.register.update(terminal.terminal_id, cell)
+            station = network._station(cell)
+            station.polls_received += 1
+            if network._is_dark(station):
+                station.wasted_polls += 1
+                network.signaling_lost += 1
+            else:
+                network.register.update(terminal.terminal_id, cell)
 
         meter.charge_update = charge_update  # type: ignore[method-assign]
         meter.charge_paging = charge_paging  # type: ignore[method-assign]
+
+    # -- chaos injection ---------------------------------------------------
+
+    def inject_outages(self, rate: float, duration: int, seed: Optional[int] = None):
+        """Subject base stations to random outages from the fault layer.
+
+        Each *materialized* station goes dark with per-slot hazard
+        ``rate`` for ``duration`` slots (a
+        :class:`~repro.faults.BaseStationOutage` process).  While a
+        station is dark, updates arriving at it are lost (the register
+        keeps its stale entry) and polls through it are wasted; both
+        feed the availability accounting so fleet studies can measure
+        aggregate signaling degradation.  Returns the fault process for
+        inspection.
+        """
+        from ..faults.models import BaseStationOutage  # local: faults imports simulation
+
+        outage = BaseStationOutage(rate, duration, seed=seed)
+        outage.bind(
+            np.random.default_rng(self._seed_seq.spawn(1)[0]), self.topology
+        )
+        self._outage = outage
+        return outage
+
+    def _is_dark(self, station: BaseStation) -> bool:
+        return self._outage is not None and self._outage.cell_dark(
+            self.slot, station.cell
+        )
 
     # -- execution ---------------------------------------------------------
 
     def step(self) -> None:
         """Advance every terminal by one slot."""
+        if self._outage is not None:
+            for station in self.stations.values():
+                if self._is_dark(station):
+                    station.outage_slots += 1
         for terminal in self.terminals:
             terminal.engine.step()
         self.slot += 1
@@ -222,3 +281,30 @@ class PCNetwork:
             self.stations.values(), key=lambda s: (-s.signaling_load, str(s.cell))
         )
         return [(s.cell, s.signaling_load) for s in ranked[:count]]
+
+    def mean_availability(self) -> float:
+        """Mean in-service fraction across materialized stations."""
+        if not self.stations or self.slot == 0:
+            return 1.0
+        return float(
+            np.mean([s.availability(self.slot) for s in self.stations.values()])
+        )
+
+    def degraded_signaling_fraction(self) -> float:
+        """Fraction of signaling transactions lost to dark stations."""
+        total = sum(s.signaling_load for s in self.stations.values())
+        if total == 0:
+            return 0.0
+        return self.signaling_lost / total
+
+    def availability_report(self, count: int = 5) -> List[Tuple[Cell, float, int]]:
+        """The ``count`` least-available stations: (cell, availability,
+        lost transactions)."""
+        ranked = sorted(
+            self.stations.values(),
+            key=lambda s: (s.availability(self.slot), str(s.cell)),
+        )
+        return [
+            (s.cell, s.availability(self.slot), s.lost_updates + s.wasted_polls)
+            for s in ranked[:count]
+        ]

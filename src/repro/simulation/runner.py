@@ -6,13 +6,36 @@ one master seed), pools their per-slot statistics, and -- when asked --
 compares the empirical means against the analytical model's
 predictions, returning structured results the validation bench and
 tests assert on.
+
+Crash safety
+------------
+
+Long validation sweeps should survive interruption instead of losing
+hours of work.  ``run_replicated(..., checkpoint=path)`` writes an
+atomic JSON checkpoint (write-to-temp + rename) after *every* finished
+replication; rerunning the same call resumes from the completed prefix
+and -- because replications are child-seeded deterministically from the
+master seed -- produces bit-identical pooled results to an
+uninterrupted run.  A checkpoint from a different configuration is
+refused, not silently reused.
+
+``replication_deadline`` bounds the wall-clock seconds any single
+replication may take; a replication that overruns is cut short and
+reported as a structured :class:`PartialReplication` (excluded from the
+pooled statistics, preserved for inspection) rather than poisoning the
+campaign.
 """
 
 from __future__ import annotations
 
+import json
 import math
-from dataclasses import dataclass
-from typing import Callable, List, Optional
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -23,9 +46,22 @@ from ..exceptions import ParameterError
 from ..geometry.topology import Cell, CellTopology
 from ..strategies.base import UpdateStrategy
 from .engine import SimulationEngine
-from .metrics import MeterSnapshot
+from .metrics import CostMeter, MeterSnapshot
 
-__all__ = ["ReplicatedResult", "ModelComparison", "run_replicated", "validate_against_model"]
+__all__ = [
+    "PartialReplication",
+    "ReplicatedResult",
+    "ModelComparison",
+    "run_replicated",
+    "validate_against_model",
+]
+
+#: Checkpoint schema version; bumped on incompatible layout changes.
+_CHECKPOINT_VERSION = 1
+
+#: Slots simulated between deadline checks (a deadline cannot be
+#: enforced mid-`engine.run`, so the run is chunked when one is set).
+_DEADLINE_CHUNK_SLOTS = 5_000
 
 #: Factory producing a fresh strategy per replication (strategies are
 #: stateful and cannot be shared across engines).
@@ -33,10 +69,31 @@ StrategyFactory = Callable[[], UpdateStrategy]
 
 
 @dataclass(frozen=True)
+class PartialReplication:
+    """A replication cut short by its deadline: what finished, and how far.
+
+    The snapshot covers ``completed_slots`` of the ``target_slots``
+    asked for; it is excluded from the campaign's pooled means (a
+    shorter run is not an exchangeable sample) but kept so the caller
+    can inspect or salvage it.
+    """
+
+    index: int
+    completed_slots: int
+    target_slots: int
+    snapshot: MeterSnapshot
+
+
+@dataclass(frozen=True)
 class ReplicatedResult:
-    """Pooled outcome of several independent simulation runs."""
+    """Pooled outcome of several independent simulation runs.
+
+    ``partials`` lists replications that hit their deadline; pooled
+    statistics cover the completed ``snapshots`` only.
+    """
 
     snapshots: List[MeterSnapshot]
+    partials: Tuple[PartialReplication, ...] = ()
 
     @property
     def replications(self) -> int:
@@ -74,6 +131,93 @@ class ReplicatedResult:
         return z * float(np.std(values, ddof=1)) / math.sqrt(self.replications)
 
 
+def _campaign_fingerprint(
+    mobility: MobilityParams,
+    costs: CostParams,
+    slots: int,
+    replications: int,
+    seed: int,
+    event_mode: str,
+    warmup_slots: int,
+) -> dict:
+    """The configuration identity a checkpoint must match to be resumed."""
+    return {
+        "version": _CHECKPOINT_VERSION,
+        "q": mobility.move_probability,
+        "c": mobility.call_probability,
+        "update_cost": costs.update_cost,
+        "poll_cost": costs.poll_cost,
+        "slots": slots,
+        "replications": replications,
+        "seed": seed,
+        "event_mode": event_mode,
+        "warmup_slots": warmup_slots,
+    }
+
+
+def _load_checkpoint(path: Path, fingerprint: dict) -> Tuple[List[MeterSnapshot], List[PartialReplication]]:
+    """Read a checkpoint, validating it belongs to this campaign."""
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ParameterError(f"unreadable checkpoint {path}: {exc}") from exc
+    if payload.get("fingerprint") != fingerprint:
+        raise ParameterError(
+            f"checkpoint {path} belongs to a different campaign "
+            "(seed/slots/replications/parameters differ); delete it or "
+            "point the run at a fresh path"
+        )
+    snapshots = [MeterSnapshot.from_dict(s) for s in payload["snapshots"]]
+    partials = [
+        PartialReplication(
+            index=int(p["index"]),
+            completed_slots=int(p["completed_slots"]),
+            target_slots=int(p["target_slots"]),
+            snapshot=MeterSnapshot.from_dict(p["snapshot"]),
+        )
+        for p in payload.get("partials", [])
+    ]
+    return snapshots, partials
+
+
+def _write_checkpoint(
+    path: Path,
+    fingerprint: dict,
+    snapshots: List[MeterSnapshot],
+    partials: List[PartialReplication],
+) -> None:
+    """Atomically persist campaign progress: write-to-temp + rename."""
+    payload = {
+        "fingerprint": fingerprint,
+        "snapshots": [s.to_dict() for s in snapshots],
+        "partials": [
+            {
+                "index": p.index,
+                "completed_slots": p.completed_slots,
+                "target_slots": p.target_slots,
+                "snapshot": p.snapshot.to_dict(),
+            }
+            for p in partials
+        ],
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        prefix=path.name + ".", suffix=".tmp", dir=path.parent
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
 def run_replicated(
     topology: CellTopology,
     strategy_factory: StrategyFactory,
@@ -85,6 +229,8 @@ def run_replicated(
     start: Optional[Cell] = None,
     event_mode: str = "exclusive",
     warmup_slots: int = 0,
+    checkpoint: Optional[Union[str, Path]] = None,
+    replication_deadline: Optional[float] = None,
 ) -> ReplicatedResult:
     """Run ``replications`` independent engines and pool their snapshots.
 
@@ -93,30 +239,69 @@ def run_replicated(
     starts at ring 0, where costs are below steady state; see
     :mod:`repro.core.transient` for how long the transient lasts).
     Warm-up costs are discarded by swapping in a fresh meter.
+
+    ``checkpoint`` names a JSON file updated atomically after every
+    replication; an interrupted campaign rerun with the same arguments
+    resumes after its last completed replication and yields the same
+    pooled result as an uninterrupted run.  ``replication_deadline``
+    caps any single replication at that many wall-clock seconds;
+    overruns become :class:`PartialReplication` entries in the result.
     """
     if replications < 1:
         raise ParameterError(f"replications must be >= 1, got {replications}")
     if warmup_slots < 0:
         raise ParameterError(f"warmup_slots must be >= 0, got {warmup_slots}")
-    master = np.random.SeedSequence(seed)
+    if replication_deadline is not None and replication_deadline <= 0:
+        raise ParameterError(
+            f"replication_deadline must be > 0 seconds, got {replication_deadline}"
+        )
+    fingerprint = _campaign_fingerprint(
+        mobility, costs, slots, replications, seed, event_mode, warmup_slots
+    )
+    checkpoint_path = Path(checkpoint) if checkpoint is not None else None
     snapshots: List[MeterSnapshot] = []
-    for child in master.spawn(replications):
+    partials: List[PartialReplication] = []
+    if checkpoint_path is not None and checkpoint_path.exists():
+        snapshots, partials = _load_checkpoint(checkpoint_path, fingerprint)
+    master = np.random.SeedSequence(seed)
+    children = master.spawn(replications)
+    done = len(snapshots) + len(partials)
+    for index in range(done, replications):
         engine = SimulationEngine(
             topology=topology,
             strategy=strategy_factory(),
             mobility=mobility,
             costs=costs,
-            seed=child,
+            seed=children[index],
             start=start,
             event_mode=event_mode,
         )
         if warmup_slots:
             engine.run(warmup_slots)
-            from .metrics import CostMeter  # local: avoid cycle at import
-
             engine.meter = CostMeter(costs.update_cost, costs.poll_cost)
-        snapshots.append(engine.run(slots))
-    return ReplicatedResult(snapshots=snapshots)
+        if replication_deadline is None:
+            snapshots.append(engine.run(slots))
+        else:
+            deadline = time.monotonic() + replication_deadline
+            remaining = slots
+            while remaining > 0 and time.monotonic() < deadline:
+                engine.run(min(remaining, _DEADLINE_CHUNK_SLOTS))
+                remaining -= min(remaining, _DEADLINE_CHUNK_SLOTS)
+            snapshot = engine.meter.snapshot()
+            if remaining:
+                partials.append(
+                    PartialReplication(
+                        index=index,
+                        completed_slots=slots - remaining,
+                        target_slots=slots,
+                        snapshot=snapshot,
+                    )
+                )
+            else:
+                snapshots.append(snapshot)
+        if checkpoint_path is not None:
+            _write_checkpoint(checkpoint_path, fingerprint, snapshots, partials)
+    return ReplicatedResult(snapshots=snapshots, partials=tuple(partials))
 
 
 def run_until_precision(
@@ -165,8 +350,6 @@ def run_until_precision(
         )
         if warmup_slots:
             engine.run(warmup_slots)
-            from .metrics import CostMeter
-
             engine.meter = CostMeter(costs.update_cost, costs.poll_cost)
         engines.append(engine)
     while True:

@@ -1,0 +1,145 @@
+"""Unit tests for the composable fault models and the signaling policy."""
+
+import numpy as np
+import pytest
+
+from repro import FaultInjectionError, ParameterError
+from repro.faults import (
+    BaseStationOutage,
+    FaultModel,
+    PageLoss,
+    RegisterDegradation,
+    SignalingPolicy,
+    UpdateLoss,
+)
+from repro.geometry import LineTopology
+
+
+def bound(fault, seed=0):
+    fault.bind(np.random.default_rng(seed), LineTopology())
+    return fault
+
+
+class TestFaultModelBase:
+    def test_defaults_are_no_fault(self):
+        fault = bound(FaultModel())
+        assert fault.update_delivered(0, 0)
+        assert fault.page_heard(0, 0)
+        assert not fault.cell_dark(0, 0)
+        assert fault.register_read(0, [(0, 0)]) is None
+
+    def test_use_before_bind_raises(self):
+        with pytest.raises(FaultInjectionError):
+            UpdateLoss(0.5).update_delivered(0, 0)
+
+    def test_private_seed_decouples_from_engine_rng(self):
+        shared = np.random.default_rng(1)
+        fault = UpdateLoss(0.5, seed=7)
+        fault.bind(shared, LineTopology())
+        draws = [fault.update_delivered(t, 0) for t in range(50)]
+        fault2 = UpdateLoss(0.5, seed=7)
+        fault2.bind(np.random.default_rng(999), LineTopology())
+        assert draws == [fault2.update_delivered(t, 0) for t in range(50)]
+
+
+class TestUpdateLoss:
+    def test_closed_interval(self):
+        assert UpdateLoss(0.0).probability == 0.0
+        assert UpdateLoss(1.0).probability == 1.0
+        for bad in (-0.01, 1.01):
+            with pytest.raises(ParameterError):
+                UpdateLoss(bad)
+
+    def test_drop_rate(self):
+        fault = bound(UpdateLoss(0.3), seed=2)
+        delivered = sum(fault.update_delivered(t, 0) for t in range(10_000))
+        assert delivered / 10_000 == pytest.approx(0.7, abs=0.02)
+        assert fault.drops == 10_000 - delivered
+
+
+class TestPageLoss:
+    def test_open_interval(self):
+        # At probability 1 no page is ever heard; no paging scheme can
+        # answer a call, so total page loss is a config error.
+        with pytest.raises(ParameterError):
+            PageLoss(1.0)
+
+    def test_miss_rate(self):
+        fault = bound(PageLoss(0.25), seed=3)
+        heard = sum(fault.page_heard(t, 0) for t in range(10_000))
+        assert heard / 10_000 == pytest.approx(0.75, abs=0.02)
+        assert fault.misses == 10_000 - heard
+
+
+class TestBaseStationOutage:
+    def test_duration_validated(self):
+        with pytest.raises(ParameterError):
+            BaseStationOutage(0.1, 0)
+
+    def test_outage_persists_for_duration(self):
+        # Rate 1.0 is rejected ([0, 1)); a seeded near-one hazard is
+        # deterministic and fires on the first draw.
+        fault = bound(BaseStationOutage(0.999, duration=5), seed=4)
+        assert fault.cell_dark(10, 0)  # starts immediately
+        for tick in range(11, 15):
+            assert fault.cell_dark(tick, 0)
+        assert fault.outages_started == 1  # one outage, not five
+
+    def test_single_draw_per_cell_tick(self):
+        fault = bound(BaseStationOutage(0.5, duration=1), seed=5)
+        first = fault.cell_dark(0, 0)
+        # Re-querying the same (cell, tick) must not re-roll the hazard.
+        for _ in range(10):
+            assert fault.cell_dark(0, 0) == first
+
+    def test_cells_independent(self):
+        fault = bound(BaseStationOutage(0.5, duration=100), seed=6)
+        states = [fault.cell_dark(0, cell) for cell in range(200)]
+        assert any(states) and not all(states)
+
+
+class TestRegisterDegradation:
+    def test_failover_serves_snapshot(self):
+        fault = bound(RegisterDegradation(0.999, failover_slots=10), seed=7)
+        history = [(0, 100), (3, 200), (8, 300)]
+        fault.on_slot(5)  # near-one hazard: fails over at slot 5
+        assert fault.in_failover
+        # The replica's state is the newest write predating the failure.
+        assert fault.register_read(6, history) == 200
+        assert fault.stale_reads == 1
+
+    def test_failover_window_expires(self):
+        fault = bound(RegisterDegradation(0.999, failover_slots=3), seed=8)
+        fault.on_slot(0)
+        assert fault.in_failover
+        fault.on_slot(3)  # window over; near-one hazard refails at once
+        assert fault.failovers == 2
+
+    def test_healthy_register_passes_through(self):
+        fault = bound(RegisterDegradation(0.0, failover_slots=5), seed=9)
+        fault.on_slot(0)
+        assert fault.register_read(1, [(0, 100), (1, 200)]) is None
+
+
+class TestSignalingPolicy:
+    def test_validation(self):
+        for kwargs in (
+            {"ack_timeout_slots": 0.0},
+            {"max_update_retries": -1},
+            {"backoff_factor": 0.5},
+            {"max_repage_attempts": -1},
+            {"on_exhaustion": "explode"},
+        ):
+            with pytest.raises(ParameterError):
+                SignalingPolicy(**kwargs)
+
+    def test_exponential_backoff(self):
+        policy = SignalingPolicy(ack_timeout_slots=2.0, backoff_factor=3.0)
+        assert policy.retry_wait(1) == 2.0
+        assert policy.retry_wait(2) == 6.0
+        assert policy.retry_wait(3) == 18.0
+
+    def test_fire_and_forget(self):
+        policy = SignalingPolicy.fire_and_forget()
+        assert policy.max_update_retries == 0
+        assert policy.max_repage_attempts == 0

@@ -1,0 +1,202 @@
+"""Integration tests for ResilientEngine: composition, retries, recovery."""
+
+import pytest
+
+from repro import (
+    CostParams,
+    MobilityParams,
+    ParameterError,
+    RecoveryExhaustedError,
+    SimulationError,
+)
+from repro.faults import (
+    BaseStationOutage,
+    PageLoss,
+    RegisterDegradation,
+    ResilientEngine,
+    SignalingPolicy,
+    UpdateLoss,
+)
+from repro.geometry import HexTopology, LineTopology
+from repro.simulation import SimulationEngine
+from repro.strategies import DistanceStrategy, TimerStrategy
+
+MOBILITY = MobilityParams(0.3, 0.03)
+COSTS = CostParams(30.0, 2.0)
+
+
+def make_engine(faults=(), signaling=None, topology=None, seed=0, d=2, m=2):
+    return ResilientEngine(
+        topology=topology or HexTopology(),
+        strategy=DistanceStrategy(d, max_delay=m),
+        mobility=MOBILITY,
+        costs=COSTS,
+        faults=faults,
+        signaling=signaling,
+        seed=seed,
+    )
+
+
+class TestConstruction:
+    def test_requires_distance_strategy(self):
+        with pytest.raises(ParameterError):
+            ResilientEngine(
+                topology=LineTopology(),
+                strategy=TimerStrategy(5),
+                mobility=MOBILITY,
+                costs=COSTS,
+            )
+
+    def test_rejects_non_fault_models(self):
+        with pytest.raises(ParameterError):
+            make_engine(faults=["not-a-fault"])
+
+    def test_rejects_non_policy_signaling(self):
+        with pytest.raises(ParameterError):
+            make_engine(signaling="retry-hard")
+
+
+class TestFaultFreeEquivalence:
+    def test_matches_base_engine_statistically(self):
+        resilient = make_engine(seed=3).run(40_000)
+        base = SimulationEngine(
+            HexTopology(),
+            DistanceStrategy(2, max_delay=2),
+            MOBILITY,
+            COSTS,
+            seed=3,
+        ).run(40_000)
+        assert resilient.mean_total_cost == pytest.approx(
+            base.mean_total_cost, rel=0.05
+        )
+
+    def test_no_resilience_machinery_engaged(self):
+        engine = make_engine(seed=4)
+        engine.run(20_000)
+        report = engine.fault_report()
+        assert report["lost_transmissions"] == 0
+        assert report["update_retries"] == 0
+        assert report["repages"] == 0
+        assert report["recovery_pagings"] == 0
+
+
+class TestComposition:
+    def test_every_call_answered_under_composed_faults(self):
+        # The acceptance invariant: >= 2 simultaneous fault models
+        # (update loss + base-station outage, plus page loss and a
+        # degrading register for good measure), and every call is still
+        # eventually answered -- a paging failure would surface as
+        # SimulationError, retry exhaustion as RecoveryExhaustedError.
+        engine = make_engine(
+            faults=[
+                UpdateLoss(0.4),
+                BaseStationOutage(0.02, duration=5),
+                PageLoss(0.2),
+                RegisterDegradation(0.003, failover_slots=15),
+            ],
+            seed=5,
+        )
+        snapshot = engine.run(40_000)
+        assert snapshot.calls > 100  # the invariant was actually exercised
+        assert engine.missed_polls > 0  # ... under real interference
+        assert engine.recovery_pagings > 0
+
+    def test_terminal_view_invariant_survives_faults(self):
+        # The *terminal's* residing-area invariant is fault-independent:
+        # it resets its center on every transmission, delivered or not.
+        topology = HexTopology()
+        engine = make_engine(
+            faults=[UpdateLoss(0.5), PageLoss(0.3)], topology=topology, seed=6
+        )
+        for _ in range(5_000):
+            engine.step()
+            dist = topology.distance(engine.strategy.last_known, engine.walk.position)
+            assert dist <= 2
+
+    def test_composed_faults_all_consulted(self):
+        loss = UpdateLoss(0.3)
+        outage = BaseStationOutage(0.05, duration=4)
+        engine = make_engine(faults=[loss, outage], seed=7)
+        engine.run(30_000)
+        assert loss.drops > 0
+        assert outage.outages_started > 0
+
+    def test_views_resync_after_call(self):
+        engine = make_engine(
+            faults=[UpdateLoss(0.6), BaseStationOutage(0.03, duration=5)], seed=8
+        )
+        for _ in range(15_000):
+            calls = engine.meter.calls
+            engine.step()
+            if engine.meter.calls > calls:
+                assert engine.network_center == engine.walk.position
+
+
+class TestRetriesAndBackoff:
+    def test_retries_charged_as_updates(self):
+        # With retries, the meter's update count exceeds the number of
+        # update events: every retransmission is a full U transaction.
+        policy = SignalingPolicy(max_update_retries=5)
+        engine = make_engine(faults=[UpdateLoss(0.5)], signaling=policy, seed=9)
+        engine.run(20_000)
+        assert engine.update_retries > 0
+        events = engine.meter.updates - engine.update_retries
+        assert engine.meter.updates > events  # retries billed on top
+        assert engine.update_latency_slots > 0
+
+    def test_retries_rescue_most_updates(self):
+        # 50% per-transmission loss with 5 retries: only ~0.5^6 of
+        # update events are abandoned.
+        policy = SignalingPolicy(max_update_retries=5)
+        engine = make_engine(faults=[UpdateLoss(0.5)], signaling=policy, seed=10)
+        engine.run(40_000)
+        events = engine.meter.updates - engine.update_retries
+        assert engine.lost_updates / events < 0.05
+        assert engine.lost_transmissions > engine.lost_updates
+
+    def test_strict_policy_raises_on_exhaustion(self):
+        policy = SignalingPolicy(max_update_retries=1, on_exhaustion="raise")
+        engine = make_engine(faults=[UpdateLoss(1.0)], signaling=policy, seed=11)
+        with pytest.raises(RecoveryExhaustedError):
+            engine.run(20_000)
+
+    def test_recovery_exhausted_is_simulation_error(self):
+        # Existing catch-alls around the recovery path keep working.
+        assert issubclass(RecoveryExhaustedError, SimulationError)
+
+
+class TestRepageEscalation:
+    def test_page_loss_alone_resolved_by_repage_or_recovery(self):
+        engine = make_engine(faults=[PageLoss(0.4)], seed=12)
+        snapshot = engine.run(30_000)
+        assert snapshot.calls > 0
+        assert engine.missed_polls > 0
+        # With only page loss the register is never stale, so every
+        # call is answered inside the planned area or its re-pages
+        # plus the from-ring-0 recovery sweep.
+        assert engine.lost_updates == 0
+
+    def test_outage_delays_but_never_loses_calls(self):
+        engine = make_engine(
+            faults=[BaseStationOutage(0.05, duration=8)], seed=13
+        )
+        snapshot = engine.run(30_000)
+        assert snapshot.calls > 0
+        assert snapshot.mean_paging_delay > 0
+
+    def test_degradation_grows_with_fault_severity(self):
+        costs = []
+        for loss in (0.0, 0.3, 0.7):
+            engine = make_engine(faults=[UpdateLoss(loss)], seed=14)
+            costs.append(engine.run(40_000).mean_total_cost)
+        assert costs[0] < costs[2]
+
+
+class TestRegisterDegradationIntegration:
+    def test_stale_reads_trigger_recovery_not_failure(self):
+        engine = make_engine(
+            faults=[RegisterDegradation(0.01, failover_slots=30)], seed=15
+        )
+        snapshot = engine.run(40_000)
+        assert snapshot.calls > 0
+        assert engine.stale_lookups > 0

@@ -1,0 +1,148 @@
+"""Crash-safe campaign tests: checkpoint, resume, deadlines."""
+
+import json
+
+import pytest
+
+from repro import CostParams, MobilityParams, ParameterError
+from repro.geometry import LineTopology
+from repro.simulation import PartialReplication, run_replicated
+from repro.simulation.metrics import MeterSnapshot
+from repro.strategies import DistanceStrategy
+
+MOBILITY = MobilityParams(0.3, 0.03)
+COSTS = CostParams(30.0, 2.0)
+
+
+def campaign(checkpoint=None, seed=0, replications=4, slots=5_000, **kwargs):
+    return run_replicated(
+        topology=LineTopology(),
+        strategy_factory=lambda: DistanceStrategy(2, max_delay=2),
+        mobility=MOBILITY,
+        costs=COSTS,
+        slots=slots,
+        replications=replications,
+        seed=seed,
+        checkpoint=checkpoint,
+        **kwargs,
+    )
+
+
+class TestSnapshotRoundTrip:
+    def test_to_dict_from_dict_is_identity(self):
+        snapshot = campaign(replications=1).snapshots[0]
+        assert MeterSnapshot.from_dict(snapshot.to_dict()) == snapshot
+
+    def test_survives_json_encoding(self):
+        snapshot = campaign(replications=1).snapshots[0]
+        wire = json.loads(json.dumps(snapshot.to_dict()))
+        assert MeterSnapshot.from_dict(wire) == snapshot
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(ParameterError):
+            MeterSnapshot.from_dict({"slots": 10})
+
+
+class TestCheckpointResume:
+    def test_interrupted_campaign_resumes_to_identical_result(self, tmp_path):
+        # The acceptance scenario: kill a campaign mid-run (here: the
+        # strategy factory blows up while building replication 2),
+        # rerun the same call, and the pooled result must be
+        # bit-identical to a never-interrupted campaign.
+        path = tmp_path / "campaign.json"
+        uninterrupted = campaign()
+
+        built = {"count": 0}
+
+        def crashing_factory():
+            if built["count"] == 2:
+                raise KeyboardInterrupt  # simulated kill
+            built["count"] += 1
+            return DistanceStrategy(2, max_delay=2)
+
+        with pytest.raises(KeyboardInterrupt):
+            run_replicated(
+                topology=LineTopology(),
+                strategy_factory=crashing_factory,
+                mobility=MOBILITY,
+                costs=COSTS,
+                slots=5_000,
+                replications=4,
+                seed=0,
+                checkpoint=path,
+            )
+        assert path.exists()
+        partial = json.loads(path.read_text())
+        assert len(partial["snapshots"]) == 2  # progress survived the kill
+
+        resumed = campaign(checkpoint=path)
+        assert resumed.snapshots == uninterrupted.snapshots
+        assert resumed.mean_total_cost == uninterrupted.mean_total_cost
+
+    def test_completed_campaign_is_not_rerun(self, tmp_path):
+        path = tmp_path / "campaign.json"
+        first = campaign(checkpoint=path)
+
+        def forbidden_factory():
+            raise AssertionError("resume of a finished campaign re-ran engines")
+
+        again = run_replicated(
+            topology=LineTopology(),
+            strategy_factory=forbidden_factory,
+            mobility=MOBILITY,
+            costs=COSTS,
+            slots=5_000,
+            replications=4,
+            seed=0,
+            checkpoint=path,
+        )
+        assert again.snapshots == first.snapshots
+
+    def test_checkpoint_written_after_every_replication(self, tmp_path):
+        path = tmp_path / "campaign.json"
+        campaign(checkpoint=path, replications=3)
+        payload = json.loads(path.read_text())
+        assert len(payload["snapshots"]) == 3
+        assert payload["fingerprint"]["replications"] == 3
+        # Atomic write: no orphaned temp files next to the checkpoint.
+        leftovers = [p for p in path.parent.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+
+    def test_foreign_checkpoint_refused(self, tmp_path):
+        path = tmp_path / "campaign.json"
+        campaign(checkpoint=path, seed=0)
+        with pytest.raises(ParameterError):
+            campaign(checkpoint=path, seed=1)  # different campaign
+
+    def test_corrupt_checkpoint_refused(self, tmp_path):
+        path = tmp_path / "campaign.json"
+        path.write_text("{not json")
+        with pytest.raises(ParameterError):
+            campaign(checkpoint=path)
+
+
+class TestReplicationDeadline:
+    def test_rejects_nonpositive_deadline(self):
+        with pytest.raises(ParameterError):
+            campaign(replication_deadline=0)
+
+    def test_overrun_becomes_structured_partial(self):
+        # An (effectively) already-expired deadline: every replication
+        # is cut short and reported, none poisons the pooled stats.
+        result = campaign(
+            replications=2, slots=50_000, replication_deadline=1e-9
+        )
+        assert result.replications == 0
+        assert len(result.partials) == 2
+        for index, partial in enumerate(result.partials):
+            assert isinstance(partial, PartialReplication)
+            assert partial.index == index
+            assert partial.target_slots == 50_000
+            assert partial.completed_slots < 50_000
+            assert partial.completed_slots == partial.snapshot.slots
+
+    def test_generous_deadline_changes_nothing(self):
+        relaxed = campaign(replication_deadline=3600.0)
+        plain = campaign()
+        assert relaxed.partials == ()
+        assert relaxed.snapshots == plain.snapshots

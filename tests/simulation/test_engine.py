@@ -158,3 +158,58 @@ class TestIndependentEventMode:
         assert independent.mean_total_cost == pytest.approx(
             exclusive.mean_total_cost, rel=0.1
         )
+
+    def test_component_rates_agree_for_small_qc(self, line):
+        exclusive = make_engine(line, q=0.1, c=0.01, seed=12).run(120_000)
+        independent = make_engine(
+            line, q=0.1, c=0.01, seed=13, event_mode="independent"
+        ).run(120_000)
+        # Agreement must hold per cost component, not only in the
+        # total (errors in C_u and C_v could otherwise cancel).
+        assert independent.updates / independent.slots == pytest.approx(
+            exclusive.updates / exclusive.slots, rel=0.1
+        )
+        assert independent.polled_cells / max(independent.calls, 1) == pytest.approx(
+            exclusive.polled_cells / max(exclusive.calls, 1), rel=0.1
+        )
+
+    def test_both_events_in_one_slot_page_before_move(self, line):
+        # When one slot draws both a call and a movement, the call is
+        # processed first: the paging-radius guarantee covers movement
+        # up to the *previous* slot, so paging must see the pre-move
+        # position.  High q and c make double-event slots plentiful.
+        log = EventLog()
+        engine = make_engine(
+            line, q=0.5, c=0.4, seed=9, event_mode="independent", event_log=log
+        )
+        double_slots = 0
+        for _ in range(3_000):
+            before = engine.walk.position
+            calls, moves = engine.meter.calls, engine.meter.moves
+            engine.step()
+            if engine.meter.calls > calls and engine.meter.moves > moves:
+                double_slots += 1
+                pagings = [
+                    e for e in log.of_type(PagingEvent) if e.slot == engine.slot - 1
+                ]
+                assert pagings[-1].cell == before
+        assert double_slots > 100  # the ordering was actually exercised
+
+    def test_event_log_orders_page_before_move(self, line):
+        log = EventLog()
+        make_engine(
+            line, q=0.5, c=0.4, seed=10, event_mode="independent", event_log=log
+        ).run(2_000)
+        events = list(log)
+        by_slot = {}
+        for position, event in enumerate(events):
+            by_slot.setdefault(event.slot, []).append((position, event))
+        seen = 0
+        for slot_events in by_slot.values():
+            kinds = [type(e) for _, e in slot_events]
+            if PagingEvent in kinds and MoveEvent in kinds:
+                seen += 1
+                page_at = next(p for p, e in slot_events if isinstance(e, PagingEvent))
+                move_at = next(p for p, e in slot_events if isinstance(e, MoveEvent))
+                assert page_at < move_at
+        assert seen > 50

@@ -25,10 +25,15 @@ def make_engine(loss, topology=None, seed=0, d=2, m=2):
 
 
 class TestConstruction:
-    @pytest.mark.parametrize("loss", [-0.1, 1.0, 1.5])
+    @pytest.mark.parametrize("loss", [-0.1, 1.001, 1.5])
     def test_invalid_loss_probability(self, loss):
         with pytest.raises(ParameterError):
             make_engine(loss)
+
+    def test_total_loss_is_valid(self):
+        # The closed interval [0, 1]: a dead uplink is a legitimate
+        # (and the most demanding) failure regime, not a config error.
+        assert make_engine(1.0).loss_probability == 1.0
 
     def test_requires_distance_strategy(self):
         with pytest.raises(ParameterError):
@@ -118,3 +123,24 @@ class TestLossBehavior:
         snapshot = engine.run(30_000)
         assert snapshot.calls > 0
         assert engine.recovery_pagings > 0
+
+
+class TestTotalLoss:
+    def test_every_call_answered_at_total_loss(self):
+        # loss = 1.0: no update ever reaches the register, so the
+        # residing-area belief is refreshed *only* by located calls --
+        # the regime where the every-call-eventually-answered invariant
+        # rests entirely on recovery paging.
+        engine = make_engine(1.0, seed=12)
+        snapshot = engine.run(30_000)  # SimulationError would surface
+        assert snapshot.calls > 0
+        assert engine.lost_updates == snapshot.updates
+        assert engine.recovery_pagings > 0
+
+    def test_views_still_resync_via_calls(self):
+        engine = make_engine(1.0, seed=13)
+        for _ in range(10_000):
+            calls = engine.meter.calls
+            engine.step()
+            if engine.meter.calls > calls:
+                assert engine.network_center == engine.walk.position

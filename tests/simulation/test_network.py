@@ -100,3 +100,68 @@ class TestPCNetwork:
         a.run(1000)
         b.run(1000)
         assert a.aggregate_mean_cost() == b.aggregate_mean_cost()
+
+
+class TestOutageInjection:
+    def make_network(self, terminals=3, seed=0):
+        network = PCNetwork(HexTopology(), COSTS, seed=seed)
+        for _ in range(terminals):
+            network.add_terminal(DistanceStrategy(2, max_delay=1), MOBILITY)
+        return network
+
+    def test_no_outage_is_fully_available(self):
+        network = self.make_network(seed=20)
+        network.run(2000)
+        assert network.mean_availability() == 1.0
+        assert network.degraded_signaling_fraction() == 0.0
+        assert network.signaling_lost == 0
+
+    def test_outages_reduce_availability(self):
+        network = self.make_network(seed=21)
+        network.inject_outages(rate=0.05, duration=10, seed=1)
+        network.run(4000)
+        assert network.mean_availability() < 1.0
+        darkened = [s for s in network.stations.values() if s.outage_slots > 0]
+        assert darkened
+        for station in darkened:
+            assert station.availability(network.slot) < 1.0
+
+    def test_dark_stations_lose_signaling(self):
+        network = self.make_network(seed=22)
+        network.inject_outages(rate=0.1, duration=20, seed=2)
+        network.run(4000)
+        assert network.signaling_lost > 0
+        assert 0.0 < network.degraded_signaling_fraction() < 1.0
+        per_station = sum(
+            s.lost_updates + s.wasted_polls for s in network.stations.values()
+        )
+        assert per_station == network.signaling_lost
+
+    def test_lost_update_skips_register_write(self):
+        network = self.make_network(terminals=1, seed=23)
+        network.inject_outages(rate=0.15, duration=20, seed=3)
+        network.run(4000)
+        terminal = network.terminals[0]
+        lost = sum(s.lost_updates for s in network.stations.values())
+        wasted = sum(s.wasted_polls for s in network.stations.values())
+        assert lost > 0
+        # Register writes: the admission fix, plus every *delivered*
+        # update, plus every call fix served by a live station.
+        snapshot = terminal.engine.meter.snapshot()
+        delivered = (snapshot.updates - lost) + (snapshot.calls - wasted)
+        assert network.register.writes == 1 + delivered
+
+    def test_availability_report_ranks_worst_first(self):
+        network = self.make_network(seed=24)
+        network.inject_outages(rate=0.05, duration=15, seed=4)
+        network.run(4000)
+        report = network.availability_report(4)
+        availabilities = [availability for _, availability, _ in report]
+        assert availabilities == sorted(availabilities)
+
+    def test_injection_validates_parameters(self):
+        network = self.make_network()
+        with pytest.raises(ParameterError):
+            network.inject_outages(rate=1.5, duration=10)
+        with pytest.raises(ParameterError):
+            network.inject_outages(rate=0.1, duration=0)

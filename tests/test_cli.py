@@ -209,3 +209,39 @@ class TestPolicyCommand:
         assert code == 0
         policy = Policy.load(path)
         assert policy.threshold == 1  # Table 1, U=20, delay 2
+
+
+class TestFaultsCommand:
+    def test_reports_degradation_vs_baseline(self, capsys):
+        code = main(
+            ["faults", "--loss", "0.2", "--outage-rate", "0.01",
+             "--slots", "4000", "--replications", "2", "--seed", "1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fault-free" in out and "faulted" in out
+        assert "UpdateLoss(probability=0.2)" in out
+        assert "recovery_pagings" in out
+
+    def test_json_report(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "faults.json"
+        code = main(
+            ["faults", "--loss", "0.3", "--slots", "3000",
+             "--replications", "2", "--json", str(path)]
+        )
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert payload["config"]["faults"]
+        assert payload["faulted"]["mean_total_cost"] > 0
+        assert payload["degradation"]["cost"] is not None
+
+    def test_fault_free_run_is_flat(self, capsys):
+        # No fault flags: the faulted campaign IS the baseline.
+        code = main(
+            ["faults", "--slots", "3000", "--replications", "2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "faults:            none" in out

@@ -3,8 +3,10 @@
 import pytest
 
 from repro import (
+    FaultInjectionError,
     ParameterError,
     PartitionError,
+    RecoveryExhaustedError,
     ReproError,
     SimulationError,
     SolverError,
@@ -28,6 +30,16 @@ class TestHierarchy:
 
     def test_simulation_error_is_runtime_error(self):
         assert issubclass(SimulationError, RuntimeError)
+
+    def test_fault_injection_error_in_hierarchy(self):
+        assert issubclass(FaultInjectionError, ReproError)
+        assert issubclass(FaultInjectionError, RuntimeError)
+
+    def test_recovery_exhausted_is_simulation_error(self):
+        # Existing `except SimulationError` around paging keeps catching
+        # the resilient engine's give-up signal.
+        assert issubclass(RecoveryExhaustedError, SimulationError)
+        assert issubclass(RecoveryExhaustedError, ReproError)
 
     def test_catching_base_catches_all(self):
         with pytest.raises(ReproError):
