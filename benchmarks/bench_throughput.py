@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""THROUGHPUT: per-cell engine vs vectorized distance engine.
+
+    PYTHONPATH=src python benchmarks/bench_throughput.py [--smoke] [--min-speedup X]
+
+Measures slots/sec of :class:`repro.simulation.SimulationEngine` and
+terminal-slots/sec of
+:class:`repro.simulation.VectorizedDistanceEngine` at the acceptance
+operating point (d=3, m=1, q=0.3, c=0.01) on both geometries, prints a
+table, and writes ``benchmarks/out/throughput.json``.
+
+Unlike the table/figure benches this is a plain script (no
+pytest-benchmark dependency) so CI can run it in smoke mode -- tiny
+slot counts that exercise the vectorized path on every supported
+Python version without burning minutes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.parameters import CostParams, MobilityParams  # noqa: E402
+from repro.geometry import HexTopology, LineTopology  # noqa: E402
+from repro.simulation.vectorized import throughput_report  # noqa: E402
+
+OUT_DIR = Path(__file__).parent / "out"
+
+#: The acceptance operating point from the issue.
+THRESHOLD = 3
+MAX_DELAY = 1
+MOBILITY = MobilityParams(move_probability=0.3, call_probability=0.01)
+COSTS = CostParams(update_cost=100.0, poll_cost=10.0)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny slot counts: exercise the code paths, not the hardware",
+    )
+    parser.add_argument("--engine-slots", type=int, default=None)
+    parser.add_argument("--vector-slots", type=int, default=None)
+    parser.add_argument("--terminals", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--min-speedup", type=float, default=0.0,
+        help="exit non-zero if the 2-D speedup falls below this factor",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        engine_slots = args.engine_slots or 2_000
+        vector_slots = args.vector_slots or 500
+        terminals = args.terminals or 64
+    else:
+        engine_slots = args.engine_slots or 50_000
+        vector_slots = args.vector_slots or 10_000
+        terminals = args.terminals or 4096
+
+    payload = {
+        "mode": "smoke" if args.smoke else "full",
+        "point": {
+            "threshold": THRESHOLD,
+            "max_delay": MAX_DELAY,
+            "q": MOBILITY.move_probability,
+            "c": MOBILITY.call_probability,
+        },
+        "geometries": {},
+    }
+    rows = []
+    for label, topology in (("1d-line", LineTopology()), ("2d-hex", HexTopology())):
+        report = throughput_report(
+            topology=topology,
+            threshold=THRESHOLD,
+            mobility=MOBILITY,
+            costs=COSTS,
+            max_delay=MAX_DELAY,
+            engine_slots=engine_slots,
+            vector_slots=vector_slots,
+            terminals=terminals,
+            seed=args.seed,
+        )
+        payload["geometries"][label] = report
+        rows.append((label, report))
+
+    print(f"Throughput at d={THRESHOLD}, m={MAX_DELAY}, "
+          f"q={MOBILITY.move_probability}, c={MOBILITY.call_probability} "
+          f"({payload['mode']} mode, K={terminals}):")
+    for label, report in rows:
+        eng = report["engine"]["slots_per_sec"]
+        vec = report["vectorized"]["slots_per_sec"]
+        print(f"  {label:8s} engine {eng:>14,.0f} slots/s | "
+              f"vectorized {vec:>14,.0f} terminal-slots/s | "
+              f"speedup {report['speedup']:7.1f}x")
+
+    OUT_DIR.mkdir(exist_ok=True)
+    out_path = OUT_DIR / "throughput.json"
+    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out_path}")
+
+    hex_speedup = payload["geometries"]["2d-hex"]["speedup"]
+    if args.min_speedup and hex_speedup < args.min_speedup:
+        print(
+            f"FAIL: 2-D speedup {hex_speedup:.1f}x below required "
+            f"{args.min_speedup:.1f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def test_throughput_smoke():
+    """Pytest hook so ``pytest benchmarks/`` also exercises the bench."""
+    assert main(["--smoke"]) == 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -87,8 +87,14 @@ def run_validation_campaign(
     slots: int = 150_000,
     replications: int = 5,
     seed: int = 7,
+    workers=None,
 ) -> List[ValidationOutcome]:
-    """Run every case and return the outcomes in order."""
+    """Run every case and return the outcomes in order.
+
+    ``workers`` is forwarded to :func:`run_replicated` via
+    :func:`validate_against_model`; results are bit-identical for any
+    worker count.
+    """
     outcomes: List[ValidationOutcome] = []
     for index, case in enumerate(cases):
         mobility = MobilityParams(move_probability=case.q, call_probability=case.c)
@@ -105,6 +111,7 @@ def run_validation_campaign(
             slots=slots,
             replications=replications,
             seed=seed + index,
+            workers=workers,
         )
         outcomes.append(ValidationOutcome(case=case, comparison=comparison))
     return outcomes

@@ -9,8 +9,10 @@ library's own validation tooling::
     repro-lm fig5 --dimensions 1    # Figure 5(a)
     repro-lm optimize --q 0.05 --c 0.01 --update-cost 100 \\
              --poll-cost 10 --max-delay 3 --model 2d-exact
-    repro-lm simulate --q 0.05 --c 0.01 --threshold 3 --slots 100000
+    repro-lm simulate --q 0.05 --c 0.01 --threshold 3 --slots 100000 \\
+             --workers 4            # replications on a process pool
     repro-lm validate               # simulation-vs-model campaign
+    repro-lm speed                  # engine vs vectorized throughput
     repro-lm faults --loss 0.2 --outage-rate 0.01   # resilience report
 
 Every data-producing command accepts ``--csv PATH`` to also write the
@@ -98,10 +100,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--warmup", type=int, default=0,
         help="slots discarded before metering (fresh-fix transient)",
     )
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for replications (1 = serial; results are "
+        "bit-identical either way)",
+    )
 
     p = sub.add_parser("validate", help="simulation-vs-model campaign")
     p.add_argument("--slots", type=int, default=100_000)
     p.add_argument("--replications", type=int, default=3)
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes per campaign point (1 = serial)",
+    )
+
+    p = sub.add_parser(
+        "speed",
+        help="throughput bench: per-cell engine vs vectorized distance engine",
+    )
+    p.add_argument("--dimensions", type=int, choices=(1, 2), default=2)
+    p.add_argument("--q", type=float, default=0.3)
+    p.add_argument("--c", type=float, default=0.01)
+    p.add_argument("--update-cost", type=float, default=100.0)
+    p.add_argument("--poll-cost", type=float, default=10.0)
+    p.add_argument("--threshold", type=int, default=3, help="d")
+    p.add_argument("--max-delay", type=_delay, default=1)
+    p.add_argument("--engine-slots", type=int, default=20_000,
+                   help="slots for the per-cell engine timing")
+    p.add_argument("--vector-slots", type=int, default=5_000,
+                   help="slots for the vectorized engine timing")
+    p.add_argument("--terminals", type=int, default=2048,
+                   help="batch width K of the vectorized engine")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", dest="json_path",
+                   help="also write the machine-readable report here")
 
     p = sub.add_parser(
         "faults",
@@ -211,6 +243,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "optimize": _cmd_optimize,
             "simulate": _cmd_simulate,
             "validate": _cmd_validate,
+            "speed": _cmd_speed,
             "faults": _cmd_faults,
             "soft-delay": _cmd_soft_delay,
             "compare": _cmd_compare,
@@ -286,6 +319,8 @@ def _cmd_optimize(args) -> int:
 
 
 def _cmd_simulate(args) -> int:
+    from functools import partial
+
     from .geometry import HexTopology, LineTopology
 
     topology = LineTopology() if args.dimensions == 1 else HexTopology()
@@ -293,13 +328,16 @@ def _cmd_simulate(args) -> int:
     costs = CostParams(update_cost=args.update_cost, poll_cost=args.poll_cost)
     result = run_replicated(
         topology=topology,
-        strategy_factory=lambda: DistanceStrategy(args.threshold, max_delay=args.max_delay),
+        strategy_factory=partial(
+            DistanceStrategy, args.threshold, max_delay=args.max_delay
+        ),
         mobility=mobility,
         costs=costs,
         slots=args.slots,
         replications=args.replications,
         seed=args.seed,
         warmup_slots=args.warmup,
+        workers=args.workers,
     )
     print(f"replications:     {result.replications} x {args.slots} slots")
     print(f"mean C_T:         {result.mean_total_cost:.6f} "
@@ -445,9 +483,44 @@ def _cmd_faults(args) -> int:
     return 0
 
 
+def _cmd_speed(args) -> int:
+    from .geometry import HexTopology, LineTopology
+    from .simulation.vectorized import throughput_report
+
+    topology = LineTopology() if args.dimensions == 1 else HexTopology()
+    report = throughput_report(
+        topology=topology,
+        threshold=args.threshold,
+        mobility=MobilityParams(move_probability=args.q, call_probability=args.c),
+        costs=CostParams(update_cost=args.update_cost, poll_cost=args.poll_cost),
+        max_delay=args.max_delay,
+        engine_slots=args.engine_slots,
+        vector_slots=args.vector_slots,
+        terminals=args.terminals,
+        seed=args.seed,
+    )
+    eng, vec = report["engine"], report["vectorized"]
+    print(
+        f"Throughput at d={args.threshold}, m={args.max_delay}, "
+        f"q={args.q}, c={args.c} ({args.dimensions}-D):"
+    )
+    print(f"  per-cell engine:  {eng['slots_per_sec']:>14,.0f} slots/sec "
+          f"({eng['terminal_slots']:,} slots in {eng['seconds']:.3f}s)")
+    print(f"  vectorized (K={vec['terminals']}): {vec['slots_per_sec']:>10,.0f} "
+          f"terminal-slots/sec ({vec['terminal_slots']:,} in {vec['seconds']:.3f}s)")
+    print(f"  speedup:          {report['speedup']:.1f}x")
+    if args.json_path:
+        import json
+        from pathlib import Path
+
+        Path(args.json_path).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote JSON report to {args.json_path}")
+    return 0
+
+
 def _cmd_validate(args) -> int:
     outcomes = run_validation_campaign(
-        slots=args.slots, replications=args.replications
+        slots=args.slots, replications=args.replications, workers=args.workers
     )
     headers = ["case", "predicted", "measured", "ci", "rel.err", "ok"]
     rows = []

@@ -25,6 +25,7 @@ paper's
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import List, Sequence, Tuple
 
 from .topology import CellTopology
@@ -45,6 +46,25 @@ AXIAL_DIRECTIONS: Tuple[Tuple[int, int], ...] = (
 )
 
 HexCell = Tuple[int, int]
+
+
+@lru_cache(maxsize=1024)
+def _ring_offsets(radius: int) -> Tuple[HexCell, ...]:
+    """Origin-centered ring ``r_radius`` via the perimeter walk.
+
+    The hex plane is vertex-transitive, so any ring is this ring
+    translated by its center; memoizing the offsets makes repeated ring
+    materialization (the paging hot path) a translate-only operation.
+    """
+    offsets: List[HexCell] = []
+    q = AXIAL_DIRECTIONS[4][0] * radius
+    r = AXIAL_DIRECTIONS[4][1] * radius
+    for dq, dr in AXIAL_DIRECTIONS:
+        for _ in range(radius):
+            offsets.append((q, r))
+            q += dq
+            r += dr
+    return tuple(offsets)
 
 
 class HexTopology(CellTopology):
@@ -90,15 +110,8 @@ class HexTopology(CellTopology):
             raise ValueError(f"radius must be >= 0, got {radius}")
         if radius == 0:
             return [center]
-        cells: List[HexCell] = []
-        q = center[0] + AXIAL_DIRECTIONS[4][0] * radius
-        r = center[1] + AXIAL_DIRECTIONS[4][1] * radius
-        for dq, dr in AXIAL_DIRECTIONS:
-            for _ in range(radius):
-                cells.append((q, r))
-                q += dq
-                r += dr
-        return cells
+        cq, cr = center
+        return [(cq + dq, cr + dr) for dq, dr in _ring_offsets(radius)]
 
     def ring_size(self, radius: int) -> int:
         if radius < 0:

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
+from functools import lru_cache
 from typing import Dict, Tuple
 
 from .topology import CellTopology
@@ -63,12 +64,15 @@ class RingMovementStats:
         return (float(self.p_outward), float(self.p_same), float(self.p_inward))
 
 
+@lru_cache(maxsize=4096)
 def ring_movement_stats(topology: CellTopology, radius: int) -> RingMovementStats:
     """Measure ring-transition probabilities of ring ``radius`` by counting.
 
     Enumerates every cell of the ring around the topology's origin,
     classifies each of its neighbors, and averages.  Exact (rational)
-    arithmetic throughout.
+    arithmetic throughout.  Memoized: topologies are stateless
+    value-objects (hashable, equal by class), the result is frozen, and
+    chain builders re-request the same small radii constantly.
     """
     if radius < 0:
         raise ValueError(f"radius must be >= 0, got {radius}")

@@ -26,6 +26,7 @@ by exactly one -- square-lattice parity.)
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import List, Sequence, Tuple
 
 from .topology import CellTopology
@@ -42,6 +43,20 @@ SQUARE_DIRECTIONS: Tuple[Tuple[int, int], ...] = (
 )
 
 SquareCell = Tuple[int, int]
+
+
+@lru_cache(maxsize=1024)
+def _ring_offsets(radius: int) -> Tuple[SquareCell, ...]:
+    """Origin-centered diamond ring (memoized; rings only ever shift)."""
+    offsets: List[SquareCell] = []
+    # Walk the four diamond edges: E->N->W->S->E.
+    x, y = radius, 0
+    for dx, dy in ((-1, 1), (-1, -1), (1, -1), (1, 1)):
+        for _ in range(radius):
+            offsets.append((x, y))
+            x += dx
+            y += dy
+    return tuple(offsets)
 
 
 class SquareTopology(CellTopology):
@@ -81,15 +96,7 @@ class SquareTopology(CellTopology):
         if radius == 0:
             return [center]
         cx, cy = center
-        cells: List[SquareCell] = []
-        # Walk the four diamond edges: E->N->W->S->E.
-        x, y = radius, 0
-        for dx, dy in ((-1, 1), (-1, -1), (1, -1), (1, 1)):
-            for _ in range(radius):
-                cells.append((cx + x, cy + y))
-                x += dx
-                y += dy
-        return cells
+        return [(cx + dx, cy + dy) for dx, dy in _ring_offsets(radius)]
 
     def ring_size(self, radius: int) -> int:
         if radius < 0:

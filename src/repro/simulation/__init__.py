@@ -1,8 +1,10 @@
 """Discrete-time PCN simulation substrate.
 
-Single-terminal engine (chain-faithful slot semantics), multi-terminal
-network with base stations and a location register, cost metering with
-confidence intervals, and replicated analytic-vs-simulation validation.
+Single-terminal engine (chain-faithful slot semantics), a batched
+NumPy engine for the distance strategy, multi-terminal network with
+base stations and a location register, cost metering with confidence
+intervals, and replicated analytic-vs-simulation validation with
+optional process-pool parallelism.
 """
 
 from .engine import SimulationEngine
@@ -17,6 +19,7 @@ from .runner import (
     run_until_precision,
     validate_against_model,
 )
+from .vectorized import VectorizedDistanceEngine, throughput_report
 
 __all__ = [
     "BaseStation",
@@ -34,8 +37,10 @@ __all__ = [
     "ReplicatedResult",
     "SimulationEngine",
     "UpdateEvent",
+    "VectorizedDistanceEngine",
     "run_replicated",
     "run_until_precision",
+    "throughput_report",
     "validate_against_model",
 ]
 

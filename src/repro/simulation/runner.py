@@ -7,23 +7,41 @@ compares the empirical means against the analytical model's
 predictions, returning structured results the validation bench and
 tests assert on.
 
+Parallel execution
+------------------
+
+``run_replicated(..., workers=N)`` dispatches replications to a
+:class:`concurrent.futures.ProcessPoolExecutor`.  Every replication is
+seeded from the master :class:`numpy.random.SeedSequence` by its index
+alone, so the pooled result is **bit-identical** to a serial run of the
+same campaign -- parallelism changes wall-clock time, never numbers.
+``workers=None``, ``workers=1``, and ``workers="serial"`` all run
+in-process.  Worker processes need picklable arguments; pass
+``functools.partial(DistanceStrategy, d, max_delay=m)`` rather than a
+lambda as the strategy factory when using a pool.
+
 Crash safety
 ------------
 
 Long validation sweeps should survive interruption instead of losing
 hours of work.  ``run_replicated(..., checkpoint=path)`` writes an
 atomic JSON checkpoint (write-to-temp + rename) after *every* finished
-replication; rerunning the same call resumes from the completed prefix
-and -- because replications are child-seeded deterministically from the
-master seed -- produces bit-identical pooled results to an
-uninterrupted run.  A checkpoint from a different configuration is
-refused, not silently reused.
+replication -- in pooled runs, as each future completes, in whatever
+order they finish; rerunning the same call resumes from the completed
+indices and -- because replications are child-seeded deterministically
+from the master seed -- produces bit-identical pooled results to an
+uninterrupted run.  A checkpoint from a different configuration
+(including a different topology, strategy, or start cell) is refused,
+not silently reused.
 
 ``replication_deadline`` bounds the wall-clock seconds any single
 replication may take; a replication that overruns is cut short and
 reported as a structured :class:`PartialReplication` (excluded from the
 pooled statistics, preserved for inspection) rather than poisoning the
-campaign.
+campaign.  On resume, deadline-truncated indices are *retried* -- a
+rerun with a longer (or no) deadline gives every replication the
+chance to finish instead of silently keeping truncated snapshots out
+of the pool forever.
 """
 
 from __future__ import annotations
@@ -31,11 +49,13 @@ from __future__ import annotations
 import json
 import math
 import os
+import pickle
 import tempfile
 import time
-from dataclasses import dataclass, field
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -57,7 +77,10 @@ __all__ = [
 ]
 
 #: Checkpoint schema version; bumped on incompatible layout changes.
-_CHECKPOINT_VERSION = 1
+#: Version 2: snapshots carry explicit replication indices (any-order
+#: parallel completion) and the fingerprint includes topology,
+#: strategy, and start-cell identity.
+_CHECKPOINT_VERSION = 2
 
 #: Slots simulated between deadline checks (a deadline cannot be
 #: enforced mid-`engine.run`, so the run is chunked when one is set).
@@ -132,6 +155,9 @@ class ReplicatedResult:
 
 
 def _campaign_fingerprint(
+    topology: CellTopology,
+    strategy_repr: str,
+    start: Optional[Cell],
     mobility: MobilityParams,
     costs: CostParams,
     slots: int,
@@ -140,9 +166,20 @@ def _campaign_fingerprint(
     event_mode: str,
     warmup_slots: int,
 ) -> dict:
-    """The configuration identity a checkpoint must match to be resumed."""
+    """The configuration identity a checkpoint must match to be resumed.
+
+    Topology, strategy configuration (name, threshold, delay bound),
+    and the start cell are part of the identity: a checkpoint written
+    by a run with a different geometry or threshold describes different
+    random variables and must be refused, not silently pooled.
+    ``workers`` and ``replication_deadline`` are deliberately absent --
+    neither changes what a completed replication computes.
+    """
     return {
         "version": _CHECKPOINT_VERSION,
+        "topology": repr(topology),
+        "strategy": strategy_repr,
+        "start": repr(start),
         "q": mobility.move_probability,
         "c": mobility.call_probability,
         "update_cost": costs.update_cost,
@@ -155,41 +192,64 @@ def _campaign_fingerprint(
     }
 
 
-def _load_checkpoint(path: Path, fingerprint: dict) -> Tuple[List[MeterSnapshot], List[PartialReplication]]:
-    """Read a checkpoint, validating it belongs to this campaign."""
+def _load_checkpoint(
+    path: Path, fingerprint: dict
+) -> Tuple[Dict[int, MeterSnapshot], Dict[int, PartialReplication]]:
+    """Read a checkpoint, validating it belongs to this campaign.
+
+    Returns completed snapshots and deadline-truncated partials, both
+    keyed by replication index (completion order is arbitrary under a
+    worker pool).
+    """
     try:
         payload = json.loads(path.read_text())
     except (OSError, json.JSONDecodeError) as exc:
         raise ParameterError(f"unreadable checkpoint {path}: {exc}") from exc
-    if payload.get("fingerprint") != fingerprint:
+    stored = payload.get("fingerprint") or {}
+    version = stored.get("version")
+    if version != _CHECKPOINT_VERSION:
+        raise ParameterError(
+            f"checkpoint {path} uses schema version {version!r}, but this "
+            f"library writes version {_CHECKPOINT_VERSION} and cannot "
+            "resume older checkpoints; delete the file to restart the "
+            "campaign (child seeding is deterministic, so no statistical "
+            "ground is lost -- only compute time)"
+        )
+    if stored != fingerprint:
         raise ParameterError(
             f"checkpoint {path} belongs to a different campaign "
-            "(seed/slots/replications/parameters differ); delete it or "
-            "point the run at a fresh path"
+            "(topology/strategy/start/seed/slots/replications/parameters "
+            "differ); delete it or point the run at a fresh path"
         )
-    snapshots = [MeterSnapshot.from_dict(s) for s in payload["snapshots"]]
-    partials = [
-        PartialReplication(
+    completed = {
+        int(entry["index"]): MeterSnapshot.from_dict(entry["snapshot"])
+        for entry in payload["snapshots"]
+    }
+    partials = {
+        int(p["index"]): PartialReplication(
             index=int(p["index"]),
             completed_slots=int(p["completed_slots"]),
             target_slots=int(p["target_slots"]),
             snapshot=MeterSnapshot.from_dict(p["snapshot"]),
         )
         for p in payload.get("partials", [])
-    ]
-    return snapshots, partials
+    }
+    return completed, partials
 
 
 def _write_checkpoint(
     path: Path,
     fingerprint: dict,
-    snapshots: List[MeterSnapshot],
-    partials: List[PartialReplication],
+    completed: Dict[int, MeterSnapshot],
+    partials: Dict[int, PartialReplication],
 ) -> None:
     """Atomically persist campaign progress: write-to-temp + rename."""
     payload = {
         "fingerprint": fingerprint,
-        "snapshots": [s.to_dict() for s in snapshots],
+        "snapshots": [
+            {"index": index, "snapshot": completed[index].to_dict()}
+            for index in sorted(completed)
+        ],
         "partials": [
             {
                 "index": p.index,
@@ -197,7 +257,7 @@ def _write_checkpoint(
                 "target_slots": p.target_slots,
                 "snapshot": p.snapshot.to_dict(),
             }
-            for p in partials
+            for _, p in sorted(partials.items())
         ],
     }
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -218,6 +278,66 @@ def _write_checkpoint(
         raise
 
 
+def _resolve_workers(workers: Optional[Union[int, str]]) -> Optional[int]:
+    """Normalize the ``workers`` argument to a pool size (None = serial)."""
+    if workers is None or workers == "serial":
+        return None
+    if isinstance(workers, str):
+        raise ParameterError(
+            f"workers must be a positive int or 'serial', got {workers!r}"
+        )
+    if isinstance(workers, bool) or not isinstance(workers, int):
+        raise ParameterError(
+            f"workers must be a positive int or 'serial', got {workers!r}"
+        )
+    if workers < 1:
+        raise ParameterError(f"workers must be >= 1, got {workers}")
+    return None if workers == 1 else workers
+
+
+def _execute_replication(
+    index: int,
+    seed: np.random.SeedSequence,
+    topology: CellTopology,
+    strategy_factory: StrategyFactory,
+    mobility: MobilityParams,
+    costs: CostParams,
+    slots: int,
+    start: Optional[Cell],
+    event_mode: str,
+    warmup_slots: int,
+    replication_deadline: Optional[float],
+) -> Tuple[int, MeterSnapshot, int]:
+    """Run one replication to completion (or to its deadline).
+
+    Module-level so worker processes can pickle and run it; both the
+    serial and the pooled path go through this exact function, which is
+    what makes ``workers=N`` bit-identical to a serial campaign.
+    Returns ``(index, snapshot, completed_slots)``.
+    """
+    engine = SimulationEngine(
+        topology=topology,
+        strategy=strategy_factory(),
+        mobility=mobility,
+        costs=costs,
+        seed=seed,
+        start=start,
+        event_mode=event_mode,
+    )
+    if warmup_slots:
+        engine.run(warmup_slots)
+        engine.meter = CostMeter(costs.update_cost, costs.poll_cost)
+    if replication_deadline is None:
+        return index, engine.run(slots), slots
+    deadline = time.monotonic() + replication_deadline
+    remaining = slots
+    while remaining > 0 and time.monotonic() < deadline:
+        chunk = min(remaining, _DEADLINE_CHUNK_SLOTS)
+        engine.run(chunk)
+        remaining -= chunk
+    return index, engine.meter.snapshot(), slots - remaining
+
+
 def run_replicated(
     topology: CellTopology,
     strategy_factory: StrategyFactory,
@@ -231,6 +351,7 @@ def run_replicated(
     warmup_slots: int = 0,
     checkpoint: Optional[Union[str, Path]] = None,
     replication_deadline: Optional[float] = None,
+    workers: Optional[Union[int, str]] = None,
 ) -> ReplicatedResult:
     """Run ``replications`` independent engines and pool their snapshots.
 
@@ -240,12 +361,21 @@ def run_replicated(
     :mod:`repro.core.transient` for how long the transient lasts).
     Warm-up costs are discarded by swapping in a fresh meter.
 
+    ``workers`` selects the executor: ``None``, ``1``, or ``"serial"``
+    run in-process; an int > 1 dispatches replications to that many
+    worker processes.  Replication ``i`` is always seeded by child ``i``
+    of the master seed, so the pooled result is bit-identical across
+    executors.  A pooled run needs picklable arguments -- use
+    ``functools.partial`` rather than a lambda for the factory.
+
     ``checkpoint`` names a JSON file updated atomically after every
-    replication; an interrupted campaign rerun with the same arguments
-    resumes after its last completed replication and yields the same
-    pooled result as an uninterrupted run.  ``replication_deadline``
-    caps any single replication at that many wall-clock seconds;
-    overruns become :class:`PartialReplication` entries in the result.
+    replication (as futures complete, in any order, under a pool); an
+    interrupted campaign rerun with the same arguments resumes from the
+    completed indices and yields the same pooled result as an
+    uninterrupted run.  ``replication_deadline`` caps any single
+    replication at that many wall-clock seconds; overruns become
+    :class:`PartialReplication` entries in the result, and are retried
+    on a later resume.
     """
     if replications < 1:
         raise ParameterError(f"replications must be >= 1, got {replications}")
@@ -255,53 +385,72 @@ def run_replicated(
         raise ParameterError(
             f"replication_deadline must be > 0 seconds, got {replication_deadline}"
         )
+    pool_size = _resolve_workers(workers)
+    # One probe instance pins down the strategy's configuration (name,
+    # threshold, delay bound) for the checkpoint fingerprint and
+    # validates the factory before any simulation work starts.
+    strategy_repr = repr(strategy_factory())
     fingerprint = _campaign_fingerprint(
-        mobility, costs, slots, replications, seed, event_mode, warmup_slots
+        topology, strategy_repr, start, mobility, costs, slots, replications,
+        seed, event_mode, warmup_slots,
     )
     checkpoint_path = Path(checkpoint) if checkpoint is not None else None
-    snapshots: List[MeterSnapshot] = []
-    partials: List[PartialReplication] = []
+    completed: Dict[int, MeterSnapshot] = {}
+    partials: Dict[int, PartialReplication] = {}
     if checkpoint_path is not None and checkpoint_path.exists():
-        snapshots, partials = _load_checkpoint(checkpoint_path, fingerprint)
+        completed, stale_partials = _load_checkpoint(checkpoint_path, fingerprint)
+        # Deadline-truncated indices are retried rather than resumed:
+        # this rerun may have a longer (or no) deadline, and re-running
+        # is safe because the child seed depends only on the index.
+        del stale_partials
     master = np.random.SeedSequence(seed)
     children = master.spawn(replications)
-    done = len(snapshots) + len(partials)
-    for index in range(done, replications):
-        engine = SimulationEngine(
-            topology=topology,
-            strategy=strategy_factory(),
-            mobility=mobility,
-            costs=costs,
-            seed=children[index],
-            start=start,
-            event_mode=event_mode,
-        )
-        if warmup_slots:
-            engine.run(warmup_slots)
-            engine.meter = CostMeter(costs.update_cost, costs.poll_cost)
-        if replication_deadline is None:
-            snapshots.append(engine.run(slots))
+    pending = [i for i in range(replications) if i not in completed]
+
+    def record(index: int, snapshot: MeterSnapshot, completed_slots: int) -> None:
+        if completed_slots < slots:
+            partials[index] = PartialReplication(
+                index=index,
+                completed_slots=completed_slots,
+                target_slots=slots,
+                snapshot=snapshot,
+            )
         else:
-            deadline = time.monotonic() + replication_deadline
-            remaining = slots
-            while remaining > 0 and time.monotonic() < deadline:
-                engine.run(min(remaining, _DEADLINE_CHUNK_SLOTS))
-                remaining -= min(remaining, _DEADLINE_CHUNK_SLOTS)
-            snapshot = engine.meter.snapshot()
-            if remaining:
-                partials.append(
-                    PartialReplication(
-                        index=index,
-                        completed_slots=slots - remaining,
-                        target_slots=slots,
-                        snapshot=snapshot,
-                    )
-                )
-            else:
-                snapshots.append(snapshot)
+            completed[index] = snapshot
         if checkpoint_path is not None:
-            _write_checkpoint(checkpoint_path, fingerprint, snapshots, partials)
-    return ReplicatedResult(snapshots=snapshots, partials=tuple(partials))
+            _write_checkpoint(checkpoint_path, fingerprint, completed, partials)
+
+    def job_args(index: int) -> tuple:
+        return (
+            index, children[index], topology, strategy_factory, mobility,
+            costs, slots, start, event_mode, warmup_slots, replication_deadline,
+        )
+
+    if pool_size is None:
+        for index in pending:
+            record(*_execute_replication(*job_args(index)))
+    elif pending:
+        try:
+            pickle.dumps((topology, strategy_factory, mobility, costs, start))
+        except Exception as exc:
+            raise ParameterError(
+                f"workers={workers!r} runs replications in worker processes, "
+                "which requires picklable campaign arguments; the strategy "
+                "factory is usually the blocker -- pass functools.partial("
+                "DistanceStrategy, d, max_delay=m) instead of a lambda "
+                f"({exc})"
+            ) from exc
+        with ProcessPoolExecutor(max_workers=min(pool_size, len(pending))) as pool:
+            futures = [
+                pool.submit(_execute_replication, *job_args(index))
+                for index in pending
+            ]
+            for future in as_completed(futures):
+                record(*future.result())
+    return ReplicatedResult(
+        snapshots=[completed[i] for i in sorted(completed)],
+        partials=tuple(partials[i] for i in sorted(partials)),
+    )
 
 
 def run_until_precision(
@@ -385,7 +534,15 @@ class ModelComparison:
 
     @property
     def within_ci(self) -> bool:
-        """True if the prediction falls inside the measurement's CI."""
+        """True if the prediction falls inside the measurement's CI.
+
+        An undefined CI (fewer than two replications make the half
+        width infinite) is *not* agreement: the comparison had no power
+        to reject anything, so this returns False rather than being
+        vacuously true.
+        """
+        if not math.isfinite(self.ci_half_width):
+            return False
         return abs(self.measured_total - self.predicted_total) <= self.ci_half_width
 
 
@@ -398,6 +555,7 @@ def validate_against_model(
     replications: int = 5,
     seed: int = 0,
     convention: str = "physical",
+    workers: Optional[Union[int, str]] = None,
 ) -> ModelComparison:
     """Compare analytic ``C_u/C_v/C_T`` with a simulation at ``(d, m)``.
 
@@ -405,19 +563,29 @@ def validate_against_model(
     charges an update whenever the terminal actually leaves the
     residing area, so at ``d = 0`` the empirical update rate is ``q``,
     not the paper's tabulation quirk.
+
+    Requires at least two replications -- with one, the between-
+    replication CI is undefined and ``within_ci`` could never hold.
     """
     from ..strategies.distance import DistanceStrategy  # local: avoid cycle
+    from functools import partial
 
+    if replications < 2:
+        raise ParameterError(
+            "validate_against_model needs >= 2 replications for a defined "
+            f"confidence interval, got {replications}"
+        )
     evaluator = CostEvaluator(model, costs, convention=convention)
     breakdown = evaluator.breakdown(d, m)
     result = run_replicated(
         topology=model.topology,
-        strategy_factory=lambda: DistanceStrategy(d, max_delay=m),
+        strategy_factory=partial(DistanceStrategy, d, max_delay=m),
         mobility=model.mobility,
         costs=costs,
         slots=slots,
         replications=replications,
         seed=seed,
+        workers=workers,
     )
     return ModelComparison(
         predicted_total=breakdown.total_cost,

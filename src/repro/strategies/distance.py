@@ -11,6 +11,7 @@ partitioned into at most ``m`` shortest-distance-first subareas.
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from typing import Iterator, List, Optional
 
 from ..core.parameters import validate_delay, validate_threshold
@@ -19,6 +20,11 @@ from ..paging import PagingPlan, sdf_partition
 from .base import UpdateStrategy, register_strategy
 
 __all__ = ["DistanceStrategy"]
+
+#: Centers whose materialized polling groups are kept (LRU).  A
+#: terminal re-centers on every update and page hit, and low-mobility
+#: terminals revisit the same handful of centers constantly.
+_GROUP_CACHE_CENTERS = 256
 
 
 class DistanceStrategy(UpdateStrategy):
@@ -47,6 +53,10 @@ class DistanceStrategy(UpdateStrategy):
                 f"plan is for threshold {plan.threshold}, strategy uses {self.threshold}"
             )
         self.plan = plan if plan is not None else sdf_partition(self.threshold, max_delay)
+        # Materialized polling groups per center, filled lazily one
+        # group at a time (paging usually stops at an inner subarea, so
+        # outer rings are never enumerated unless actually polled).
+        self._groups_by_center: "OrderedDict[Cell, List[List[Cell]]]" = OrderedDict()
 
     def _reset_state(self, position: Cell) -> None:
         # The center cell *is* the last known location; no extra state.
@@ -62,11 +72,24 @@ class DistanceStrategy(UpdateStrategy):
 
     def polling_groups(self) -> Iterator[List[Cell]]:
         center = self.center
+        cache = self._groups_by_center
+        built = cache.get(center)
+        if built is None:
+            built = []
+            cache[center] = built
+            while len(cache) > _GROUP_CACHE_CENTERS:
+                cache.popitem(last=False)
+        else:
+            cache.move_to_end(center)
         topo = self.topology
-        for group in self.plan.subareas:
+        for index, group in enumerate(self.plan.subareas):
+            if index < len(built):
+                yield built[index]
+                continue
             cells: List[Cell] = []
             for ring in group:
                 cells.extend(topo.ring(center, ring))
+            built.append(cells)
             yield cells
 
     def worst_case_delay(self) -> int:

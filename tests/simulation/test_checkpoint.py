@@ -55,7 +55,9 @@ class TestCheckpointResume:
         built = {"count": 0}
 
         def crashing_factory():
-            if built["count"] == 2:
+            # Call 0 is the runner's fingerprint probe; calls 1 and 2
+            # build replications 0 and 1; call 3 (replication 2) dies.
+            if built["count"] == 3:
                 raise KeyboardInterrupt  # simulated kill
             built["count"] += 1
             return DistanceStrategy(2, max_delay=2)
@@ -83,12 +85,15 @@ class TestCheckpointResume:
         path = tmp_path / "campaign.json"
         first = campaign(checkpoint=path)
 
-        def forbidden_factory():
-            raise AssertionError("resume of a finished campaign re-ran engines")
+        calls = {"count": 0}
+
+        def counting_factory():
+            calls["count"] += 1
+            return DistanceStrategy(2, max_delay=2)
 
         again = run_replicated(
             topology=LineTopology(),
-            strategy_factory=forbidden_factory,
+            strategy_factory=counting_factory,
             mobility=MOBILITY,
             costs=COSTS,
             slots=5_000,
@@ -97,6 +102,9 @@ class TestCheckpointResume:
             checkpoint=path,
         )
         assert again.snapshots == first.snapshots
+        # Only the fingerprint probe may construct a strategy; no
+        # engine ran (each engine build would add a factory call).
+        assert calls["count"] == 1
 
     def test_checkpoint_written_after_every_replication(self, tmp_path):
         path = tmp_path / "campaign.json"
@@ -118,6 +126,67 @@ class TestCheckpointResume:
         path = tmp_path / "campaign.json"
         path.write_text("{not json")
         with pytest.raises(ParameterError):
+            campaign(checkpoint=path)
+
+
+class TestCheckpointIdentity:
+    """The fingerprint must pin down *what* was simulated, not just how much."""
+
+    def resume(self, path, strategy_factory=None, topology=None, start=None):
+        return run_replicated(
+            topology=topology if topology is not None else LineTopology(),
+            strategy_factory=strategy_factory
+            or (lambda: DistanceStrategy(2, max_delay=2)),
+            mobility=MOBILITY,
+            costs=COSTS,
+            slots=5_000,
+            replications=4,
+            seed=0,
+            start=start,
+            checkpoint=path,
+        )
+
+    def test_different_threshold_refused(self, tmp_path):
+        path = tmp_path / "campaign.json"
+        campaign(checkpoint=path)
+        with pytest.raises(ParameterError, match="different campaign"):
+            self.resume(path, strategy_factory=lambda: DistanceStrategy(3, max_delay=2))
+
+    def test_different_delay_bound_refused(self, tmp_path):
+        path = tmp_path / "campaign.json"
+        campaign(checkpoint=path)
+        with pytest.raises(ParameterError, match="different campaign"):
+            self.resume(path, strategy_factory=lambda: DistanceStrategy(2, max_delay=1))
+
+    def test_different_strategy_refused(self, tmp_path):
+        from repro.strategies import MovementStrategy
+
+        path = tmp_path / "campaign.json"
+        campaign(checkpoint=path)
+        with pytest.raises(ParameterError, match="different campaign"):
+            self.resume(path, strategy_factory=lambda: MovementStrategy(2))
+
+    def test_different_topology_refused(self, tmp_path):
+        from repro.geometry import HexTopology
+
+        path = tmp_path / "campaign.json"
+        campaign(checkpoint=path)
+        with pytest.raises(ParameterError, match="different campaign"):
+            self.resume(path, topology=HexTopology())
+
+    def test_different_start_cell_refused(self, tmp_path):
+        path = tmp_path / "campaign.json"
+        campaign(checkpoint=path)
+        with pytest.raises(ParameterError, match="different campaign"):
+            self.resume(path, start=7)
+
+    def test_stale_schema_version_refused_with_clear_message(self, tmp_path):
+        path = tmp_path / "campaign.json"
+        campaign(checkpoint=path)
+        payload = json.loads(path.read_text())
+        payload["fingerprint"]["version"] = 1
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ParameterError, match="schema version 1"):
             campaign(checkpoint=path)
 
 
@@ -146,3 +215,26 @@ class TestReplicationDeadline:
         plain = campaign()
         assert relaxed.partials == ()
         assert relaxed.snapshots == plain.snapshots
+
+    def test_partials_are_retried_on_resume(self, tmp_path):
+        # A deadline-truncated replication must not be permanently
+        # frozen out of the pool: rerunning the campaign without the
+        # deadline retries the partial indices and recovers the exact
+        # uninterrupted result.
+        path = tmp_path / "campaign.json"
+        truncated = campaign(
+            checkpoint=path, replications=2, replication_deadline=1e-9
+        )
+        assert truncated.replications == 0
+        assert len(truncated.partials) == 2
+        assert len(json.loads(path.read_text())["partials"]) == 2
+
+        resumed = campaign(checkpoint=path, replications=2)
+        fresh = campaign(replications=2)
+        assert resumed.partials == ()
+        assert resumed.snapshots == fresh.snapshots
+        # The retried full snapshots replaced the truncated ones in the
+        # checkpoint too.
+        payload = json.loads(path.read_text())
+        assert payload["partials"] == []
+        assert len(payload["snapshots"]) == 2

@@ -121,3 +121,21 @@ class TestValidateAgainstModel:
         comparison = ModelComparison(0.0, 0.0, 0.1, 0.0, 0.0, 0.0, 0.0)
         assert comparison.relative_error == 0.0
         assert comparison.within_ci
+
+    def test_undefined_ci_is_not_agreement(self):
+        # Regression: with < 2 replications the CI half-width is inf
+        # and `abs(err) <= inf` made within_ci vacuously True -- a
+        # comparison with no statistical power reported agreement.
+        from repro.simulation.runner import ModelComparison
+
+        comparison = ModelComparison(1.0, 99.0, math.inf, 0.0, 0.0, 0.0, 0.0)
+        assert not comparison.within_ci
+
+    def test_single_replication_validation_rejected(self):
+        # ...and validate_against_model refuses to produce such a
+        # powerless comparison in the first place.
+        model = OneDimensionalModel(MOBILITY)
+        with pytest.raises(ParameterError, match="replications"):
+            validate_against_model(
+                model, COSTS, d=2, m=1, slots=1_000, replications=1
+            )

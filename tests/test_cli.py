@@ -97,6 +97,46 @@ class TestSimulateCommand:
         assert code == 0
         assert "mean C_T" in out
 
+    def test_workers_do_not_change_output(self, capsys):
+        base_args = [
+            "simulate", "--dimensions", "1", "--q", "0.1", "--c", "0.02",
+            "--threshold", "2", "--slots", "3000", "--replications", "3",
+            "--seed", "5",
+        ]
+        assert main(base_args + ["--workers", "1"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(base_args + ["--workers", "2"]) == 0
+        pooled_out = capsys.readouterr().out
+        assert pooled_out == serial_out
+
+    def test_bad_worker_count_is_parameter_error(self, capsys):
+        code = main(
+            ["simulate", "--dimensions", "1", "--q", "0.1", "--c", "0.02",
+             "--threshold", "2", "--slots", "100", "--replications", "2",
+             "--workers", "0"]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestSpeedCommand:
+    def test_reports_throughput_and_json(self, capsys, tmp_path):
+        path = tmp_path / "speed.json"
+        code = main(
+            ["speed", "--dimensions", "2", "--engine-slots", "500",
+             "--vector-slots", "100", "--terminals", "32",
+             "--json", str(path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "per-cell engine:" in out
+        assert "speedup:" in out
+        import json
+
+        payload = json.loads(path.read_text())
+        assert payload["speedup"] > 0
+        assert payload["vectorized"]["terminals"] == 32
+
 
 class TestSoftDelayCommand:
     def test_runs_and_reports(self, capsys):
