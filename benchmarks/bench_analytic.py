@@ -1,0 +1,270 @@
+#!/usr/bin/env python
+"""ANALYTIC: batched cost-surface solver vs per-threshold scalar path.
+
+    PYTHONPATH=src python benchmarks/bench_analytic.py [--smoke] [--min-speedup X]
+
+Times :meth:`repro.core.costs.CostEvaluator.cost_curve` at the
+acceptance operating point (2d-exact, q=0.05, c=0.01, U=100, V=10,
+d_max=100) through both evaluation paths -- ``method="scalar"`` (one
+chain solve + SDF partition per threshold) and ``method="batched"``
+(one triangular NumPy recursion for all thresholds) -- verifies the
+two agree to 1e-10, times :func:`repro.analysis.grid_sweep` against a
+scalar-path optimization loop, demonstrates the on-disk cache, and
+writes ``benchmarks/out/analytic.json``.
+
+A fresh model and evaluator are built for every repetition so neither
+path benefits from the per-instance memo/surface caches -- the numbers
+compare algorithms, not cache hits.
+
+Plain script (no pytest-benchmark dependency) so CI can run it in
+smoke mode on every supported Python version.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.sweep import MODEL_CLASSES, grid_sweep  # noqa: E402
+from repro.core.costs import CostEvaluator  # noqa: E402
+from repro.core.parameters import CostParams, MobilityParams  # noqa: E402
+from repro.core.threshold import find_optimal_threshold  # noqa: E402
+
+OUT_DIR = Path(__file__).parent / "out"
+
+#: The acceptance operating point from the issue.
+MODEL_NAME = "2d-exact"
+MOBILITY = MobilityParams(move_probability=0.05, call_probability=0.01)
+COSTS = CostParams(update_cost=100.0, poll_cost=10.0)
+DELAYS = (1, 2, 3, math.inf)
+
+#: Agreement bar between the two evaluation paths (absolute).
+AGREEMENT_TOLERANCE = 1e-10
+
+
+def _fresh_evaluator() -> CostEvaluator:
+    """A cold evaluator: no breakdown memo, no cached surface."""
+    model = MODEL_CLASSES[MODEL_NAME](MOBILITY)
+    return CostEvaluator(model, COSTS)
+
+
+def _time_curves(method: str, d_max: int, reps: int) -> tuple:
+    """Best-of-``reps`` seconds to evaluate all curves in ``DELAYS``.
+
+    Returns ``(seconds, curves)`` where ``curves`` maps delay -> list.
+    One (d, m) grid point counts as one "point" for the points/sec
+    figures, matching what the exhaustive optimizer consumes.
+    """
+    best = math.inf
+    curves = {}
+    for _ in range(reps):
+        evaluator = _fresh_evaluator()
+        start = time.perf_counter()
+        curves = {m: evaluator.cost_curve(m, d_max, method=method) for m in DELAYS}
+        best = min(best, time.perf_counter() - start)
+    return best, curves
+
+
+def _time_grid(d_max: int, u_values, m_values, reps: int, workers=None) -> tuple:
+    """Best-of-``reps`` seconds for one grid sweep (no cache)."""
+    best = math.inf
+    result = None
+    for _ in range(reps):
+        start = time.perf_counter()
+        result = grid_sweep(
+            MODEL_NAME,
+            {"U": u_values, "m": m_values},
+            q=MOBILITY.move_probability,
+            c=MOBILITY.call_probability,
+            d_max=d_max,
+            workers=workers,
+        )
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _time_scalar_grid(d_max: int, u_values, m_values, reps: int) -> float:
+    """The pre-batching baseline: scalar exhaustive solve per grid point."""
+    best = math.inf
+    for _ in range(reps):
+        start = time.perf_counter()
+        for u in u_values:
+            for m in m_values:
+                model = MODEL_CLASSES[MODEL_NAME](MOBILITY)
+                find_optimal_threshold(
+                    model,
+                    CostParams(update_cost=u, poll_cost=COSTS.poll_cost),
+                    m,
+                    d_max=d_max,
+                    method="exhaustive-scalar",
+                )
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small d_max and grid: exercise the code paths, not the hardware",
+    )
+    parser.add_argument("--d-max", type=int, default=None)
+    parser.add_argument("--reps", type=int, default=None,
+                        help="repetitions per timing (best-of)")
+    parser.add_argument(
+        "--min-speedup", type=float, default=0.0,
+        help="exit non-zero if the curve speedup falls below this factor",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        d_max = args.d_max or 40
+        reps = args.reps or 1
+        u_values, m_values = (50.0, 100.0), (1, math.inf)
+    else:
+        d_max = args.d_max or 100
+        reps = args.reps or 3
+        u_values, m_values = (20.0, 50.0, 100.0, 300.0, 1000.0), (1, 2, 3, math.inf)
+
+    # -- curve evaluation: scalar vs batched ---------------------------
+    scalar_s, scalar_curves = _time_curves("scalar", d_max, reps)
+    batched_s, batched_curves = _time_curves("batched", d_max, reps)
+    points = len(DELAYS) * (d_max + 1)
+
+    deviation = max(
+        abs(a - b)
+        for m in DELAYS
+        for a, b in zip(scalar_curves[m], batched_curves[m])
+    )
+    agree = deviation <= AGREEMENT_TOLERANCE
+    curve_speedup = scalar_s / batched_s if batched_s else math.inf
+
+    # -- grid sweep: scalar loop vs batched, serial vs pooled ----------
+    grid_points = len(u_values) * len(m_values)
+    scalar_grid_s = _time_scalar_grid(d_max, u_values, m_values, reps)
+    grid_s, grid_result = _time_grid(d_max, u_values, m_values, reps)
+    pooled_s, pooled_result = _time_grid(d_max, u_values, m_values, 1, workers=2)
+    pool_identical = pooled_result.points == grid_result.points
+
+    # -- cache: second identical sweep is a file read ------------------
+    cache_dir = Path(tempfile.mkdtemp(prefix="bench-analytic-cache-"))
+    try:
+        start = time.perf_counter()
+        first = grid_sweep(
+            MODEL_NAME, {"U": u_values, "m": m_values},
+            q=MOBILITY.move_probability, c=MOBILITY.call_probability,
+            d_max=d_max, cache_dir=cache_dir,
+        )
+        cold_s = time.perf_counter() - start
+        start = time.perf_counter()
+        second = grid_sweep(
+            MODEL_NAME, {"U": u_values, "m": m_values},
+            q=MOBILITY.move_probability, c=MOBILITY.call_probability,
+            d_max=d_max, cache_dir=cache_dir,
+        )
+        warm_s = time.perf_counter() - start
+        cache_ok = (
+            not first.from_cache
+            and second.from_cache
+            and first.points == second.points
+        )
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    payload = {
+        "mode": "smoke" if args.smoke else "full",
+        "point": {
+            "model": MODEL_NAME,
+            "q": MOBILITY.move_probability,
+            "c": MOBILITY.call_probability,
+            "update_cost": COSTS.update_cost,
+            "poll_cost": COSTS.poll_cost,
+            "d_max": d_max,
+            "delays": [None if m == math.inf else m for m in DELAYS],
+        },
+        "curve": {
+            "points": points,
+            "scalar_seconds": scalar_s,
+            "batched_seconds": batched_s,
+            "scalar_points_per_sec": points / scalar_s,
+            "batched_points_per_sec": points / batched_s,
+            "speedup": curve_speedup,
+            "max_abs_deviation": deviation,
+            "agreement_tolerance": AGREEMENT_TOLERANCE,
+            "agree": agree,
+        },
+        "grid": {
+            "points": grid_points,
+            "scalar_loop_seconds": scalar_grid_s,
+            "batched_seconds": grid_s,
+            "pooled_workers2_seconds": pooled_s,
+            "scalar_points_per_sec": grid_points / scalar_grid_s,
+            "batched_points_per_sec": grid_points / grid_s,
+            "speedup": scalar_grid_s / grid_s if grid_s else math.inf,
+            "pool_identical": pool_identical,
+        },
+        "cache": {
+            "cold_seconds": cold_s,
+            "warm_seconds": warm_s,
+            "speedup": cold_s / warm_s if warm_s else math.inf,
+            "roundtrip_ok": cache_ok,
+        },
+    }
+
+    print(f"Analytic solver at {MODEL_NAME}, q={MOBILITY.move_probability}, "
+          f"c={MOBILITY.call_probability}, d_max={d_max} "
+          f"({payload['mode']} mode):")
+    print(f"  curve   scalar  {points / scalar_s:>12,.0f} points/s "
+          f"({scalar_s * 1e3:8.2f} ms for {points} points)")
+    print(f"  curve   batched {points / batched_s:>12,.0f} points/s "
+          f"({batched_s * 1e3:8.2f} ms) | speedup {curve_speedup:7.1f}x")
+    print(f"  agreement: max |scalar - batched| = {deviation:.3e} "
+          f"({'OK' if agree else 'FAIL'} at {AGREEMENT_TOLERANCE:.0e})")
+    print(f"  grid    scalar loop {grid_points / scalar_grid_s:>8,.2f} points/s | "
+          f"batched {grid_points / grid_s:>8,.2f} points/s | "
+          f"speedup {scalar_grid_s / grid_s:5.1f}x | "
+          f"workers=2 identical: {pool_identical}")
+    print(f"  cache   cold {cold_s * 1e3:8.2f} ms -> warm {warm_s * 1e3:8.2f} ms "
+          f"({cold_s / warm_s:,.0f}x) | roundtrip {'OK' if cache_ok else 'FAIL'}")
+
+    OUT_DIR.mkdir(exist_ok=True)
+    out_path = OUT_DIR / "analytic.json"
+    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out_path}")
+
+    if not agree:
+        print(
+            f"FAIL: scalar/batched deviation {deviation:.3e} exceeds "
+            f"{AGREEMENT_TOLERANCE:.0e}",
+            file=sys.stderr,
+        )
+        return 1
+    if not (pool_identical and cache_ok):
+        print("FAIL: pooled or cached sweep diverged from the serial result",
+              file=sys.stderr)
+        return 1
+    if args.min_speedup and curve_speedup < args.min_speedup:
+        print(
+            f"FAIL: curve speedup {curve_speedup:.1f}x below required "
+            f"{args.min_speedup:.1f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def test_analytic_smoke():
+    """Pytest hook so ``pytest benchmarks/`` also exercises the bench."""
+    assert main(["--smoke"]) == 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -31,6 +31,7 @@ from .core import (
     CostEvaluator,
     CostParams,
     CostSurface,
+    CostSurfaceGrid,
     DEFAULT_MAX_THRESHOLD,
     MobilityModel,
     MobilityParams,
@@ -47,6 +48,10 @@ from .core import (
     TransientAnalysis,
     TwoDimensionalApproximateModel,
     TwoDimensionalModel,
+    batched_steady_states,
+    batched_update_costs,
+    batched_update_rates,
+    compute_cost_surface,
     compute_surface,
     derive_metrics,
     distribution_at,
@@ -98,6 +103,7 @@ __all__ = [
     "CostEvaluator",
     "CostParams",
     "CostSurface",
+    "CostSurfaceGrid",
     "DEFAULT_MAX_THRESHOLD",
     "FaultInjectionError",
     "HexTopology",
@@ -126,6 +132,10 @@ __all__ = [
     "TwoDimensionalApproximateModel",
     "TwoDimensionalModel",
     "blanket_partition",
+    "batched_steady_states",
+    "batched_update_costs",
+    "batched_update_rates",
+    "compute_cost_surface",
     "compute_surface",
     "density_ordered_partition",
     "derive_metrics",

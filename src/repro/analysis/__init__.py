@@ -26,7 +26,14 @@ from .hexmap import (
     render_ring_distances,
 )
 from .report import format_delay, render_ascii_plot, render_table, write_csv
-from .sweep import MODEL_CLASSES, SweepPoint, SweepResult, sweep
+from .sweep import (
+    MODEL_CLASSES,
+    GridSweepResult,
+    SweepPoint,
+    SweepResult,
+    grid_sweep,
+    sweep,
+)
 from .tables import (
     TABLE1_DELAYS,
     TABLE2_DELAYS,
@@ -50,6 +57,7 @@ __all__ = [
     "DEFAULT_CASES",
     "FigureSeries",
     "MODEL_CLASSES",
+    "GridSweepResult",
     "SweepPoint",
     "SweepResult",
     "TABLE1_DELAYS",
@@ -73,6 +81,7 @@ __all__ = [
     "render_paging_order",
     "render_ring_distances",
     "render_table",
+    "grid_sweep",
     "sweep",
     "run_validation_campaign",
     "table1_rows",

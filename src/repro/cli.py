@@ -9,6 +9,8 @@ library's own validation tooling::
     repro-lm fig5 --dimensions 1    # Figure 5(a)
     repro-lm optimize --q 0.05 --c 0.01 --update-cost 100 \\
              --poll-cost 10 --max-delay 3 --model 2d-exact
+    repro-lm sweep --model 2d-exact --vary U=20,50,100,300 \\
+             --vary m=1,3,inf --workers 4      # cached grid sweep
     repro-lm simulate --q 0.05 --c 0.01 --threshold 3 --slots 100000 \\
              --workers 4            # replications on a process pool
     repro-lm validate               # simulation-vs-model campaign
@@ -82,8 +84,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-delay", type=_delay, default=1, help="m (int or 'inf')")
     p.add_argument("--d-max", type=int, default=100, help="search bound D")
     p.add_argument(
-        "--method", choices=("exhaustive", "annealing", "hill"), default="exhaustive"
+        "--method",
+        choices=("exhaustive", "exhaustive-scalar", "annealing", "hill"),
+        default="exhaustive",
     )
+
+    p = sub.add_parser(
+        "sweep",
+        help="solve a Cartesian parameter grid (cached, optionally pooled)",
+    )
+    p.add_argument("--model", choices=sorted(MODEL_CLASSES), default="2d-exact")
+    p.add_argument(
+        "--vary", action="append", required=True, metavar="PARAM=SPEC",
+        help="axis to vary; PARAM is one of q/c/U/V/m, SPEC is either a "
+        "comma list (e.g. 'U=20,50,100' or 'm=1,3,inf') or "
+        "'start:stop:count[:log]' (e.g. 'q=0.01:0.4:10'); repeatable",
+    )
+    p.add_argument("--q", type=float, default=0.05, help="fixed move probability")
+    p.add_argument("--c", type=float, default=0.01, help="fixed call probability")
+    p.add_argument("--update-cost", type=float, default=100.0, help="fixed U")
+    p.add_argument("--poll-cost", type=float, default=10.0, help="fixed V")
+    p.add_argument("--max-delay", type=_delay, default=1, help="fixed m")
+    p.add_argument("--d-max", type=int, default=100, help="search bound D")
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for grid points (1 = serial; results are "
+        "identical either way)",
+    )
+    p.add_argument(
+        "--cache-dir", default="benchmarks/out/cache",
+        help="on-disk result cache directory (default: benchmarks/out/cache)",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute without reading or writing the result cache",
+    )
+    p.add_argument("--csv", help="also write the grid points to this CSV path")
 
     p = sub.add_parser("simulate", help="simulate the distance-based scheme")
     p.add_argument("--dimensions", type=int, choices=(1, 2), default=2)
@@ -241,6 +277,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "fig4": _cmd_fig4,
             "fig5": _cmd_fig5,
             "optimize": _cmd_optimize,
+            "sweep": _cmd_sweep,
             "simulate": _cmd_simulate,
             "validate": _cmd_validate,
             "speed": _cmd_speed,
@@ -315,6 +352,97 @@ def _cmd_optimize(args) -> int:
     print(f"  paging C_v:     {b.paging_cost:.6f}")
     print(f"expected delay:   {b.expected_delay:.3f} polling cycles")
     print(f"evaluations:      {solution.search.evaluations}")
+    return 0
+
+
+def _parse_axis_spec(param: str, spec: str):
+    """Parse one ``--vary`` value grid.
+
+    Comma lists take each token verbatim (``inf`` allowed for ``m``);
+    ``start:stop:count[:log]`` expands to an evenly spaced grid.
+    """
+    from .exceptions import ParameterError
+
+    if ":" in spec:
+        parts = spec.split(":")
+        if len(parts) not in (3, 4) or (len(parts) == 4 and parts[3] != "log"):
+            raise ParameterError(
+                f"bad range spec {spec!r} for {param!r}; expected "
+                "start:stop:count or start:stop:count:log"
+            )
+        start, stop = float(parts[0]), float(parts[1])
+        count = int(parts[2])
+        if count < 2:
+            raise ParameterError(f"range spec {spec!r} needs count >= 2")
+        if len(parts) == 4:
+            if start <= 0 or stop <= 0:
+                raise ParameterError(
+                    f"log range spec {spec!r} needs positive endpoints"
+                )
+            ratio = (stop / start) ** (1.0 / (count - 1))
+            values = [start * ratio**i for i in range(count)]
+        else:
+            step = (stop - start) / (count - 1)
+            values = [start + step * i for i in range(count)]
+        if param == "m":
+            values = [int(round(v)) for v in values]
+        return values
+    tokens = [t.strip() for t in spec.split(",") if t.strip()]
+    if not tokens:
+        raise ParameterError(f"empty value list for axis {param!r}")
+    if param == "m":
+        return [_delay(t) for t in tokens]
+    return [float(t) for t in tokens]
+
+
+def _cmd_sweep(args) -> int:
+    from .analysis.sweep import grid_sweep
+
+    axes = {}
+    for entry in args.vary:
+        param, sep, spec = entry.partition("=")
+        if not sep:
+            raise ReproError(
+                f"--vary takes PARAM=SPEC (e.g. U=20,50,100), got {entry!r}"
+            )
+        param = param.strip()
+        if param in axes:
+            raise ReproError(f"axis {param!r} given more than once")
+        axes[param] = _parse_axis_spec(param, spec.strip())
+    result = grid_sweep(
+        args.model,
+        axes,
+        q=args.q,
+        c=args.c,
+        update_cost=args.update_cost,
+        poll_cost=args.poll_cost,
+        max_delay=args.max_delay,
+        d_max=args.d_max,
+        workers=args.workers,
+        cache_dir=None if args.no_cache else args.cache_dir,
+    )
+    varied = [name for name, _ in result.axes]
+    headers = varied + ["d*", "C_T", "C_u", "C_v", "E[delay]"]
+    attr = {"q": "q", "c": "c", "U": "update_cost", "V": "poll_cost",
+            "m": "max_delay"}
+    rows = [
+        [getattr(p, attr[name]) for name in varied]
+        + [p.optimal_d, p.total_cost, p.update_component, p.paging_component,
+           p.expected_delay]
+        for p in result.points
+    ]
+    shape = " x ".join(str(n) for n in result.shape)
+    title = (
+        f"Grid sweep ({args.model}, {shape} = {len(result.points)} points, "
+        f"d_max={args.d_max})"
+    )
+    print(render_table(headers, rows, title=title))
+    source = "cache" if result.from_cache else (
+        f"{args.workers} worker(s)" if args.workers > 1 else "serial solve"
+    )
+    print(f"\nsource: {source}")
+    if args.csv:
+        write_csv(args.csv, headers, rows)
     return 0
 
 

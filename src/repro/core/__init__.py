@@ -14,6 +14,9 @@ Submodules
     the 1-D, 2-D exact, and 2-D approximate mobility models;
 ``costs``
     update/paging/total cost evaluation (Section 5);
+``batch``
+    batched cost-surface solver: all thresholds in one triangular
+    NumPy recursion (the fast path behind every exhaustive scan);
 ``optimizers``
     exhaustive search and simulated annealing (Section 6);
 ``threshold``
@@ -30,6 +33,13 @@ from .baselines import (
     optimal_movement_threshold,
     optimal_timer_period,
     time_based_costs,
+)
+from .batch import (
+    CostSurfaceGrid,
+    batched_steady_states,
+    batched_update_costs,
+    batched_update_rates,
+    compute_cost_surface,
 )
 from .chains import ResetChain, solve_steady_state_matrix, solve_steady_state_recursive
 from .costs import CostBreakdown, CostEvaluator
@@ -68,6 +78,7 @@ from .threshold import DEFAULT_MAX_THRESHOLD, ThresholdSolution, find_optimal_th
 __all__ = [
     "BaselineCosts",
     "CostBreakdown",
+    "CostSurfaceGrid",
     "CostCurve",
     "CostEvaluator",
     "CostParams",
@@ -89,6 +100,10 @@ __all__ = [
     "TransientAnalysis",
     "TwoDimensionalApproximateModel",
     "TwoDimensionalModel",
+    "batched_steady_states",
+    "batched_update_costs",
+    "batched_update_rates",
+    "compute_cost_surface",
     "compute_surface",
     "derive_metrics",
     "distribution_at",

@@ -13,14 +13,28 @@ weights ``(U, V)``:
 The partition defaults to the paper's SDF scheme but any
 :class:`~repro.paging.PagingPlan` factory can be supplied, which is how
 the optimal-partition ablation is wired up.
+
+Evaluation strategy
+-------------------
+
+Breakdowns are memoized per ``(d, m)``: repeated queries -- an
+exhaustive search followed by a breakdown at the optimum, say -- solve
+each operating point once.  :meth:`CostEvaluator.cost_curve` prefers
+the batched surface solver of :mod:`repro.core.batch` (all thresholds
+in one triangular NumPy recursion) whenever the evaluator uses the
+default SDF partition on a model with threshold-invariant rates; the
+per-point scalar path remains available (``method="scalar"``) as the
+cross-check reference and is used automatically for custom plan
+factories.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Dict, Optional, Tuple
 
+from ..exceptions import ParameterError
 from ..paging import PagingPlan, sdf_partition
 from .models import MobilityModel
 from .parameters import CostParams, validate_delay, validate_threshold
@@ -82,8 +96,25 @@ class CostEvaluator:
         self.costs = costs
         self.plan_factory = plan_factory or _sdf_factory
         self.convention = convention
+        #: Memoized breakdowns keyed by ``(d, m)``; populated by every
+        #: evaluation path so an optimizer's winning point is never
+        #: re-solved for its report.
+        self._breakdowns: Dict[Tuple[int, float], CostBreakdown] = {}
+        #: Cached batched surfaces keyed by delay bound (see
+        #: :meth:`_batched_surface`).
+        self._surfaces: Dict[float, "object"] = {}
 
     # ------------------------------------------------------------------
+
+    @property
+    def uses_sdf_partition(self) -> bool:
+        """True when this evaluator pages with the paper's SDF scheme."""
+        return self.plan_factory is _sdf_factory
+
+    def _can_batch(self) -> bool:
+        return self.uses_sdf_partition and getattr(
+            self.model, "threshold_invariant_rates", False
+        )
 
     def update_cost(self, d: int) -> float:
         """``C_u(d)`` -- average location update cost per slot (eqn (61))."""
@@ -96,43 +127,141 @@ class CostEvaluator:
         """The paging plan this evaluator uses at ``(d, m)``."""
         return self.plan_factory(self.model, validate_threshold(d), validate_delay(m))
 
+    def _paging_cost_from_cells(self, cells: float) -> float:
+        """``C_v = c V E[polled cells]`` -- the outer factor of eqn (65)."""
+        return self.model.c * self.costs.poll_cost * cells
+
     def paging_cost(self, d: int, m) -> float:
-        """``C_v(d, m)`` -- average paging cost per slot (eqn (65))."""
-        return self.breakdown(d, m).paging_cost
+        """``C_v(d, m)`` -- average paging cost per slot (eqn (65)).
+
+        Served from the breakdown memo when the point was already
+        evaluated; otherwise computes only the paging component (no
+        update-cost work).
+        """
+        d = validate_threshold(d)
+        m = validate_delay(m)
+        cached = self._breakdowns.get((d, m))
+        if cached is not None:
+            return cached.paging_cost
+        p = self.model.steady_state(d)
+        plan = self.plan(d, m)
+        cells = plan.expected_polled_cells(self.model.topology, p)
+        return self._paging_cost_from_cells(cells)
 
     def total_cost(self, d: int, m) -> float:
         """``C_T(d, m) = C_u(d) + C_v(d, m)`` (eqn (66))."""
         return self.breakdown(d, m).total_cost
 
     def breakdown(self, d: int, m) -> CostBreakdown:
-        """Full cost decomposition at one operating point."""
+        """Full cost decomposition at one operating point (memoized)."""
         d = validate_threshold(d)
         m = validate_delay(m)
-        p = self.model.steady_state(d)
-        plan = self.plan(d, m)
-        topo = self.model.topology
-        cells = plan.expected_polled_cells(topo, p)
-        delay = plan.expected_delay(p)
-        c = self.model.c
-        paging = c * self.costs.poll_cost * cells
-        rate = self.model.update_rate(d, convention=self.convention)
-        update = float(p[d]) * rate * self.costs.update_cost
+        key = (d, m)
+        cached = self._breakdowns.get(key)
+        if cached is not None:
+            return cached
+        surface = self._surfaces.get(m)
+        if surface is not None and surface.d_max >= d:
+            breakdown = self._breakdown_from_surface(surface, d, m)
+        else:
+            p = self.model.steady_state(d)
+            plan = self.plan(d, m)
+            cells = plan.expected_polled_cells(self.model.topology, p)
+            delay = plan.expected_delay(p)
+            breakdown = CostBreakdown(
+                threshold=d,
+                delay_bound=m if m == math.inf else int(m),
+                update_cost=self.update_cost(d),
+                paging_cost=self._paging_cost_from_cells(cells),
+                expected_polled_cells=cells,
+                expected_delay=delay,
+            )
+        self._breakdowns[key] = breakdown
+        return breakdown
+
+    def _breakdown_from_surface(self, surface, d: int, m) -> CostBreakdown:
+        """Materialize one grid point of a batched surface."""
+        row = surface.delay_index(m)
         return CostBreakdown(
             threshold=d,
             delay_bound=m if m == math.inf else int(m),
-            update_cost=update,
-            paging_cost=paging,
-            expected_polled_cells=cells,
-            expected_delay=delay,
+            update_cost=float(surface.update[d]),
+            paging_cost=float(surface.paging[row, d]),
+            expected_polled_cells=float(surface.expected_cells[row, d]),
+            expected_delay=float(surface.expected_delay[row, d]),
         )
 
-    def cost_curve(self, m, d_max: int):
+    # ------------------------------------------------------------------
+
+    def _batched_surface(self, m, d_max: int):
+        """A :class:`~repro.core.batch.CostSurfaceGrid` covering
+        ``0..d_max`` for delay ``m``, cached and grown on demand.
+
+        Returns None when this evaluator cannot use the batched path
+        (custom plan factory, or threshold-dependent rates).
+        """
+        if not self._can_batch():
+            return None
+        surface = self._surfaces.get(m)
+        if surface is None or surface.d_max < d_max:
+            from .batch import compute_cost_surface  # deferred: heavy numpy path
+
+            # Reuse the triangular steady-state solve from any other
+            # delay's surface that is large enough: row d is identical
+            # for every matrix size >= d + 1, so only the SDF weight
+            # pass is new work per delay bound.
+            steady = None
+            for other in self._surfaces.values():
+                if other.d_max >= d_max:
+                    steady = other.steady
+                    break
+            surface = compute_cost_surface(
+                self.model,
+                self.costs,
+                d_max,
+                delays=(m,),
+                convention=self.convention,
+                steady=steady,
+            )
+            self._surfaces[m] = surface
+        return surface
+
+    def cost_curve(self, m, d_max: int, method: str = "auto"):
         """Return ``[C_T(0, m), ..., C_T(d_max, m)]`` as a list of floats.
 
         The raw material for both the exhaustive optimizer and the
-        figure benches.
+        figure benches.  ``method`` selects the evaluation path:
+
+        ``"auto"``
+            the batched surface solver when the evaluator pages with
+            the default SDF partition (one triangular NumPy recursion
+            for all thresholds), falling back to the scalar loop
+            otherwise;
+        ``"batched"``
+            force the batched solver; raises
+            :class:`~repro.exceptions.ParameterError` if this
+            evaluator cannot batch;
+        ``"scalar"``
+            force the per-threshold reference path (the cross-check
+            used by ``benchmarks/bench_analytic.py``).
         """
+        m = validate_delay(m)
         d_max = validate_threshold(d_max)
+        if method not in ("auto", "batched", "scalar"):
+            raise ParameterError(
+                f"unknown cost_curve method {method!r}; "
+                "expected auto/batched/scalar"
+            )
+        if method != "scalar":
+            surface = self._batched_surface(m, d_max)
+            if surface is not None:
+                return [float(x) for x in surface.curve(m)[: d_max + 1]]
+            if method == "batched":
+                raise ParameterError(
+                    "this evaluator cannot use the batched surface (custom "
+                    "plan factory or threshold-dependent rates); use "
+                    "method='auto' or 'scalar'"
+                )
         return [self.total_cost(d, m) for d in range(d_max + 1)]
 
     def __repr__(self) -> str:

@@ -62,6 +62,18 @@ class MobilityModel(abc.ABC):
     #: Human-readable model name, used in reports.
     name: str = "abstract"
 
+    #: True when ``transition_rates(d)[i]`` depends only on the ring
+    #: index ``i``, never on the threshold ``d`` -- equivalently,
+    #: ``transition_rates(D)`` restricted to ``0..d`` equals
+    #: ``transition_rates(d)`` for every ``d <= D``.  This holds for
+    #: every model in the library (the rates come from per-ring
+    #: neighbor geometry) and is what lets
+    #: :mod:`repro.core.batch` solve all thresholds in one triangular
+    #: sweep.  A subclass whose rates genuinely depend on ``d`` must
+    #: set this to False; the batched solver then refuses it and the
+    #: scalar path is used instead.
+    threshold_invariant_rates: bool = True
+
     def __init__(self, mobility: MobilityParams) -> None:
         self.mobility = mobility
         self._steady_cache: dict = {}

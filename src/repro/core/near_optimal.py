@@ -75,7 +75,10 @@ def near_optimal_threshold(
     approx_eval = CostEvaluator(approx, costs, plan_factory=plan_factory)
     exact_eval = CostEvaluator(exact, costs, plan_factory=plan_factory)
 
-    search = exhaustive_search(lambda d: approx_eval.total_cost(d, m), d_max)
+    # One batched curve evaluation (all thresholds at once) feeds the
+    # exhaustive scan; array lookups keep the searcher's tie-breaking.
+    approx_curve = approx_eval.cost_curve(m, d_max)
+    search = exhaustive_search(lambda d: approx_curve[d], d_max)
     d_prime = search.optimal_threshold
     uncorrected = d_prime
     corrected = False

@@ -108,13 +108,18 @@ def compute_surface(
     d_max: int,
     delays: Sequence[float] = (1, 2, 3, math.inf),
 ) -> CostSurface:
-    """Evaluate ``C_T`` on the full ``(d, m)`` grid."""
+    """Evaluate ``C_T`` on the full ``(d, m)`` grid.
+
+    Each curve comes from :meth:`CostEvaluator.cost_curve`, which uses
+    the batched surface solver when the evaluator pages with the
+    default SDF partition and falls back to the scalar loop otherwise.
+    """
     d_max = validate_threshold(d_max)
     curves: Dict[float, CostCurve] = {}
     for m in delays:
         m = validate_delay(m)
         curves[m] = CostCurve(
             delay_bound=m,
-            values=[evaluator.total_cost(d, m) for d in range(d_max + 1)],
+            values=evaluator.cost_curve(m, d_max),
         )
     return CostSurface(curves=curves)

@@ -78,8 +78,12 @@ def find_optimal_threshold(
         Delay bound ``m`` in polling cycles (``math.inf`` = unbounded).
     method:
         ``"exhaustive"`` (default; guaranteed optimum, the paper's
-        ``D + 1``-iteration method), ``"annealing"`` (the paper's
-        simulated annealing), or ``"hill"`` (greedy baseline).
+        ``D + 1``-iteration method, served by the batched surface
+        solver of :mod:`repro.core.batch` whenever the evaluator pages
+        with the default SDF partition), ``"exhaustive-scalar"`` (the
+        same scan forced through the per-threshold scalar path -- the
+        cross-check reference), ``"annealing"`` (the paper's simulated
+        annealing), or ``"hill"`` (greedy baseline).
     plan_factory, convention:
         Forwarded to :class:`CostEvaluator`.
     seed:
@@ -94,16 +98,26 @@ def find_optimal_threshold(
     def objective(d: int) -> float:
         return evaluator.total_cost(d, m)
 
-    if method == "exhaustive":
-        search = exhaustive_search(objective, d_max)
+    if method in ("exhaustive", "exhaustive-scalar"):
+        # Materialize the whole curve first (one triangular batched
+        # solve when possible), then run the searcher over array
+        # lookups so tie-breaking and evaluation accounting are
+        # identical to the scalar scan.
+        curve_method = "scalar" if method == "exhaustive-scalar" else "auto"
+        curve = evaluator.cost_curve(m, d_max, method=curve_method)
+        search = exhaustive_search(lambda d: curve[d], d_max)
     elif method == "annealing":
         search = simulated_annealing(objective, d_max, seed=seed)
     elif method == "hill":
         search = hill_climb(objective, d_max)
     else:
         raise ParameterError(
-            f"unknown method {method!r}; expected exhaustive/annealing/hill"
+            f"unknown method {method!r}; expected "
+            "exhaustive/exhaustive-scalar/annealing/hill"
         )
+    # The winning point's breakdown is a memo (or surface-row) hit:
+    # every evaluation path above populates the evaluator's caches, so
+    # nothing is re-solved here.
     breakdown = evaluator.breakdown(search.optimal_threshold, m)
     return ThresholdSolution(
         threshold=search.optimal_threshold,

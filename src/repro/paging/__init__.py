@@ -18,6 +18,7 @@ from .plan import (
     partition_from_sizes,
     per_ring_partition,
     sdf_partition,
+    sdf_weights_batch,
     subarea_count,
 )
 
@@ -32,5 +33,6 @@ __all__ = [
     "partition_from_sizes",
     "per_ring_partition",
     "sdf_partition",
+    "sdf_weights_batch",
     "subarea_count",
 ]

@@ -49,6 +49,7 @@ __all__ = [
     "PagingPlan",
     "subarea_count",
     "sdf_partition",
+    "sdf_weights_batch",
     "blanket_partition",
     "per_ring_partition",
     "partition_from_sizes",
@@ -189,6 +190,75 @@ def sdf_partition(d: int, m) -> PagingPlan:
     sizes = [gamma] * (count - 1)
     sizes.append((d + 1) - gamma * (count - 1))
     return partition_from_sizes(d, sizes)
+
+
+def sdf_weights_batch(steady, cumulative_cells, m):
+    """SDF partition weights (eqns (63)-(65)) for *all* thresholds at once.
+
+    The scalar path builds a :class:`PagingPlan` per ``(d, m)`` and
+    sums ``alpha_j w_j`` over its subareas.  For the paper's SDF scheme
+    every subarea is a contiguous ring range, so both weights collapse
+    onto cumulative sums: ``alpha_j`` is a difference of the row-wise
+    cumulative steady-state, and ``w_j`` is the cumulative coverage at
+    the subarea's outermost ring.  This evaluates the whole threshold
+    axis with one cumsum and at most ``min(m, d_max + 1)`` vectorized
+    passes (one per polling cycle).
+
+    Parameters
+    ----------
+    steady:
+        ``(D+1, D+1)`` row-triangular matrix; row ``d`` holds
+        ``p_{0,d} .. p_{d,d}`` padded with zeros (the layout produced
+        by :func:`repro.core.batch.batched_steady_states`).
+    cumulative_cells:
+        ``g(0) .. g(D)`` -- cumulative ring sizes of the topology.
+    m:
+        Delay bound (positive int or ``math.inf``).
+
+    Returns
+    -------
+    ``(expected_cells, expected_delay)`` -- two ``(D+1,)`` vectors:
+    expected polled cells per call (the bracket of eqn (65)) and the
+    expected paging delay in cycles, for each threshold ``d``.
+    """
+    m = validate_delay(m)
+    probabilities = np.asarray(steady, dtype=float)
+    if probabilities.ndim != 2 or probabilities.shape[0] != probabilities.shape[1]:
+        raise PartitionError(
+            f"steady must be a square row-triangular matrix, got shape "
+            f"{probabilities.shape}"
+        )
+    size = probabilities.shape[0]
+    coverage = np.asarray(cumulative_cells, dtype=float)
+    if coverage.shape != (size,):
+        raise PartitionError(
+            f"cumulative_cells must have length {size}, got {coverage.shape}"
+        )
+    thresholds = np.arange(size)
+    if m == math.inf:
+        # Per-ring partition: alpha_j = p_j, w_j = g(j), delay j + 1.
+        cells = probabilities @ coverage
+        delay = probabilities @ (thresholds + 1.0)
+        return cells, delay
+    count = np.minimum(thresholds + 1, int(m))  # l(d), eqn (2)
+    gamma = (thresholds + 1) // count
+    cumulative = np.cumsum(probabilities, axis=1)
+    cells = np.zeros(size)
+    delay = np.zeros(size)
+    for j in range(min(int(m), size)):
+        # Subarea j exists for every threshold with l(d) > j, i.e.
+        # d >= j.  Its rings are [j*gamma, (j+1)*gamma - 1], except the
+        # last subarea which absorbs the remainder up to ring d.
+        rows = thresholds[j:]
+        gamma_j = gamma[rows]
+        is_last = j == count[rows] - 1
+        hi = np.where(is_last, rows, (j + 1) * gamma_j - 1)
+        alpha = cumulative[rows, hi]
+        if j > 0:
+            alpha = alpha - cumulative[rows, j * gamma_j - 1]
+        cells[rows] += alpha * coverage[hi]
+        delay[rows] += alpha * (j + 1)
+    return cells, delay
 
 
 def blanket_partition(d: int) -> PagingPlan:

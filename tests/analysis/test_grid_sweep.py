@@ -1,0 +1,163 @@
+"""Tests for the multi-axis grid sweep and its on-disk result cache."""
+
+import json
+import math
+
+import pytest
+
+from repro.analysis.sweep import (
+    GridSweepResult,
+    grid_sweep,
+    sweep,
+)
+from repro.exceptions import ParameterError
+from repro.paging import per_ring_partition
+
+
+class TestGridShape:
+    def test_cartesian_row_major_order(self):
+        result = grid_sweep(
+            "2d-approx", {"U": [20.0, 50.0], "m": [1, 2]}, d_max=15
+        )
+        assert result.shape == (2, 2)
+        combos = [(p.update_cost, p.max_delay) for p in result.points]
+        assert combos == [(20.0, 1.0), (20.0, 2.0), (50.0, 1.0), (50.0, 2.0)]
+
+    def test_axes_are_canonically_ordered(self):
+        # Supplied m-then-q; canonical order is q-then-m, and the point
+        # layout follows the canonical order, not the mapping order.
+        result = grid_sweep(
+            "1d", {"m": [1, 2], "q": [0.05, 0.1, 0.2]}, d_max=12
+        )
+        assert [name for name, _ in result.axes] == ["q", "m"]
+        assert result.shape == (3, 2)
+        assert [p.q for p in result.points] == pytest.approx(
+            [0.05, 0.05, 0.1, 0.1, 0.2, 0.2]
+        )
+
+    def test_axis_values_and_series(self):
+        result = grid_sweep("1d", {"q": [0.05, 0.1]}, d_max=12)
+        assert result.axis_values("q") == (0.05, 0.1)
+        assert len(result.series("total_cost")) == 2
+        with pytest.raises(ParameterError, match="not varied"):
+            result.axis_values("U")
+
+    def test_inf_delay_axis(self):
+        result = grid_sweep("2d-approx", {"m": [1, math.inf]}, d_max=15)
+        assert result.points[1].max_delay == math.inf
+
+    def test_unknown_model_and_axis_rejected(self):
+        with pytest.raises(ParameterError, match="unknown model"):
+            grid_sweep("3d", {"q": [0.1]})
+        with pytest.raises(ParameterError, match="unknown sweep parameter"):
+            grid_sweep("1d", {"radius": [1.0]})
+        with pytest.raises(ParameterError, match="at least one axis"):
+            grid_sweep("1d", {})
+        with pytest.raises(ParameterError, match="no values"):
+            grid_sweep("1d", {"q": []})
+        with pytest.raises(ParameterError, match="finite"):
+            grid_sweep("1d", {"U": [math.inf]}, d_max=5)
+
+    def test_non_integer_delay_rejected(self):
+        with pytest.raises(ParameterError, match="positive int"):
+            grid_sweep("1d", {"m": [1.5]}, d_max=5)
+
+
+class TestWorkers:
+    def test_pooled_equals_serial(self):
+        axes = {"U": [50.0, 100.0], "m": [1, math.inf]}
+        serial = grid_sweep("2d-approx", axes, d_max=15)
+        pooled = grid_sweep("2d-approx", axes, d_max=15, workers=2)
+        assert pooled.points == serial.points
+
+    def test_unpicklable_plan_factory_rejected(self):
+        factory = lambda model, d, m: per_ring_partition(d)  # noqa: E731
+        with pytest.raises(ParameterError, match="picklable"):
+            grid_sweep(
+                "1d", {"q": [0.05, 0.1]}, d_max=8,
+                plan_factory=factory, workers=2,
+            )
+
+    def test_bad_workers_rejected(self):
+        with pytest.raises(ParameterError, match="workers"):
+            grid_sweep("1d", {"q": [0.05]}, d_max=5, workers=0)
+
+
+class TestCache:
+    AXES = {"q": [0.05, 0.1], "m": [1, math.inf]}
+
+    def test_roundtrip(self, tmp_path):
+        first = grid_sweep("1d", self.AXES, d_max=12, cache_dir=tmp_path)
+        second = grid_sweep("1d", self.AXES, d_max=12, cache_dir=tmp_path)
+        assert not first.from_cache
+        assert second.from_cache
+        assert second.points == first.points
+        assert len(list(tmp_path.glob("grid-*.json"))) == 1
+
+    def test_different_parameters_use_different_entries(self, tmp_path):
+        grid_sweep("1d", self.AXES, d_max=12, cache_dir=tmp_path)
+        other = grid_sweep("1d", self.AXES, d_max=14, cache_dir=tmp_path)
+        assert not other.from_cache
+        assert len(list(tmp_path.glob("grid-*.json"))) == 2
+
+    def test_schema_version_mismatch_refused(self, tmp_path):
+        grid_sweep("1d", self.AXES, d_max=12, cache_dir=tmp_path)
+        entry = next(tmp_path.glob("grid-*.json"))
+        payload = json.loads(entry.read_text())
+        payload["fingerprint"]["version"] = 99
+        entry.write_text(json.dumps(payload))
+        with pytest.raises(ParameterError, match="schema version"):
+            grid_sweep("1d", self.AXES, d_max=12, cache_dir=tmp_path)
+
+    def test_fingerprint_tamper_refused(self, tmp_path):
+        grid_sweep("1d", self.AXES, d_max=12, cache_dir=tmp_path)
+        entry = next(tmp_path.glob("grid-*.json"))
+        payload = json.loads(entry.read_text())
+        payload["fingerprint"]["d_max"] = 13
+        entry.write_text(json.dumps(payload))
+        with pytest.raises(ParameterError, match="different sweep"):
+            grid_sweep("1d", self.AXES, d_max=12, cache_dir=tmp_path)
+
+    def test_corrupt_entry_refused(self, tmp_path):
+        grid_sweep("1d", self.AXES, d_max=12, cache_dir=tmp_path)
+        entry = next(tmp_path.glob("grid-*.json"))
+        entry.write_text("{not json")
+        with pytest.raises(ParameterError, match="unreadable"):
+            grid_sweep("1d", self.AXES, d_max=12, cache_dir=tmp_path)
+
+    def test_custom_plan_factory_bypasses_cache(self, tmp_path):
+        def factory(model, d, m):
+            return per_ring_partition(d)
+
+        first = grid_sweep(
+            "1d", {"q": [0.05]}, d_max=8,
+            plan_factory=factory, cache_dir=tmp_path,
+        )
+        second = grid_sweep(
+            "1d", {"q": [0.05]}, d_max=8,
+            plan_factory=factory, cache_dir=tmp_path,
+        )
+        assert not first.from_cache and not second.from_cache
+        assert list(tmp_path.iterdir()) == []
+
+    def test_cached_inf_delay_restored(self, tmp_path):
+        grid_sweep("2d-approx", {"m": [1, math.inf]}, d_max=12,
+                   cache_dir=tmp_path)
+        warm = grid_sweep("2d-approx", {"m": [1, math.inf]}, d_max=12,
+                          cache_dir=tmp_path)
+        assert warm.from_cache
+        assert warm.points[1].max_delay == math.inf
+
+
+class TestSweepWrapper:
+    def test_sweep_matches_grid_sweep(self):
+        legacy = sweep("2d-approx", "U", [20.0, 50.0], d_max=15)
+        grid = grid_sweep("2d-approx", {"U": [20.0, 50.0]}, d_max=15)
+        assert isinstance(grid, GridSweepResult)
+        assert legacy.points == list(grid.points)
+        assert legacy.varied == "U"
+        assert legacy.model_name == "2d-approx"
+
+    def test_sweep_rejects_unknown_parameter(self):
+        with pytest.raises(ParameterError, match="varied must be"):
+            sweep("1d", "x", [1.0])

@@ -1,0 +1,84 @@
+"""Property-based cross-check of the batched cost-surface solver.
+
+Across random ``(q, c, d_max, m)`` and every mobility model, the
+batched triangular recursion must agree with both scalar steady-state
+solvers and with the scalar cost evaluator to 1e-10 -- the acceptance
+bar of ``benchmarks/bench_analytic.py``, here enforced over the whole
+random parameter space rather than one operating point.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.sweep import MODEL_CLASSES
+from repro.core.batch import batched_steady_states, compute_cost_surface
+from repro.core.chains import (
+    ResetChain,
+    solve_steady_state_matrix,
+    solve_steady_state_recursive,
+)
+from repro.core.costs import CostEvaluator
+from repro.core.parameters import CostParams, MobilityParams
+
+TOLERANCE = 1e-10
+
+probabilities = st.tuples(
+    st.floats(min_value=0.01, max_value=0.8),
+    st.floats(min_value=0.0, max_value=0.15),
+).filter(lambda qc: qc[0] + qc[1] <= 1.0)
+thresholds = st.integers(min_value=0, max_value=25)
+delays = st.one_of(st.integers(min_value=1, max_value=6), st.just(math.inf))
+model_names = st.sampled_from(sorted(MODEL_CLASSES))
+
+
+def build_model(name, qc):
+    q, c = qc
+    return MODEL_CLASSES[name](
+        MobilityParams(move_probability=q, call_probability=c)
+    )
+
+
+class TestBatchedSteadyStateAgreement:
+    @given(name=model_names, qc=probabilities, d_max=thresholds)
+    @settings(max_examples=80, deadline=None)
+    def test_rows_match_both_scalar_solvers(self, name, qc, d_max):
+        model = build_model(name, qc)
+        batched = batched_steady_states(model, d_max)
+        for d in range(d_max + 1):
+            a, b = model.transition_rates(d)
+            chain = ResetChain(
+                outward=np.asarray(a), inward=np.asarray(b), reset=model.c
+            )
+            row = batched[d, : d + 1]
+            assert np.max(np.abs(row - solve_steady_state_recursive(chain))) \
+                <= TOLERANCE
+            assert np.max(np.abs(row - solve_steady_state_matrix(chain))) \
+                <= TOLERANCE
+
+
+class TestBatchedSurfaceAgreement:
+    @given(
+        name=model_names,
+        qc=probabilities,
+        d_max=st.integers(min_value=0, max_value=18),
+        m=delays,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_surface_matches_scalar_evaluator(self, name, qc, d_max, m):
+        model = build_model(name, qc)
+        costs = CostParams(update_cost=100.0, poll_cost=10.0)
+        surface = compute_cost_surface(model, costs, d_max, delays=(m,))
+        # breakdown() never triggers the batched surface on its own, so
+        # the evaluator below is a genuinely scalar reference.
+        evaluator = CostEvaluator(model, costs)
+        for d in range(d_max + 1):
+            breakdown = evaluator.breakdown(d, m)
+            assert abs(surface.update[d] - breakdown.update_cost) <= TOLERANCE
+            assert abs(surface.paging[0, d] - breakdown.paging_cost) <= TOLERANCE
+            assert abs(surface.total[0, d] - breakdown.total_cost) <= TOLERANCE
+            assert abs(
+                surface.expected_delay[0, d] - breakdown.expected_delay
+            ) <= TOLERANCE

@@ -54,6 +54,62 @@ class TestOptimizeCommand:
         assert "error:" in capsys.readouterr().err
 
 
+class TestSweepCommand:
+    def test_comma_list_axes(self, capsys, tmp_path):
+        csv_path = tmp_path / "sweep.csv"
+        code = main(
+            ["sweep", "--model", "2d-approx", "--vary", "U=20,50",
+             "--vary", "m=1,inf", "--d-max", "15", "--no-cache",
+             "--csv", str(csv_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 x 2 = 4 points" in out
+        assert "serial solve" in out
+        assert csv_path.exists()
+        assert len(csv_path.read_text().strip().splitlines()) == 5
+
+    def test_range_spec_and_cache(self, capsys, tmp_path):
+        argv = ["sweep", "--model", "1d", "--vary", "q=0.05:0.2:4",
+                "--d-max", "12", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        assert "serial solve" in capsys.readouterr().out
+        assert main(argv) == 0
+        assert "source: cache" in capsys.readouterr().out
+
+    def test_log_range_spec(self, capsys):
+        code = main(
+            ["sweep", "--model", "1d", "--vary", "U=10:1000:3:log",
+             "--d-max", "12", "--no-cache"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "100.000" in out
+
+    def test_bad_vary_spec_exit_code(self, capsys):
+        code = main(["sweep", "--vary", "U", "--no-cache"])
+        assert code == 2
+        assert "PARAM=SPEC" in capsys.readouterr().err
+
+    def test_duplicate_axis_exit_code(self, capsys):
+        code = main(
+            ["sweep", "--vary", "q=0.1", "--vary", "q=0.2", "--no-cache"]
+        )
+        assert code == 2
+        assert "more than once" in capsys.readouterr().err
+
+    def test_exhaustive_scalar_optimize_method(self, capsys):
+        code = main(
+            ["optimize", "--model", "2d-exact", "--q", "0.05", "--c", "0.01",
+             "--update-cost", "100", "--poll-cost", "10", "--max-delay", "3",
+             "--method", "exhaustive-scalar", "--d-max", "30"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "optimal d*:       2" in out
+        assert "1.335" in out
+
+
 class TestTableCommands:
     def test_table1_output_and_csv(self, capsys, tmp_path):
         csv_path = tmp_path / "t1.csv"
