@@ -20,12 +20,15 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
+from typing import Optional
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.core.parameters import CostParams, MobilityParams  # noqa: E402
 from repro.geometry import HexTopology, LineTopology  # noqa: E402
+from repro.observability import noop_session  # noqa: E402
 from repro.simulation.vectorized import throughput_report  # noqa: E402
 
 OUT_DIR = Path(__file__).parent / "out"
@@ -35,6 +38,90 @@ THRESHOLD = 3
 MAX_DELAY = 1
 MOBILITY = MobilityParams(move_probability=0.3, call_probability=0.01)
 COSTS = CostParams(update_cost=100.0, poll_cost=10.0)
+
+
+def measure_observability_overhead(
+    slots: int = 6_000,
+    repeats: int = 9,
+    seed: int = 0,
+    trials: int = 4,
+    early_exit_below: Optional[float] = None,
+) -> dict:
+    """Worst-case instrumentation cost on the per-cell engine hot loop.
+
+    Times engine.run with the default DISABLED context (instrument
+    handles are never even created) against
+    :func:`repro.observability.noop_session` (every instrumentation call
+    is made, against no-op sinks -- the upper bound of what an armed
+    registry can cost before any recording work).
+
+    Estimator: each repeat times the two variants back to back
+    (alternating which goes first, so a ratio is immune to
+    CPU-frequency drift between batches); a *trial* is the median of
+    ``repeats`` such pair ratios; the reported overhead is the minimum
+    over up to ``trials`` trials.  On a shared box single-trial
+    estimates swing several percent from scheduler noise alone, but
+    noise only ever inflates the ratio's tails -- the minimum converges
+    on the true cost, while a genuine regression above the guard floors
+    every trial above it.  ``early_exit_below`` stops trialling as soon
+    as one estimate lands under the guard (the common case costs one
+    trial).
+    """
+    from statistics import median
+
+    from repro.simulation.engine import SimulationEngine
+    from repro.strategies.distance import DistanceStrategy
+
+    def build() -> SimulationEngine:
+        return SimulationEngine(
+            topology=HexTopology(),
+            strategy=DistanceStrategy(THRESHOLD, max_delay=MAX_DELAY),
+            mobility=MOBILITY,
+            costs=COSTS,
+            seed=seed,
+        )
+
+    def timed(armed: bool) -> float:
+        if armed:
+            with noop_session():
+                engine = build()
+                tic = time.perf_counter()
+                engine.run(slots)
+                return time.perf_counter() - tic
+        engine = build()
+        tic = time.perf_counter()
+        engine.run(slots)
+        return time.perf_counter() - tic
+
+    timed(False)  # warm both paths before measuring
+    timed(True)
+    estimates = []
+    disabled, armed = [], []
+    for _ in range(trials):
+        ratios = []
+        for i in range(repeats):
+            if i % 2 == 0:
+                d = timed(False)
+                a = timed(True)
+            else:
+                a = timed(True)
+                d = timed(False)
+            disabled.append(d)
+            armed.append(a)
+            ratios.append(a / d)
+        estimates.append(median(ratios) - 1.0)
+        if early_exit_below is not None and estimates[-1] <= early_exit_below:
+            break
+    return {
+        "slots": slots,
+        "repeats": repeats,
+        "seed": seed,
+        "trials_run": len(estimates),
+        "trial_estimates": estimates,
+        "disabled_best_seconds": min(disabled),
+        "noop_armed_best_seconds": min(armed),
+        "overhead_fraction": min(estimates),
+    }
 
 
 def main(argv=None) -> int:
@@ -50,6 +137,11 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--min-speedup", type=float, default=0.0,
         help="exit non-zero if the 2-D speedup falls below this factor",
+    )
+    parser.add_argument(
+        "--max-overhead", type=float, default=0.02,
+        help="exit non-zero if armed-but-no-op observability slows the "
+        "per-cell engine by more than this fraction (default 0.02)",
     )
     args = parser.parse_args(argv)
 
@@ -103,11 +195,33 @@ def main(argv=None) -> int:
     out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"wrote {out_path}")
 
+    overhead = measure_observability_overhead(
+        slots=2_000 if args.smoke else 6_000,
+        seed=args.seed,
+        early_exit_below=args.max_overhead,
+    )
+    overhead["max_allowed_fraction"] = args.max_overhead
+    obs_path = OUT_DIR / "observability.json"
+    obs_path.write_text(json.dumps(overhead, indent=2, sort_keys=True) + "\n")
+    print(
+        f"observability overhead (no-op armed vs disabled): "
+        f"{overhead['overhead_fraction']:+.2%} "
+        f"(guard: <{args.max_overhead:.0%}); wrote {obs_path}"
+    )
+
     hex_speedup = payload["geometries"]["2d-hex"]["speedup"]
     if args.min_speedup and hex_speedup < args.min_speedup:
         print(
             f"FAIL: 2-D speedup {hex_speedup:.1f}x below required "
             f"{args.min_speedup:.1f}x",
+            file=sys.stderr,
+        )
+        return 1
+    if overhead["overhead_fraction"] > args.max_overhead:
+        print(
+            f"FAIL: no-op observability overhead "
+            f"{overhead['overhead_fraction']:.2%} exceeds the "
+            f"{args.max_overhead:.0%} guard",
             file=sys.stderr,
         )
         return 1

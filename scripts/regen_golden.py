@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Regenerate the golden expectations under tests/golden/expectations/.
+
+    PYTHONPATH=src python scripts/regen_golden.py --force
+
+The golden files pin the analytic pipeline's numbers (Table 1/2,
+Figure 4/5 curve samples, per-model cost breakdowns) to 1e-9; see
+``tests/golden/test_golden.py``.  To avoid silently blessing a
+regression, the script **refuses to overwrite existing files unless
+``--force`` is given** -- regeneration is supposed to be a deliberate,
+reviewed act, not a side effect.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT))
+
+from tests.golden.compute import EXPECTATIONS_DIR, GOLDEN_PRODUCERS  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--force", action="store_true",
+        help="overwrite existing expectation files",
+    )
+    parser.add_argument(
+        "--only", nargs="*", choices=sorted(GOLDEN_PRODUCERS),
+        help="regenerate only these payloads",
+    )
+    args = parser.parse_args(argv)
+
+    names = args.only or sorted(GOLDEN_PRODUCERS)
+    existing = [
+        name for name in names if (EXPECTATIONS_DIR / f"{name}.json").exists()
+    ]
+    if existing and not args.force:
+        print(
+            "refusing to overwrite existing golden files without --force: "
+            + ", ".join(existing),
+            file=sys.stderr,
+        )
+        print(
+            "(golden regeneration must be deliberate -- rerun with --force "
+            "and review the diff)",
+            file=sys.stderr,
+        )
+        return 1
+
+    EXPECTATIONS_DIR.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        payload = GOLDEN_PRODUCERS[name]()
+        path = EXPECTATIONS_DIR / f"{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path.relative_to(REPO_ROOT)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -55,6 +55,7 @@ from ..core.models import (
 from ..core.parameters import CostParams, MobilityParams, validate_delay
 from ..core.threshold import find_optimal_threshold
 from ..exceptions import ParameterError
+from ..observability.context import current as _observability
 from ..simulation.runner import _resolve_workers
 
 __all__ = [
@@ -426,6 +427,7 @@ def grid_sweep(
         "m": validate_delay(max_delay),
     }
 
+    obs = _observability()
     cache_file: Optional[Path] = None
     fingerprint: Optional[dict] = None
     if cache_dir is not None and plan_factory is None:
@@ -433,6 +435,9 @@ def grid_sweep(
         cache_file = _cache_path(Path(cache_dir), fingerprint)
         cached = _load_cached_points(cache_file, fingerprint)
         if cached is not None:
+            obs.registry.counter(
+                "sweep_cache_hits_total", model=model_name
+            ).inc()
             return GridSweepResult(
                 model_name=model_name,
                 axes=canonical,
@@ -441,6 +446,9 @@ def grid_sweep(
                 convention=convention,
                 from_cache=True,
             )
+        obs.registry.counter(
+            "sweep_cache_misses_total", model=model_name
+        ).inc()
 
     # Row-major enumeration of the grid (last axis fastest).
     combos: List[Dict[str, float]] = [{}]
@@ -463,27 +471,37 @@ def grid_sweep(
         )
 
     solved: Dict[int, SweepPoint] = {}
-    if pool_size is None:
-        for index in range(len(combos)):
-            i, point = _solve_grid_point(*job_args(index))
-            solved[i] = point
-    else:
-        try:
-            pickle.dumps(plan_factory)
-        except Exception as exc:
-            raise ParameterError(
-                f"workers={workers!r} solves grid points in worker processes, "
-                "which requires a picklable plan_factory; pass a module-level "
-                f"function rather than a lambda ({exc})"
-            ) from exc
-        with ProcessPoolExecutor(max_workers=min(pool_size, len(combos))) as pool:
-            futures = [
-                pool.submit(_solve_grid_point, *job_args(index))
-                for index in range(len(combos))
-            ]
-            for future in as_completed(futures):
-                i, point = future.result()
+    with obs.tracer.span(
+        "analysis.grid_sweep",
+        model=model_name,
+        points=len(combos),
+        workers=pool_size or 1,
+        d_max=d_max,
+    ):
+        if pool_size is None:
+            for index in range(len(combos)):
+                i, point = _solve_grid_point(*job_args(index))
                 solved[i] = point
+        else:
+            try:
+                pickle.dumps(plan_factory)
+            except Exception as exc:
+                raise ParameterError(
+                    f"workers={workers!r} solves grid points in worker "
+                    "processes, which requires a picklable plan_factory; pass "
+                    "a module-level function rather than a lambda "
+                    f"({exc})"
+                ) from exc
+            with ProcessPoolExecutor(
+                max_workers=min(pool_size, len(combos))
+            ) as pool:
+                futures = [
+                    pool.submit(_solve_grid_point, *job_args(index))
+                    for index in range(len(combos))
+                ]
+                for future in as_completed(futures):
+                    i, point = future.result()
+                    solved[i] = point
 
     points = tuple(solved[i] for i in range(len(combos)))
     if cache_file is not None and fingerprint is not None:

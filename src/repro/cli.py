@@ -56,6 +56,19 @@ def _delay(value: str) -> float:
     return int(value)
 
 
+def _add_observability_flags(p: argparse.ArgumentParser) -> None:
+    """``--metrics-out`` / ``--trace`` for instrumented subcommands."""
+    p.add_argument(
+        "--metrics-out", dest="metrics_out", metavar="PATH",
+        help="write a provenance-stamped metrics/trace artifact (JSON "
+        "lines) here; inspect it with 'repro-lm metrics summarize PATH'",
+    )
+    p.add_argument(
+        "--trace", action="store_true",
+        help="collect tracing spans and print a span summary",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -120,6 +133,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="recompute without reading or writing the result cache",
     )
     p.add_argument("--csv", help="also write the grid points to this CSV path")
+    _add_observability_flags(p)
 
     p = sub.add_parser("simulate", help="simulate the distance-based scheme")
     p.add_argument("--dimensions", type=int, choices=(1, 2), default=2)
@@ -141,6 +155,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for replications (1 = serial; results are "
         "bit-identical either way)",
     )
+    _add_observability_flags(p)
 
     p = sub.add_parser("validate", help="simulation-vs-model campaign")
     p.add_argument("--slots", type=int, default=100_000)
@@ -170,6 +185,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--json", dest="json_path",
                    help="also write the machine-readable report here")
+    _add_observability_flags(p)
 
     p = sub.add_parser(
         "faults",
@@ -232,13 +248,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "metrics",
-        help="derived operating characteristics of one (d, m) policy",
+        help="derived operating characteristics of one (d, m) policy, "
+        "or 'metrics summarize PATH' for a --metrics-out artifact",
     )
     p.add_argument("--model", choices=sorted(MODEL_CLASSES), default="2d-exact")
-    p.add_argument("--q", type=float, required=True)
-    p.add_argument("--c", type=float, required=True)
-    p.add_argument("--threshold", type=int, required=True, help="d")
+    p.add_argument("--q", type=float, help="move probability")
+    p.add_argument("--c", type=float, help="call probability")
+    p.add_argument("--threshold", type=int, help="d")
     p.add_argument("--max-delay", type=_delay, default=1, help="m (int or 'inf')")
+    msub = p.add_subparsers(dest="metrics_command")
+    ps = msub.add_parser(
+        "summarize",
+        help="render a --metrics-out artifact as human-readable tables",
+    )
+    ps.add_argument("path", help="JSON-lines artifact written by --metrics-out")
 
     p = sub.add_parser(
         "show",
@@ -288,10 +311,49 @@ def main(argv: Optional[List[str]] = None) -> int:
             "metrics": _cmd_metrics,
             "policy": _cmd_policy,
         }[args.command]
+        if getattr(args, "metrics_out", None) or getattr(args, "trace", False):
+            return _run_observed(handler, args)
         return handler(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+
+def _run_observed(handler, args) -> int:
+    """Run one subcommand inside an observability session.
+
+    Instrumentation is strictly read-only (it never draws randomness or
+    feeds back into computation), so the command's printed numbers are
+    bit-identical with or without these flags.
+    """
+    from .observability import session
+    from .observability.export import build_provenance, write_artifact
+
+    with session() as obs:
+        code = handler(args)
+        if args.metrics_out:
+            params = {
+                key: value
+                for key, value in vars(args).items()
+                if key not in ("command", "metrics_out", "trace")
+            }
+            provenance = build_provenance(
+                args.command, params, seed=getattr(args, "seed", None)
+            )
+            path = write_artifact(args.metrics_out, obs, provenance)
+            print(f"\nwrote metrics artifact to {path}")
+        if args.trace:
+            rows = obs.tracer.summary()
+            if rows:
+                print()
+                print(
+                    render_table(
+                        ["span", "count", "total s", "mean s"],
+                        [list(row) for row in rows],
+                        title="Trace spans",
+                    )
+                )
+    return code
 
 
 def _cmd_table1(args) -> int:
@@ -717,6 +779,23 @@ def _cmd_metrics(args) -> int:
     from .core.costs import CostEvaluator
     from .core.derived import derive_metrics
 
+    if getattr(args, "metrics_command", None) == "summarize":
+        from .observability.export import read_artifact, summarize_artifact
+
+        print(summarize_artifact(read_artifact(args.path)))
+        return 0
+    missing = [
+        flag
+        for flag, value in (
+            ("--q", args.q), ("--c", args.c), ("--threshold", args.threshold)
+        )
+        if value is None
+    ]
+    if missing:
+        raise ReproError(
+            "metrics needs " + ", ".join(missing) + " for the analytic "
+            "report, or a subcommand: repro-lm metrics summarize PATH"
+        )
     model = MODEL_CLASSES[args.model](
         MobilityParams(move_probability=args.q, call_probability=args.c)
     )

@@ -43,6 +43,7 @@ from typing import Sequence, Tuple
 import numpy as np
 
 from ..exceptions import ParameterError, SolverError
+from ..observability.tracing import traced
 from ..paging.plan import sdf_weights_batch
 from .models import MobilityModel
 from .parameters import CostParams, validate_delay, validate_threshold
@@ -74,6 +75,7 @@ def _require_invariant_rates(model: MobilityModel) -> None:
         )
 
 
+@traced("analytic.batched_steady_states")
 def batched_steady_states(model: MobilityModel, d_max: int) -> np.ndarray:
     """Steady-state vectors of *every* threshold ``0 .. d_max`` at once.
 
@@ -255,6 +257,7 @@ class CostSurfaceGrid:
         return {m: self.argmin(m) for m in self.delays}
 
 
+@traced("analytic.compute_cost_surface")
 def compute_cost_surface(
     model: MobilityModel,
     costs: CostParams,

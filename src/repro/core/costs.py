@@ -35,6 +35,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
 from ..exceptions import ParameterError
+from ..observability.context import current as _observability
 from ..paging import PagingPlan, sdf_partition
 from .models import MobilityModel
 from .parameters import CostParams, validate_delay, validate_threshold
@@ -157,13 +158,23 @@ class CostEvaluator:
         d = validate_threshold(d)
         m = validate_delay(m)
         key = (d, m)
+        registry = _observability().registry
         cached = self._breakdowns.get(key)
         if cached is not None:
+            registry.counter(
+                "analytic_memo_hits_total", model=self.model.name
+            ).inc()
             return cached
         surface = self._surfaces.get(m)
         if surface is not None and surface.d_max >= d:
+            registry.counter(
+                "analytic_solves_total", model=self.model.name, path="surface"
+            ).inc()
             breakdown = self._breakdown_from_surface(surface, d, m)
         else:
+            registry.counter(
+                "analytic_solves_total", model=self.model.name, path="scalar"
+            ).inc()
             p = self.model.steady_state(d)
             plan = self.plan(d, m)
             cells = plan.expected_polled_cells(self.model.topology, p)
@@ -215,14 +226,21 @@ class CostEvaluator:
                 if other.d_max >= d_max:
                     steady = other.steady
                     break
-            surface = compute_cost_surface(
-                self.model,
-                self.costs,
-                d_max,
-                delays=(m,),
-                convention=self.convention,
-                steady=steady,
-            )
+            with _observability().tracer.span(
+                "analytic.batched_surface",
+                model=self.model.name,
+                d_max=d_max,
+                delay=str(m),
+                reused_steady=steady is not None,
+            ):
+                surface = compute_cost_surface(
+                    self.model,
+                    self.costs,
+                    d_max,
+                    delays=(m,),
+                    convention=self.convention,
+                    steady=steady,
+                )
             self._surfaces[m] = surface
         return surface
 

@@ -43,7 +43,8 @@ from typing import Iterable, List, Optional, Tuple
 from ..core.parameters import CostParams, MobilityParams
 from ..exceptions import ParameterError, RecoveryExhaustedError
 from ..geometry.topology import Cell, CellTopology
-from ..simulation.engine import SimulationEngine
+from ..observability.context import current as _observability
+from ..simulation.engine import SimulationEngine, strategy_labels
 from ..simulation.events import EventLog, PagingEvent, UpdateEvent
 from ..strategies.distance import DistanceStrategy
 from .models import FaultModel
@@ -144,6 +145,32 @@ class ResilientEngine(SimulationEngine):
         self.repages = 0
         self.recovery_pagings = 0
         self.recovery_cells = 0
+        # Fault-layer metric handles (base-class instruments cover the
+        # protocol events; these cover the resilience machinery).
+        obs = _observability()
+        if obs.enabled:
+            labels = dict(strategy_labels(strategy), engine=self._engine_label)
+            registry = obs.registry
+            self._fault_instruments = {
+                name: registry.counter(f"{name}_total", **labels)
+                for name in (
+                    "lost_transmissions",
+                    "lost_updates",
+                    "update_retries",
+                    "update_backoff_slots",
+                    "stale_lookups",
+                    "missed_polls",
+                    "repages",
+                    "recovery_pagings",
+                    "recovery_cells",
+                )
+            }
+        else:
+            self._fault_instruments = None
+
+    #: Resilient runs report under their own engine label so fault-free
+    #: and faulty campaigns in one session stay distinguishable.
+    _engine_label = "resilient"
 
     # -- slot protocol -----------------------------------------------------
 
@@ -157,20 +184,30 @@ class ResilientEngine(SimulationEngine):
 
     def _perform_update(self, timer: bool) -> None:
         position = self.walk.position
+        fins = self._fault_instruments
         self.meter.charge_update()  # the terminal transmitted either way
         self.strategy.on_location_known(position)  # terminal view resets
+        if self._instruments is not None:
+            ins = self._instruments
+            (ins.updates_timer if timer else ins.updates_move).inc()
         delivered = self._transmit(position)
         attempt = 0
         while not delivered and attempt < self.signaling.max_update_retries:
             attempt += 1
             self.update_retries += 1
-            self.update_latency_slots += self.signaling.retry_wait(attempt)
+            wait = self.signaling.retry_wait(attempt)
+            self.update_latency_slots += wait
+            if fins is not None:
+                fins["update_retries"].inc()
+                fins["update_backoff_slots"].inc(wait)
             self.meter.charge_update()  # each retry is a full U transaction
             delivered = self._transmit(position)
         if delivered:
             self._register_write(position)
         else:
             self.lost_updates += 1
+            if fins is not None:
+                fins["lost_updates"].inc()
             if self.signaling.on_exhaustion == "raise":
                 raise RecoveryExhaustedError(
                     f"update from {position!r} lost after "
@@ -189,6 +226,8 @@ class ResilientEngine(SimulationEngine):
         ) and all(f.update_delivered(tick, position) for f in self.faults)
         if not delivered:
             self.lost_transmissions += 1
+            if self._fault_instruments is not None:
+                self._fault_instruments["lost_transmissions"].inc()
         return delivered
 
     # -- register ----------------------------------------------------------
@@ -205,6 +244,8 @@ class ResilientEngine(SimulationEngine):
             if cell is not None:
                 if cell != self.network_center:
                     self.stale_lookups += 1
+                    if self._fault_instruments is not None:
+                        self._fault_instruments["stale_lookups"].inc()
                 return cell
         return self.network_center
 
@@ -220,9 +261,12 @@ class ResilientEngine(SimulationEngine):
         cycles = 0
         found = False
         attempts = 0
+        fins = self._fault_instruments
         while not found and attempts <= self.signaling.max_repage_attempts:
             if attempts:
                 self.repages += 1
+                if fins is not None:
+                    fins["repages"].inc()
             for group in plan.subareas:
                 cycles += 1
                 self.clock += 1
@@ -234,6 +278,8 @@ class ResilientEngine(SimulationEngine):
         if not found:
             polled, cycles = self._recover(position, center, distance, polled, cycles)
         self.meter.charge_paging(cells_polled=polled, cycles=cycles)
+        if self._instruments is not None:
+            self._instruments.record_call(polled, cycles)
         self._register_write(position)  # the located call re-synchronizes views
         self.strategy.on_location_known(position)
         if self.log is not None:
@@ -248,6 +294,9 @@ class ResilientEngine(SimulationEngine):
     ) -> Tuple[int, int]:
         """Expanding-ring recovery around ``center`` until answered."""
         self.recovery_pagings += 1
+        fins = self._fault_instruments
+        if fins is not None:
+            fins["recovery_pagings"].inc()
         topo = self.topology
         radius = min(self._recovery_start, distance)
         recovery_cycles = 0
@@ -268,6 +317,8 @@ class ResilientEngine(SimulationEngine):
             cells = topo.ring_size(radius)
             polled += cells
             self.recovery_cells += cells
+            if fins is not None:
+                fins["recovery_cells"].inc(cells)
             if radius == distance and self._terminal_answers(position):
                 return polled, cycles
             # The terminal is static within the slot: expanding past its
@@ -277,11 +328,12 @@ class ResilientEngine(SimulationEngine):
     def _terminal_answers(self, position: Cell) -> bool:
         """Would the terminal hear and answer a poll right now?"""
         tick = self.clock
-        if any(f.cell_dark(tick, position) for f in self.faults):
+        if any(f.cell_dark(tick, position) for f in self.faults) or not all(
+            f.page_heard(tick, position) for f in self.faults
+        ):
             self.missed_polls += 1
-            return False
-        if not all(f.page_heard(tick, position) for f in self.faults):
-            self.missed_polls += 1
+            if self._fault_instruments is not None:
+                self._fault_instruments["missed_polls"].inc()
             return False
         return True
 

@@ -1,0 +1,294 @@
+"""Exporters and run provenance for observability artifacts.
+
+One *artifact* is everything a measured run produced: a provenance
+header (what ran, with which parameters, on which code), the metric
+series, and the trace spans.  Three output forms:
+
+* **JSON lines** (:func:`write_artifact` / :func:`read_artifact`): one
+  self-describing record per line (``kind`` is ``provenance`` /
+  ``metric`` / ``span``), the storage format the CLI's
+  ``--metrics-out`` writes and ``repro-lm metrics summarize`` reads;
+* **Prometheus-style text** (:func:`prometheus_text`): ``# TYPE``
+  headers plus ``name{label="value"} value`` samples, for scraping the
+  registry into standard tooling;
+* **human summary** (:func:`summarize_artifact`): rendered tables of
+  the provenance, metrics, and span aggregates.
+
+Every artifact is provenance-stamped: schema version, the command that
+produced it, a SHA-256 fingerprint of its parameters, the seed, the git
+revision of the working tree, and the library version -- enough to know
+exactly what a saved metrics file describes (or to refuse to compare
+incomparable ones).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import subprocess
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..exceptions import ParameterError
+from .context import Observability
+from .tracing import SpanRecord
+
+__all__ = [
+    "ARTIFACT_SCHEMA_VERSION",
+    "build_provenance",
+    "params_fingerprint",
+    "git_revision",
+    "write_artifact",
+    "read_artifact",
+    "prometheus_text",
+    "summarize_artifact",
+]
+
+#: Bump when the artifact record layout changes incompatibly.
+ARTIFACT_SCHEMA_VERSION = 1
+
+
+def _json_safe(value):
+    """Make one parameter value JSON-encodable (inf/-inf -> strings)."""
+    if isinstance(value, float) and math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    return value
+
+
+def params_fingerprint(params: Dict[str, object]) -> str:
+    """SHA-256 over the canonical JSON of a parameter mapping."""
+    canonical = json.dumps(
+        {str(k): _json_safe(v) for k, v in sorted(params.items())},
+        sort_keys=True,
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def git_revision(repo_root: Optional[Union[str, Path]] = None) -> str:
+    """The working tree's HEAD revision, or ``"unknown"`` outside git."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(repo_root) if repo_root else None,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    if completed.returncode != 0:
+        return "unknown"
+    return completed.stdout.strip()
+
+
+def build_provenance(
+    command: str,
+    params: Dict[str, object],
+    seed: Optional[int] = None,
+) -> dict:
+    """The stamp attached to every exported artifact."""
+    import repro  # deferred: keep this module import-light
+
+    return {
+        "schema_version": ARTIFACT_SCHEMA_VERSION,
+        "command": command,
+        "params": {str(k): _json_safe(v) for k, v in sorted(params.items())},
+        "params_fingerprint": params_fingerprint(params),
+        "seed": seed,
+        "git_rev": git_revision(Path(repro.__file__).resolve().parent),
+        "library_version": getattr(repro, "__version__", "unknown"),
+        "created_unix": time.time(),
+    }
+
+
+# ----------------------------------------------------------------------
+# JSON-lines artifact
+
+
+def write_artifact(
+    path: Union[str, Path],
+    obs: Observability,
+    provenance: dict,
+) -> Path:
+    """Write one observability artifact as JSON lines.
+
+    Line 1 is the provenance record; every metric series and span
+    follows as its own line, so artifacts stream and concatenate
+    cleanly.
+    """
+    path = Path(path)
+    lines = [json.dumps({"kind": "provenance", **provenance}, sort_keys=True)]
+    for record in obs.registry.collect():
+        lines.append(json.dumps({"kind": "metric", **record}, sort_keys=True))
+    for span in obs.tracer.records:
+        lines.append(json.dumps({"kind": "span", **span.to_dict()}, sort_keys=True))
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def read_artifact(path: Union[str, Path]) -> dict:
+    """Parse an artifact back into ``{provenance, metrics, spans}``.
+
+    Raises :class:`~repro.exceptions.ParameterError` on malformed files
+    or a schema version this library does not read.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise ParameterError(f"unreadable metrics artifact {path}: {exc}") from exc
+    provenance: Optional[dict] = None
+    metrics: List[dict] = []
+    spans: List[SpanRecord] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ParameterError(
+                f"metrics artifact {path} line {lineno} is not JSON: {exc}"
+            ) from exc
+        kind = record.pop("kind", None)
+        if kind == "provenance":
+            provenance = record
+        elif kind == "metric":
+            metrics.append(record)
+        elif kind == "span":
+            spans.append(SpanRecord.from_dict(record))
+        else:
+            raise ParameterError(
+                f"metrics artifact {path} line {lineno} has unknown kind {kind!r}"
+            )
+    if provenance is None:
+        raise ParameterError(
+            f"metrics artifact {path} has no provenance record; was it "
+            "produced by repro-lm --metrics-out?"
+        )
+    version = provenance.get("schema_version")
+    if version != ARTIFACT_SCHEMA_VERSION:
+        raise ParameterError(
+            f"metrics artifact {path} uses schema version {version!r}; this "
+            f"library reads version {ARTIFACT_SCHEMA_VERSION} -- regenerate "
+            "the artifact with the current CLI"
+        )
+    return {"provenance": provenance, "metrics": metrics, "spans": spans}
+
+
+# ----------------------------------------------------------------------
+# Prometheus-style text
+
+
+def _prom_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def prometheus_text(metrics: Union[Observability, List[dict]]) -> str:
+    """Render metric records in the Prometheus exposition format.
+
+    Histograms expose ``_count`` and ``_sum`` plus one cumulative
+    ``_bucket`` sample per observed integer value (``le`` label), the
+    standard shape scrapers expect.
+    """
+    if isinstance(metrics, Observability):
+        records = metrics.registry.collect()
+    else:
+        records = list(metrics)
+    lines: List[str] = []
+    seen_types: Dict[str, str] = {}
+    for record in records:
+        name = record["name"]
+        kind = record.get("type", "counter")
+        if name not in seen_types:
+            seen_types[name] = kind
+            lines.append(f"# TYPE {name} {kind}")
+        labels = record.get("labels", {})
+        if kind == "histogram":
+            cumulative = 0
+            for bucket, count in sorted(
+                record.get("counts", {}).items(), key=lambda kv: int(kv[0])
+            ):
+                cumulative += int(count)
+                lines.append(
+                    f"{name}_bucket"
+                    f"{_prom_labels({**labels, 'le': bucket})} {cumulative}"
+                )
+            lines.append(
+                f"{name}_bucket{_prom_labels({**labels, 'le': '+Inf'})} {cumulative}"
+            )
+            lines.append(f"{name}_sum{_prom_labels(labels)} {record.get('sum', 0.0)}")
+            lines.append(
+                f"{name}_count{_prom_labels(labels)} {record.get('count', 0)}"
+            )
+        else:
+            lines.append(f"{name}{_prom_labels(labels)} {record['value']}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ----------------------------------------------------------------------
+# Human summary
+
+
+def _format_labels(labels: Dict[str, str]) -> str:
+    return ",".join(f"{k}={v}" for k, v in sorted(labels.items())) or "-"
+
+
+def summarize_artifact(artifact: dict) -> str:
+    """Render an artifact (from :func:`read_artifact`) as human tables."""
+    from ..analysis.report import render_table  # deferred: avoid import cycle
+
+    provenance = artifact["provenance"]
+    blocks: List[str] = []
+    prov_rows = [
+        ["command", provenance.get("command", "?")],
+        ["params fingerprint", str(provenance.get("params_fingerprint", "?"))[:16]],
+        ["seed", provenance.get("seed")],
+        ["git rev", str(provenance.get("git_rev", "?"))[:12]],
+        ["library", provenance.get("library_version", "?")],
+        ["schema", provenance.get("schema_version", "?")],
+    ]
+    blocks.append(render_table(["field", "value"], prov_rows, title="Provenance"))
+
+    metric_rows: List[List[object]] = []
+    for record in artifact["metrics"]:
+        if record.get("type") == "histogram":
+            count = record.get("count", 0)
+            mean = (record.get("sum", 0.0) / count) if count else 0.0
+            value = f"n={count} mean={mean:.3f}"
+        else:
+            value = record.get("value")
+        metric_rows.append(
+            [record["name"], _format_labels(record.get("labels", {})), value]
+        )
+    if metric_rows:
+        blocks.append(
+            render_table(["metric", "labels", "value"], metric_rows, title="Metrics")
+        )
+
+    span_totals: Dict[str, List[float]] = {}
+    for span in artifact["spans"]:
+        if span.duration is None:
+            continue
+        span_totals.setdefault(span.name, []).append(span.duration)
+    if span_totals:
+        span_rows = [
+            [name, len(durations), sum(durations), sum(durations) / len(durations)]
+            for name, durations in sorted(
+                span_totals.items(), key=lambda kv: -sum(kv[1])
+            )
+        ]
+        blocks.append(
+            render_table(
+                ["span", "count", "total s", "mean s"],
+                span_rows,
+                title="Trace spans",
+            )
+        )
+    return "\n\n".join(blocks)

@@ -1,0 +1,79 @@
+"""Profiling hooks: attach profilers to traced code without code changes.
+
+A :class:`ProfileHook` receives span start/finish callbacks from a
+:class:`~repro.observability.tracing.Tracer`.  Benchmarks attach hooks
+via ``session(profile_hooks=[...])`` and the instrumented library runs
+under them unmodified -- the hook decides what to do with the span
+boundaries:
+
+* :class:`TimerHook` accumulates wall-clock per span name (a cheap
+  always-on profile);
+* :class:`CProfileHook` runs :mod:`cProfile` across the outermost span
+  and exposes the stats, for when a bench needs function-level detail.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from typing import Dict, Optional, Protocol, runtime_checkable
+
+from .tracing import SpanRecord
+
+__all__ = ["ProfileHook", "TimerHook", "CProfileHook"]
+
+
+@runtime_checkable
+class ProfileHook(Protocol):
+    """The contract profiling sinks implement."""
+
+    def on_span_start(self, record: SpanRecord) -> None:
+        """Called when a span opens (duration not yet known)."""
+
+    def on_span_finish(self, record: SpanRecord) -> None:
+        """Called when a span closes (``record.duration`` is set)."""
+
+
+class TimerHook:
+    """Accumulates span wall-clock by name: ``{name: (count, total_s)}``."""
+
+    def __init__(self) -> None:
+        self.totals: Dict[str, tuple] = {}
+
+    def on_span_start(self, record: SpanRecord) -> None:
+        pass
+
+    def on_span_finish(self, record: SpanRecord) -> None:
+        count, total = self.totals.get(record.name, (0, 0.0))
+        self.totals[record.name] = (count + 1, total + (record.duration or 0.0))
+
+
+class CProfileHook:
+    """Profiles everything between the first span start and the last
+    span finish with :mod:`cProfile`.
+
+    Only the outermost span toggles the profiler (cProfile does not
+    nest), so arbitrarily nested instrumented code profiles cleanly.
+    """
+
+    def __init__(self) -> None:
+        self.profile = cProfile.Profile()
+        self._depth = 0
+
+    def on_span_start(self, record: SpanRecord) -> None:
+        if self._depth == 0:
+            self.profile.enable()
+        self._depth += 1
+
+    def on_span_finish(self, record: SpanRecord) -> None:
+        self._depth -= 1
+        if self._depth == 0:
+            self.profile.disable()
+
+    def stats_text(self, top: int = 20, sort: str = "cumulative") -> str:
+        """The profile as ``pstats`` text (top ``top`` rows)."""
+        buffer = io.StringIO()
+        stats = pstats.Stats(self.profile, stream=buffer)
+        stats.sort_stats(sort).print_stats(top)
+        return buffer.getvalue()

@@ -9,7 +9,7 @@ optional process-pool parallelism.
 
 from .engine import SimulationEngine
 from .events import EventLog, MoveEvent, PagingEvent, UpdateEvent
-from .metrics import CostMeter, MeterSnapshot
+from .metrics import CostMeter, MeterSnapshot, z_score
 from .network import BaseStation, LocationRegister, MobileTerminal, PCNetwork
 from .runner import (
     ModelComparison,
@@ -42,6 +42,7 @@ __all__ = [
     "run_until_precision",
     "throughput_report",
     "validate_against_model",
+    "z_score",
 ]
 
 

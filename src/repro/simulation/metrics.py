@@ -16,16 +16,40 @@ The analytical model predicts *per-slot averages* (``C_u``, ``C_v``,
 from __future__ import annotations
 
 import math
+import statistics
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, Tuple
 
 from ..exceptions import ParameterError, SimulationError
 
-__all__ = ["CostMeter", "MeterSnapshot"]
+__all__ = ["CostMeter", "MeterSnapshot", "z_score"]
 
-#: Two-sided z-scores for the confidence levels we support.
+#: Two-sided z-scores for the common confidence levels, kept as a fast
+#: path; any other level in (0, 1) is computed exactly via the normal
+#: quantile function (see :func:`z_score`).
 _Z_SCORES = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+
+
+def z_score(level: float) -> float:
+    """Two-sided z-score for a confidence ``level`` in (0, 1).
+
+    The common levels (0.90/0.95/0.99) come from a lookup table so the
+    historical values (and every snapshot ever written with them) stay
+    bit-stable; anything else -- 0.975, 0.5, 0.999 -- is computed via
+    ``statistics.NormalDist().inv_cdf`` instead of raising ``KeyError``
+    as the old table-only lookup did.
+    """
+    if isinstance(level, bool) or not isinstance(level, (int, float)):
+        raise ParameterError(f"confidence level must be a number, got {level!r}")
+    if not 0.0 < level < 1.0:
+        raise ParameterError(
+            f"confidence level must be strictly between 0 and 1, got {level}"
+        )
+    fast = _Z_SCORES.get(level)
+    if fast is not None:
+        return fast
+    return statistics.NormalDist().inv_cdf(0.5 + level / 2.0)
 
 
 @dataclass(frozen=True)
@@ -182,16 +206,18 @@ class CostMeter:
         return self._cost_sum / self.slots if self.slots else 0.0
 
     def confidence_interval(self, level: float = 0.95) -> Tuple[float, float]:
-        """Normal-approximation CI for the per-slot mean total cost."""
-        if level not in _Z_SCORES:
-            raise ParameterError(
-                f"supported levels: {sorted(_Z_SCORES)}, got {level}"
-            )
+        """Normal-approximation CI for the per-slot mean total cost.
+
+        Any ``level`` in (0, 1) is accepted: the common levels use the
+        historical z-score table, everything else the exact normal
+        quantile (see :func:`z_score`).
+        """
+        z = z_score(level)
         if self.slots < 2:
             return (self.mean_total_cost, math.inf)
         mean = self.mean_total_cost
         var = max(self._cost_sq_sum / self.slots - mean * mean, 0.0)
-        half = _Z_SCORES[level] * math.sqrt(var / self.slots)
+        half = z * math.sqrt(var / self.slots)
         return (mean, half)
 
     @property

@@ -64,8 +64,9 @@ from ..core.models import MobilityModel
 from ..core.parameters import CostParams, MobilityParams
 from ..exceptions import ParameterError
 from ..geometry.topology import Cell, CellTopology
+from ..observability import context as _obs_context
 from ..strategies.base import UpdateStrategy
-from .engine import SimulationEngine
+from .engine import SimulationEngine, strategy_labels
 from .metrics import CostMeter, MeterSnapshot
 
 __all__ = [
@@ -307,14 +308,54 @@ def _execute_replication(
     event_mode: str,
     warmup_slots: int,
     replication_deadline: Optional[float],
-) -> Tuple[int, MeterSnapshot, int]:
+    observe: bool = False,
+) -> Tuple[int, MeterSnapshot, int, Optional[dict]]:
     """Run one replication to completion (or to its deadline).
 
     Module-level so worker processes can pickle and run it; both the
     serial and the pooled path go through this exact function, which is
     what makes ``workers=N`` bit-identical to a serial campaign.
-    Returns ``(index, snapshot, completed_slots)``.
+    Returns ``(index, snapshot, completed_slots, observability)`` where
+    the last element is the replication's collected metrics/spans
+    payload (picklable; see
+    :meth:`repro.observability.Observability.collect_payload`) when
+    ``observe`` is set, else None.
+
+    ``observe=True`` opens a *fresh* observability session around the
+    replication -- in a pooled worker because the parent's context does
+    not exist there, and in the serial path for symmetry, so both
+    executors aggregate through the identical merge step and a campaign
+    exports the same metrics regardless of ``workers``.
     """
+    if not observe:
+        return _run_one_replication(
+            index, seed, topology, strategy_factory, mobility, costs, slots,
+            start, event_mode, warmup_slots, replication_deadline,
+        ) + (None,)
+    with _obs_context.session() as obs:
+        with obs.tracer.span(
+            "simulate.replication", index=index, slots=slots
+        ):
+            result = _run_one_replication(
+                index, seed, topology, strategy_factory, mobility, costs, slots,
+                start, event_mode, warmup_slots, replication_deadline,
+            )
+        return result + (obs.collect_payload(),)
+
+
+def _run_one_replication(
+    index: int,
+    seed: np.random.SeedSequence,
+    topology: CellTopology,
+    strategy_factory: StrategyFactory,
+    mobility: MobilityParams,
+    costs: CostParams,
+    slots: int,
+    start: Optional[Cell],
+    event_mode: str,
+    warmup_slots: int,
+    replication_deadline: Optional[float],
+) -> Tuple[int, MeterSnapshot, int]:
     engine = SimulationEngine(
         topology=topology,
         strategy=strategy_factory(),
@@ -386,10 +427,13 @@ def run_replicated(
             f"replication_deadline must be > 0 seconds, got {replication_deadline}"
         )
     pool_size = _resolve_workers(workers)
+    parent_obs = _obs_context.current()
+    observe = parent_obs.enabled
     # One probe instance pins down the strategy's configuration (name,
     # threshold, delay bound) for the checkpoint fingerprint and
     # validates the factory before any simulation work starts.
-    strategy_repr = repr(strategy_factory())
+    probe_strategy = strategy_factory()
+    strategy_repr = repr(probe_strategy)
     fingerprint = _campaign_fingerprint(
         topology, strategy_repr, start, mobility, costs, slots, replications,
         seed, event_mode, warmup_slots,
@@ -407,7 +451,16 @@ def run_replicated(
     children = master.spawn(replications)
     pending = [i for i in range(replications) if i not in completed]
 
-    def record(index: int, snapshot: MeterSnapshot, completed_slots: int) -> None:
+    payloads: Dict[int, dict] = {}
+
+    def record(
+        index: int,
+        snapshot: MeterSnapshot,
+        completed_slots: int,
+        payload: Optional[dict],
+    ) -> None:
+        if payload is not None:
+            payloads[index] = payload
         if completed_slots < slots:
             partials[index] = PartialReplication(
                 index=index,
@@ -424,29 +477,62 @@ def run_replicated(
         return (
             index, children[index], topology, strategy_factory, mobility,
             costs, slots, start, event_mode, warmup_slots, replication_deadline,
+            observe,
         )
 
-    if pool_size is None:
-        for index in pending:
-            record(*_execute_replication(*job_args(index)))
-    elif pending:
-        try:
-            pickle.dumps((topology, strategy_factory, mobility, costs, start))
-        except Exception as exc:
-            raise ParameterError(
-                f"workers={workers!r} runs replications in worker processes, "
-                "which requires picklable campaign arguments; the strategy "
-                "factory is usually the blocker -- pass functools.partial("
-                "DistanceStrategy, d, max_delay=m) instead of a lambda "
-                f"({exc})"
-            ) from exc
-        with ProcessPoolExecutor(max_workers=min(pool_size, len(pending))) as pool:
-            futures = [
-                pool.submit(_execute_replication, *job_args(index))
-                for index in pending
-            ]
-            for future in as_completed(futures):
-                record(*future.result())
+    with parent_obs.tracer.span(
+        "simulate.run_replicated",
+        replications=replications,
+        workers=pool_size or 1,
+        slots=slots,
+        strategy=strategy_repr,
+    ):
+        if pool_size is None:
+            for index in pending:
+                record(*_execute_replication(*job_args(index)))
+        elif pending:
+            try:
+                pickle.dumps((topology, strategy_factory, mobility, costs, start))
+            except Exception as exc:
+                raise ParameterError(
+                    f"workers={workers!r} runs replications in worker processes, "
+                    "which requires picklable campaign arguments; the strategy "
+                    "factory is usually the blocker -- pass functools.partial("
+                    "DistanceStrategy, d, max_delay=m) instead of a lambda "
+                    f"({exc})"
+                ) from exc
+            with ProcessPoolExecutor(
+                max_workers=min(pool_size, len(pending))
+            ) as pool:
+                futures = [
+                    pool.submit(_execute_replication, *job_args(index))
+                    for index in pending
+                ]
+                for future in as_completed(futures):
+                    record(*future.result())
+        # Replication payloads are merged *after* all runs finish, in
+        # replication-index order: ``as_completed`` yields futures in a
+        # nondeterministic order, and float merging is only exactly
+        # reproducible (serial == workers=N) for a canonical order.
+        for index in sorted(payloads):
+            parent_obs.merge_payload(payloads[index], replication=index)
+        if observe:
+            # Campaign-level exact cost accounting: one increment per
+            # completed replication from its snapshot, in index order --
+            # never per event -- so the exported totals are bit-equal to
+            # summing the snapshot columns, regardless of the executor
+            # (the invariant tests/properties/test_property_metrics.py
+            # asserts).
+            labels = dict(strategy_labels(probe_strategy), engine="per-cell")
+            update_total = parent_obs.registry.counter(
+                "update_cost_total", **labels
+            )
+            paging_total = parent_obs.registry.counter(
+                "paging_cost_total", **labels
+            )
+            for index in sorted(completed):
+                update_total.inc(completed[index].update_cost)
+                paging_total.inc(completed[index].paging_cost)
     return ReplicatedResult(
         snapshots=[completed[i] for i in sorted(completed)],
         partials=tuple(partials[i] for i in sorted(partials)),

@@ -55,6 +55,7 @@ from ..geometry.hex import AXIAL_DIRECTIONS, HexTopology
 from ..geometry.line import LineTopology
 from ..geometry.square import SQUARE_DIRECTIONS, SquareTopology
 from ..geometry.topology import CellTopology
+from ..observability.context import current as _observability
 from ..paging import PagingPlan, sdf_partition
 from ..core.parameters import validate_delay, validate_threshold
 from .metrics import MeterSnapshot
@@ -172,6 +173,34 @@ class VectorizedDistanceEngine:
         # fixed at its (arbitrary) start cells.
         self._pos = np.zeros((self.terminals, self._dirs.shape[1]), dtype=np.int64)
         self.slot = 0
+        # Metric handles, resolved once at construction (None when no
+        # observability session is installed).  The vectorized engine
+        # reports in bulk per run() call -- per-slot instrumentation
+        # would defeat the point of batching.
+        obs = _observability()
+        if obs.enabled:
+            labels = {
+                "strategy": "distance",
+                "d": self.threshold,
+                "engine": "vectorized",
+            }
+            registry = obs.registry
+            self._tracer = obs.tracer
+            self._instruments = {
+                "slots": registry.counter("slots_total", **labels),
+                "moves": registry.counter("moves_total", **labels),
+                "updates": registry.counter(
+                    "updates_total", trigger="distance", **labels
+                ),
+                "calls": registry.counter("calls_total", **labels),
+                "polled": registry.counter("polled_cells_total", **labels),
+                "delay": registry.histogram("paging_delay_cycles", **labels),
+                "update_cost": registry.counter("update_cost_total", **labels),
+                "paging_cost": registry.counter("paging_cost_total", **labels),
+            }
+        else:
+            self._tracer = None
+            self._instruments = None
         self.reset_meters()
 
     # ------------------------------------------------------------------
@@ -198,9 +227,56 @@ class VectorizedDistanceEngine:
         """Advance every terminal ``slots`` slots; return pooled results."""
         if slots < 0:
             raise ParameterError(f"slots must be >= 0, got {slots}")
-        for _ in range(slots):
-            self._step()
+        if self._instruments is None:
+            for _ in range(slots):
+                self._step()
+            return self.result()
+        before = (
+            self._moves.copy(),
+            self._updates.copy(),
+            self._calls.copy(),
+            self._polled_cells.copy(),
+            self._delay_counts.copy(),
+        )
+        with self._tracer.span(
+            "simulate.vectorized_run",
+            slots=slots,
+            terminals=self.terminals,
+            threshold=self.threshold,
+        ):
+            for _ in range(slots):
+                self._step()
+        self._record_run(before, slots)
         return self.result()
+
+    def _record_run(self, before: tuple, slots: int) -> None:
+        """Fold one observed run() into the metrics registry.
+
+        Event counts report as bulk deltas; the cost counters are fed
+        one per-terminal increment in terminal order (integer event
+        delta times unit cost), so for a fresh-meter single run the
+        exported ``update_cost_total``/``paging_cost_total`` are
+        bit-equal to summing the per-terminal snapshot columns -- the
+        same exactness contract :func:`~repro.simulation.runner.
+        run_replicated` keeps for the per-cell engine.
+        """
+        ins = self._instruments
+        moves0, updates0, calls0, polled0, delays0 = before
+        d_updates = self._updates - updates0
+        d_polled = self._polled_cells - polled0
+        ins["slots"].inc(int(slots) * self.terminals)
+        ins["moves"].inc(int((self._moves - moves0).sum()))
+        ins["updates"].inc(int(d_updates.sum()))
+        ins["calls"].inc(int((self._calls - calls0).sum()))
+        ins["polled"].inc(int(d_polled.sum()))
+        for cycle, count in enumerate((self._delay_counts - delays0).sum(axis=0)):
+            if count:
+                ins["delay"].observe(cycle + 1, int(count))
+        U, V = self.costs.update_cost, self.costs.poll_cost
+        update_cost, paging_cost = ins["update_cost"], ins["paging_cost"]
+        for k in range(self.terminals):
+            update_cost.inc(int(d_updates[k]) * U)
+            paging_cost.inc(int(d_polled[k]) * V)
 
     def result(self) -> ReplicatedResult:
         """Freeze the current per-terminal meters into a pooled result."""

@@ -1,0 +1,120 @@
+"""Computation of the golden-expectation payloads.
+
+Shared between the regression test (``tests/golden/test_golden.py``)
+and the regeneration script (``scripts/regen_golden.py``) so the two
+can never drift: the test compares what this module computes today
+against the committed JSON under ``tests/golden/expectations/``.
+
+Every payload is plain JSON: ``inf`` delay keys become the string
+``"inf"``, numbers stay numbers.  Curve samples use ``points=5`` --
+enough to pin every delay curve's level and shape without making the
+golden run expensive.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+from typing import Dict
+
+from repro.analysis.figures import compute_figure4, compute_figure5
+from repro.analysis.sweep import MODEL_CLASSES
+from repro.analysis.tables import compute_table1, compute_table2
+from repro.core.costs import CostEvaluator
+from repro.core.parameters import CostParams, MobilityParams
+
+EXPECTATIONS_DIR = Path(__file__).parent / "expectations"
+
+#: Curve sample size for the figure goldens.
+FIGURE_POINTS = 5
+
+#: The operating points the per-model cost goldens pin down, spanning
+#: tight and loose delay bounds at the benches' canonical parameters.
+COST_POINTS = (
+    {"q": 0.3, "c": 0.05, "U": 100.0, "V": 10.0, "d": 3, "m": 1},
+    {"q": 0.3, "c": 0.05, "U": 100.0, "V": 10.0, "d": 3, "m": 2},
+    {"q": 0.1, "c": 0.01, "U": 50.0, "V": 5.0, "d": 5, "m": math.inf},
+)
+
+
+def _delay_key(m: float) -> str:
+    return "inf" if m == math.inf else str(int(m))
+
+
+def golden_table1() -> dict:
+    table = compute_table1()
+    return {
+        _delay_key(m): {
+            str(int(U)): {"d": entry.optimal_d, "cost": entry.total_cost}
+            for U, entry in sorted(by_u.items())
+        }
+        for m, by_u in table.items()
+    }
+
+
+def golden_table2() -> dict:
+    table = compute_table2()
+    return {
+        _delay_key(m): {
+            str(int(U)): {
+                "d": entry.optimal_d,
+                "cost": entry.total_cost,
+                "near_d": entry.near_optimal_d,
+                "near_cost": entry.near_optimal_cost,
+            }
+            for U, entry in sorted(by_u.items())
+        }
+        for m, by_u in table.items()
+    }
+
+
+def _golden_figure(figure) -> dict:
+    return {
+        "x_label": figure.x_label,
+        "x_values": figure.x_values,
+        "curves": {_delay_key(m): ys for m, ys in figure.curves.items()},
+        "thresholds": {_delay_key(m): ds for m, ds in figure.thresholds.items()},
+    }
+
+
+def golden_cost_points() -> dict:
+    """``C_u``/``C_v`` breakdowns for every model (exact *and*
+    approximate) at the pinned operating points."""
+    out: Dict[str, list] = {}
+    for name in sorted(MODEL_CLASSES):
+        rows = []
+        for point in COST_POINTS:
+            model = MODEL_CLASSES[name](
+                MobilityParams(
+                    move_probability=point["q"], call_probability=point["c"]
+                )
+            )
+            evaluator = CostEvaluator(
+                model,
+                CostParams(update_cost=point["U"], poll_cost=point["V"]),
+            )
+            breakdown = evaluator.breakdown(point["d"], point["m"])
+            rows.append(
+                {
+                    "point": {**point, "m": _delay_key(point["m"])},
+                    "update_cost": breakdown.update_cost,
+                    "paging_cost": breakdown.paging_cost,
+                    "total_cost": breakdown.total_cost,
+                    "expected_polled_cells": breakdown.expected_polled_cells,
+                    "expected_delay": breakdown.expected_delay,
+                }
+            )
+        out[name] = rows
+    return out
+
+
+#: filename stem -> zero-argument producer of the payload.
+GOLDEN_PRODUCERS = {
+    "table1": golden_table1,
+    "table2": golden_table2,
+    "figure4a": lambda: _golden_figure(compute_figure4(1, points=FIGURE_POINTS)),
+    "figure4b": lambda: _golden_figure(compute_figure4(2, points=FIGURE_POINTS)),
+    "figure5a": lambda: _golden_figure(compute_figure5(1, points=FIGURE_POINTS)),
+    "figure5b": lambda: _golden_figure(compute_figure5(2, points=FIGURE_POINTS)),
+    "cost_points": golden_cost_points,
+}

@@ -1,0 +1,63 @@
+"""Golden-value regression tests.
+
+The committed JSON under ``tests/golden/expectations/`` pins the
+analytic pipeline's numbers: Table 1/2 operating points, Figure
+4a/4b/5a/5b curve samples, and per-model cost breakdowns (exact and
+approximate models).  Any change that moves a float by more than 1e-9
+(relative or absolute) -- or an optimal threshold by 1 -- fails here.
+
+Regenerate deliberately with ``scripts/regen_golden.py --force`` and
+review the diff; the script refuses to overwrite without the flag.
+"""
+
+import json
+
+import pytest
+
+from .compute import EXPECTATIONS_DIR, GOLDEN_PRODUCERS
+
+TOLERANCE = 1e-9
+
+
+def assert_matches(actual, expected, path=""):
+    """Recursive compare: exact for ints/str, 1e-9 rel+abs for floats."""
+    if isinstance(expected, dict):
+        assert isinstance(actual, dict), f"{path}: expected mapping"
+        assert sorted(actual) == sorted(expected), (
+            f"{path}: keys differ: {sorted(actual)} vs {sorted(expected)}"
+        )
+        for key in expected:
+            assert_matches(actual[key], expected[key], f"{path}.{key}")
+    elif isinstance(expected, list):
+        assert isinstance(actual, list), f"{path}: expected list"
+        assert len(actual) == len(expected), f"{path}: length differs"
+        for i, (a, e) in enumerate(zip(actual, expected)):
+            assert_matches(a, e, f"{path}[{i}]")
+    elif isinstance(expected, bool) or expected is None:
+        assert actual == expected, f"{path}: {actual!r} != {expected!r}"
+    elif isinstance(expected, int):
+        # optimal thresholds, counts: exact equality
+        assert actual == expected, f"{path}: {actual!r} != {expected!r}"
+    elif isinstance(expected, float):
+        assert actual == pytest.approx(expected, rel=TOLERANCE, abs=TOLERANCE), (
+            f"{path}: {actual!r} drifted from golden {expected!r}"
+        )
+    else:
+        assert actual == expected, f"{path}: {actual!r} != {expected!r}"
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_PRODUCERS))
+def test_matches_committed_golden(name):
+    path = EXPECTATIONS_DIR / f"{name}.json"
+    assert path.exists(), (
+        f"missing golden file {path}; run scripts/regen_golden.py"
+    )
+    expected = json.loads(path.read_text())
+    actual = json.loads(json.dumps(GOLDEN_PRODUCERS[name]()))  # JSON-normalize
+    assert_matches(actual, expected, path=name)
+
+
+def test_expectations_directory_has_no_strays():
+    """Every committed expectation corresponds to a producer."""
+    stems = {p.stem for p in EXPECTATIONS_DIR.glob("*.json")}
+    assert stems == set(GOLDEN_PRODUCERS)

@@ -1,0 +1,160 @@
+"""Tests for artifact export: provenance, JSONL round trip, Prometheus
+text, and the human summary."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.observability import (
+    ARTIFACT_SCHEMA_VERSION,
+    Observability,
+    MetricsRegistry,
+    Tracer,
+    build_provenance,
+    git_revision,
+    params_fingerprint,
+    prometheus_text,
+    read_artifact,
+    summarize_artifact,
+    write_artifact,
+)
+
+
+def build_observability():
+    obs = Observability(registry=MetricsRegistry(), tracer=Tracer())
+    obs.registry.counter("updates_total", strategy="distance", d=3).inc(7)
+    obs.registry.counter("update_cost_total", strategy="distance", d=3).inc(210.0)
+    obs.registry.histogram("paging_delay_cycles", d=3).observe(1, count=5)
+    obs.registry.histogram("paging_delay_cycles", d=3).observe(2, count=2)
+    with obs.tracer.span("simulate.run_replicated", replications=2):
+        with obs.tracer.span("simulate.replication", index=0):
+            pass
+    return obs
+
+
+class TestProvenance:
+    def test_fingerprint_is_order_insensitive_and_deterministic(self):
+        a = params_fingerprint({"q": 0.3, "c": 0.01, "d": 3})
+        b = params_fingerprint({"d": 3, "c": 0.01, "q": 0.3})
+        assert a == b
+        assert a != params_fingerprint({"q": 0.3, "c": 0.01, "d": 4})
+
+    def test_fingerprint_handles_infinity(self):
+        assert params_fingerprint({"m": float("inf")}) != params_fingerprint(
+            {"m": float("-inf")}
+        )
+
+    def test_build_provenance_stamps_everything(self):
+        prov = build_provenance("simulate", {"q": 0.3, "m": float("inf")}, seed=42)
+        assert prov["schema_version"] == ARTIFACT_SCHEMA_VERSION
+        assert prov["command"] == "simulate"
+        assert prov["seed"] == 42
+        assert prov["params"]["m"] == "inf"
+        assert prov["params_fingerprint"] == params_fingerprint(
+            {"q": 0.3, "m": float("inf")}
+        )
+        assert prov["git_rev"]
+        assert prov["library_version"]
+        assert prov["created_unix"] > 0
+        json.dumps(prov)  # must be JSON-encodable as-is
+
+    def test_git_revision_unknown_outside_a_repo(self, tmp_path):
+        assert git_revision(tmp_path) == "unknown"
+
+
+class TestJsonlRoundTrip:
+    def test_write_then_read_preserves_everything(self, tmp_path):
+        obs = build_observability()
+        prov = build_provenance("simulate", {"q": 0.3}, seed=1)
+        path = write_artifact(tmp_path / "m.json", obs, prov)
+
+        artifact = read_artifact(path)
+        assert artifact["provenance"]["params_fingerprint"] == prov[
+            "params_fingerprint"
+        ]
+        assert artifact["metrics"] == obs.registry.collect()
+        assert artifact["spans"] == obs.tracer.records
+
+    def test_first_line_is_the_provenance_record(self, tmp_path):
+        obs = build_observability()
+        path = write_artifact(
+            tmp_path / "m.json", obs, build_provenance("simulate", {})
+        )
+        first = json.loads(path.read_text().splitlines()[0])
+        assert first["kind"] == "provenance"
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ParameterError, match="unreadable"):
+            read_artifact(tmp_path / "missing.json")
+
+    def test_malformed_json_line_raises_with_line_number(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text('{"kind": "provenance", "schema_version": 1}\nnot json\n')
+        with pytest.raises(ParameterError, match="line 2 is not JSON"):
+            read_artifact(path)
+
+    def test_unknown_kind_raises(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps({"kind": "mystery"}) + "\n")
+        with pytest.raises(ParameterError, match="unknown kind"):
+            read_artifact(path)
+
+    def test_missing_provenance_raises(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text(
+            json.dumps({"kind": "metric", "name": "x", "type": "counter",
+                        "value": 1.0}) + "\n"
+        )
+        with pytest.raises(ParameterError, match="no provenance"):
+            read_artifact(path)
+
+    def test_schema_version_mismatch_refused(self, tmp_path):
+        obs = build_observability()
+        prov = build_provenance("simulate", {})
+        prov["schema_version"] = ARTIFACT_SCHEMA_VERSION + 1
+        path = write_artifact(tmp_path / "m.json", obs, prov)
+        with pytest.raises(ParameterError, match="schema version"):
+            read_artifact(path)
+
+
+class TestPrometheusText:
+    def test_counter_and_histogram_shapes(self):
+        obs = build_observability()
+        text = prometheus_text(obs)
+        assert "# TYPE updates_total counter" in text
+        assert 'updates_total{d="3",strategy="distance"} 7.0' in text
+        assert "# TYPE paging_delay_cycles histogram" in text
+        # buckets are cumulative: 5 at le=1, 7 at le=2 and at +Inf
+        assert 'paging_delay_cycles_bucket{d="3",le="1"} 5' in text
+        assert 'paging_delay_cycles_bucket{d="3",le="2"} 7' in text
+        assert 'paging_delay_cycles_bucket{d="3",le="+Inf"} 7' in text
+        assert 'paging_delay_cycles_sum{d="3"} 9.0' in text
+        assert 'paging_delay_cycles_count{d="3"} 7' in text
+
+    def test_accepts_plain_record_lists(self):
+        records = build_observability().registry.collect()
+        assert prometheus_text(records) == prometheus_text(
+            build_observability()
+        )
+
+    def test_empty_registry_renders_empty(self):
+        assert prometheus_text([]) == ""
+
+
+class TestSummarize:
+    def test_renders_provenance_metrics_and_spans(self, tmp_path):
+        obs = build_observability()
+        path = write_artifact(
+            tmp_path / "m.json",
+            obs,
+            build_provenance("simulate", {"q": 0.3}, seed=9),
+        )
+        text = summarize_artifact(read_artifact(path))
+        assert "Provenance" in text
+        assert "simulate" in text
+        assert "Metrics" in text
+        assert "updates_total" in text
+        assert "d=3,strategy=distance" in text
+        assert "Trace spans" in text
+        assert "simulate.replication" in text

@@ -1,0 +1,120 @@
+"""Property-based check of the exported cost-accounting invariant.
+
+For random ``(q, c, U, V, d, m)`` the observability layer's
+``update_cost_total`` / ``paging_cost_total`` counters must equal the
+simulation's own :class:`~repro.simulation.metrics.CostMeter` snapshot
+totals *exactly* -- not to a tolerance -- for the serial runner, the
+pooled runner, and the vectorized engine.  The registry promises this
+by accumulating one increment per replication (or per terminal) in
+canonical index order, the same order Python's ``sum`` walks the
+snapshots; this test is the contract the instrumentation sites in
+``runner.py`` and ``vectorized.py`` cite.
+"""
+
+import math
+from functools import partial
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.parameters import CostParams, MobilityParams
+from repro.geometry import HexTopology
+from repro.observability import session
+from repro.simulation import VectorizedDistanceEngine, run_replicated
+from repro.strategies import DistanceStrategy
+
+probabilities = st.tuples(
+    st.floats(min_value=0.05, max_value=0.6),
+    st.floats(min_value=0.01, max_value=0.2),
+).filter(lambda qc: qc[0] + qc[1] <= 1.0)
+unit_costs = st.tuples(
+    st.floats(min_value=0.1, max_value=500.0),
+    st.floats(min_value=0.1, max_value=50.0),
+)
+thresholds = st.integers(min_value=1, max_value=4)
+delays = st.one_of(st.integers(min_value=1, max_value=3), st.just(math.inf))
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+def exported_totals(registry):
+    return (
+        registry.total("update_cost_total"),
+        registry.total("paging_cost_total"),
+    )
+
+
+class TestExportedCostsEqualMeterTotals:
+    @given(qc=probabilities, uv=unit_costs, d=thresholds, m=delays, seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_serial_runner(self, qc, uv, d, m, seed):
+        q, c = qc
+        U, V = uv
+        with session() as obs:
+            result = run_replicated(
+                topology=HexTopology(),
+                strategy_factory=partial(DistanceStrategy, d, max_delay=m),
+                mobility=MobilityParams(move_probability=q, call_probability=c),
+                costs=CostParams(update_cost=U, poll_cost=V),
+                slots=120,
+                replications=3,
+                seed=seed,
+            )
+        snapshots = result.snapshots
+        assert exported_totals(obs.registry) == (
+            sum(s.update_cost for s in snapshots),
+            sum(s.paging_cost for s in snapshots),
+        )
+
+    @given(qc=probabilities, uv=unit_costs, d=thresholds, m=delays, seed=seeds)
+    @settings(max_examples=5, deadline=None)
+    def test_pooled_runner_matches_serial_bit_for_bit(self, qc, uv, d, m, seed):
+        q, c = qc
+        U, V = uv
+
+        def run(workers):
+            with session() as obs:
+                result = run_replicated(
+                    topology=HexTopology(),
+                    strategy_factory=partial(DistanceStrategy, d, max_delay=m),
+                    mobility=MobilityParams(
+                        move_probability=q, call_probability=c
+                    ),
+                    costs=CostParams(update_cost=U, poll_cost=V),
+                    slots=80,
+                    replications=3,
+                    seed=seed,
+                    workers=workers,
+                )
+            return result, obs.registry
+
+        serial_result, serial_registry = run(workers=None)
+        pooled_result, pooled_registry = run(workers=2)
+        expect = (
+            sum(s.update_cost for s in serial_result.snapshots),
+            sum(s.paging_cost for s in serial_result.snapshots),
+        )
+        assert exported_totals(serial_registry) == expect
+        assert exported_totals(pooled_registry) == expect
+        assert pooled_registry.collect() == serial_registry.collect()
+
+    @given(qc=probabilities, uv=unit_costs, d=thresholds, m=delays, seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_vectorized_engine(self, qc, uv, d, m, seed):
+        q, c = qc
+        U, V = uv
+        with session() as obs:
+            engine = VectorizedDistanceEngine(
+                topology=HexTopology(),
+                threshold=d,
+                mobility=MobilityParams(move_probability=q, call_probability=c),
+                costs=CostParams(update_cost=U, poll_cost=V),
+                max_delay=m,
+                terminals=16,
+                seed=seed,
+            )
+            result = engine.run(120)
+        snapshots = result.snapshots
+        assert exported_totals(obs.registry) == (
+            sum(s.update_cost for s in snapshots),
+            sum(s.paging_cost for s in snapshots),
+        )

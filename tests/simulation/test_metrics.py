@@ -5,7 +5,7 @@ import math
 import pytest
 
 from repro import ParameterError, SimulationError
-from repro.simulation import CostMeter
+from repro.simulation import CostMeter, z_score
 
 
 def make_meter():
@@ -86,9 +86,48 @@ class TestStatistics:
         narrow = meter.confidence_interval(0.90)[1]
         assert wide >= narrow
 
-    def test_unknown_level_rejected(self):
+    def test_invalid_level_rejected(self):
+        # Regression: only levels outside (0, 1) are invalid -- any
+        # interior level must be accepted (the old table-only lookup
+        # raised KeyError for 0.975 and friends).
+        for bad in (0.0, 1.0, -0.5, 1.5, "0.95", None, True):
+            with pytest.raises(ParameterError):
+                make_meter().confidence_interval(bad)
+
+    def test_unlisted_level_uses_normal_quantile(self):
+        # 0.975 is not in the fast-path table; it must resolve via the
+        # exact normal quantile instead of raising KeyError.
+        meter = make_meter()
+        for cost in (10.0, 30.0, 50.0, 20.0):
+            meter.begin_slot()
+            meter.charge_paging(cells_polled=int(cost // 10), cycles=1)
+            meter.end_slot()
+        mean, half = meter.confidence_interval(0.975)
+        assert mean == meter.mean_total_cost
+        assert math.isfinite(half) and half > 0
+        # Wider level -> wider interval, bracketing the table levels.
+        assert meter.confidence_interval(0.95)[1] < half
+        assert half < meter.confidence_interval(0.99)[1]
+        # Even a level the old table never listed below 0.9 works.
+        assert meter.confidence_interval(0.5)[1] < meter.confidence_interval(0.9)[1]
+
+    def test_z_score_table_fast_path_bit_stable(self):
+        # The historical table values are load-bearing for every
+        # snapshot ever written with them; the fallback must not
+        # replace them with the (slightly different) exact quantiles.
+        assert z_score(0.90) == 1.6449
+        assert z_score(0.95) == 1.9600
+        assert z_score(0.99) == 2.5758
+
+    def test_z_score_matches_normal_quantile_off_table(self):
+        assert z_score(0.975) == pytest.approx(2.2414, abs=1e-4)
+        assert z_score(0.5) == pytest.approx(0.6745, abs=1e-4)
+
+    def test_invalid_level_rejected_even_with_few_slots(self):
+        # Bad levels must raise before the <2-slots early return.
+        meter = make_meter()
         with pytest.raises(ParameterError):
-            make_meter().confidence_interval(0.5)
+            meter.confidence_interval(2.0)
 
     def test_ci_infinite_with_one_slot(self):
         meter = make_meter()

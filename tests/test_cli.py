@@ -341,3 +341,148 @@ class TestFaultsCommand:
         out = capsys.readouterr().out
         assert code == 0
         assert "faults:            none" in out
+
+
+class TestSweepErrorPaths:
+    def test_range_count_below_two(self, capsys):
+        code = main(
+            ["sweep", "--model", "1d", "--vary", "q=0.1:0.2:1", "--no-cache"]
+        )
+        assert code == 2
+        assert "count >= 2" in capsys.readouterr().err
+
+    def test_malformed_range_spec(self, capsys):
+        code = main(
+            ["sweep", "--model", "1d", "--vary", "q=0.1:0.2:3:cubic",
+             "--no-cache"]
+        )
+        assert code == 2
+        assert "bad range spec" in capsys.readouterr().err
+
+    def test_log_range_rejects_nonpositive_endpoints(self, capsys):
+        code = main(
+            ["sweep", "--model", "1d", "--vary", "U=0:100:3:log",
+             "--no-cache"]
+        )
+        assert code == 2
+        assert "positive endpoints" in capsys.readouterr().err
+
+    def test_empty_value_list(self, capsys):
+        code = main(
+            ["sweep", "--model", "1d", "--vary", "q=, ,", "--no-cache"]
+        )
+        assert code == 2
+        assert "empty value list" in capsys.readouterr().err
+
+    def test_cache_schema_version_mismatch_is_refused(self, capsys, tmp_path):
+        import json as json_module
+
+        argv = ["sweep", "--model", "1d", "--vary", "q=0.05,0.1",
+                "--d-max", "12", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        (cache_file,) = tmp_path.glob("grid-*.json")
+        payload = json_module.loads(cache_file.read_text())
+        payload["fingerprint"]["version"] = -1
+        cache_file.write_text(json_module.dumps(payload))
+        code = main(argv)
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "schema version" in err
+        assert "--no-cache" in err
+
+    def test_unpicklable_plan_factory_with_workers(self):
+        from repro.analysis.sweep import grid_sweep
+        from repro.exceptions import ParameterError
+
+        with pytest.raises(ParameterError, match="picklable plan_factory"):
+            grid_sweep(
+                "1d",
+                {"q": [0.05, 0.1]},
+                d_max=10,
+                workers=2,
+                plan_factory=lambda d, m: None,
+            )
+
+
+class TestObservabilityFlags:
+    SIMULATE = [
+        "simulate", "--dimensions", "1", "--q", "0.1", "--c", "0.02",
+        "--threshold", "2", "--slots", "1000", "--replications", "2",
+        "--seed", "3",
+    ]
+
+    def test_metrics_out_writes_provenance_stamped_artifact(
+        self, capsys, tmp_path
+    ):
+        from repro.observability import read_artifact
+
+        path = tmp_path / "m.json"
+        code = main(self.SIMULATE + ["--metrics-out", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "mean C_T" in out
+        assert f"wrote metrics artifact to {path}" in out
+        artifact = read_artifact(path)
+        assert artifact["provenance"]["command"] == "simulate"
+        assert artifact["provenance"]["seed"] == 3
+        assert artifact["provenance"]["params_fingerprint"]
+        names = {record["name"] for record in artifact["metrics"]}
+        assert "updates_total" in names
+        assert "update_cost_total" in names
+        assert any(span.name == "simulate.replication"
+                   for span in artifact["spans"])
+
+    def test_metrics_out_does_not_change_simulate_output(self, capsys,
+                                                         tmp_path):
+        assert main(self.SIMULATE) == 0
+        plain = capsys.readouterr().out
+        assert main(
+            self.SIMULATE + ["--metrics-out", str(tmp_path / "m.json")]
+        ) == 0
+        observed = capsys.readouterr().out
+        assert plain in observed
+
+    def test_trace_prints_span_table(self, capsys):
+        code = main(self.SIMULATE + ["--trace"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Trace spans" in out
+        assert "simulate.run_replicated" in out
+
+    def test_sweep_metrics_out(self, capsys, tmp_path):
+        from repro.observability import read_artifact
+
+        path = tmp_path / "sweep-metrics.json"
+        code = main(
+            ["sweep", "--model", "1d", "--vary", "q=0.05,0.1",
+             "--d-max", "12", "--no-cache", "--metrics-out", str(path)]
+        )
+        assert code == 0
+        capsys.readouterr()
+        artifact = read_artifact(path)
+        assert artifact["provenance"]["command"] == "sweep"
+        names = {record["name"] for record in artifact["metrics"]}
+        assert "sweep_cache_misses_total" not in names  # --no-cache skips it
+        assert "analytic_solves_total" in names
+
+    def test_metrics_summarize_renders_artifact(self, capsys, tmp_path):
+        path = tmp_path / "m.json"
+        assert main(self.SIMULATE + ["--metrics-out", str(path)]) == 0
+        capsys.readouterr()
+        code = main(["metrics", "summarize", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Provenance" in out
+        assert "Metrics" in out
+        assert "updates_total" in out
+
+    def test_metrics_summarize_missing_file(self, capsys, tmp_path):
+        code = main(["metrics", "summarize", str(tmp_path / "missing.json")])
+        assert code == 2
+        assert "unreadable" in capsys.readouterr().err
+
+    def test_metrics_without_flags_or_subcommand_errors(self, capsys):
+        code = main(["metrics"])
+        assert code == 2
+        assert "metrics summarize" in capsys.readouterr().err
