@@ -22,6 +22,7 @@ import math
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
+from ..conformance.agreement import comparison_ok
 from ..core.models import MobilityModel, OneDimensionalModel, TwoDimensionalModel
 from ..core.parameters import CostParams, MobilityParams
 from ..simulation.runner import ModelComparison, validate_against_model
@@ -54,18 +55,13 @@ class ValidationOutcome:
     def ok(self) -> bool:
         """Dimension-aware agreement criterion.
 
-        * 1-D: the ring chain is the exact distance process, so the
-          measurement must fall within its CI or within 2% (CI escapes
-          only sampling flukes).
-        * 2-D: the chain aggregates corner/edge cells within a ring
-          (``p+(i)`` is a ring average), a systematic bias measured at
-          up to ~4% for fast walkers with wide residing areas; allow
-          5% relative error.
+        Delegates to :func:`repro.conformance.agreement.comparison_ok`,
+        the same reusable check the conformance harness registers as
+        ``simulation-within-ci``: within the replication CI, or within
+        2% (1-D, where the ring chain is exact) / 5% (2-D, where ring
+        aggregation biases fast walkers by up to ~4%) relative error.
         """
-        if self.comparison.within_ci:
-            return True
-        limit = 0.02 if self.case.dimensions == 1 else 0.05
-        return self.comparison.relative_error < limit
+        return comparison_ok(self.comparison, self.case.dimensions)
 
 
 #: A spread of operating points: both geometries, slow and fast

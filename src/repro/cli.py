@@ -41,6 +41,7 @@ from .analysis import (
     write_csv,
 )
 from .analysis.sweep import MODEL_CLASSES
+from .conformance.sampling import ALL_MODELS, SUITES
 from .core.parameters import CostParams, MobilityParams
 from .core.threshold import find_optimal_threshold
 from .exceptions import ReproError
@@ -277,6 +278,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--c", type=float, default=0.01, help="c (occupancy map)")
 
     p = sub.add_parser(
+        "conformance",
+        help="differential conformance suite: cross-backend oracles plus "
+        "the paper's metamorphic invariants",
+    )
+    p.add_argument(
+        "--suite", choices=SUITES, default="quick",
+        help="quick: PR-sized sweep; full: nightly breadth with larger "
+        "simulation budgets and the process-pool oracle",
+    )
+    p.add_argument("--seed", type=int, default=0, help="suite sampling seed")
+    p.add_argument(
+        "--models", metavar="NAMES",
+        help="comma list restricting the swept models "
+        f"(default: all of {','.join(ALL_MODELS)})",
+    )
+    p.add_argument(
+        "--report", metavar="PATH",
+        help="write the provenance-stamped JSONL check report here",
+    )
+    _add_observability_flags(p)
+
+    p = sub.add_parser(
         "compare",
         help="analytic comparison of distance/movement/timer/LA schemes",
     )
@@ -306,6 +329,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "speed": _cmd_speed,
             "faults": _cmd_faults,
             "soft-delay": _cmd_soft_delay,
+            "conformance": _cmd_conformance,
             "compare": _cmd_compare,
             "show": _cmd_show,
             "metrics": _cmd_metrics,
@@ -731,6 +755,22 @@ def _cmd_validate(args) -> int:
             failures += 1
     print(render_table(headers, rows, title="model-vs-simulation validation"))
     return 1 if failures else 0
+
+
+def _cmd_conformance(args) -> int:
+    from .conformance import run_conformance, write_report
+
+    models = (
+        [name.strip() for name in args.models.split(",") if name.strip()]
+        if args.models
+        else None
+    )
+    report = run_conformance(suite=args.suite, seed=args.seed, models=models)
+    print(report.render())
+    if args.report:
+        path = write_report(report, args.report)
+        print(f"\nwrote conformance report to {path}")
+    return 0 if report.ok else 1
 
 
 def _cmd_soft_delay(args) -> int:

@@ -1,0 +1,82 @@
+"""Differential conformance harness: oracles + metamorphic invariants.
+
+The library computes the paper's quantities through many independent
+routes -- closed forms, recursions, matrix solves, a batched triangular
+solver, and three simulation backends.  This package makes their mutual
+agreement, and the paper's structural laws, continuously checkable:
+
+* :mod:`repro.conformance.checks` -- registry core: configs,
+  deviations, results, failure minimization;
+* :mod:`repro.conformance.oracles` -- cross-backend agreement checks;
+* :mod:`repro.conformance.invariants` -- paper-derived metamorphic
+  relations (eqn references on each registration);
+* :mod:`repro.conformance.agreement` -- the reusable
+  simulation-vs-analysis agreement criterion;
+* :mod:`repro.conformance.sampling` -- the ``quick``/``full`` suite
+  grids;
+* :mod:`repro.conformance.runner` -- suite execution and the JSONL
+  report (also ``repro-lm conformance``).
+
+Importing this package populates :data:`REGISTRY` with every shipped
+check.
+"""
+
+from .checks import (
+    REGISTRY,
+    CheckRegistry,
+    CheckResult,
+    CheckSkipped,
+    ConformanceCheck,
+    ConformanceConfig,
+    Deviation,
+)
+from . import invariants as _invariants  # noqa: F401  (registers checks)
+from . import oracles as _oracles  # noqa: F401  (registers checks)
+from .agreement import (
+    REL_LIMIT_1D,
+    REL_LIMIT_2D,
+    agreement_deviation,
+    comparison_deviation,
+    comparison_ok,
+    rel_limit_for_dimensions,
+    values_agree,
+)
+from .invariants import APPROX_TO_EXACT, EXACT_CHAIN_MODELS
+from .oracles import bitwise_agreement, replicated_agreement
+from .runner import (
+    ConformanceReport,
+    read_report,
+    run_conformance,
+    run_single,
+    write_report,
+)
+from .sampling import ALL_MODELS, SUITES, sample_suite
+
+__all__ = [
+    "ALL_MODELS",
+    "APPROX_TO_EXACT",
+    "CheckRegistry",
+    "CheckResult",
+    "CheckSkipped",
+    "ConformanceCheck",
+    "ConformanceConfig",
+    "ConformanceReport",
+    "Deviation",
+    "EXACT_CHAIN_MODELS",
+    "REGISTRY",
+    "REL_LIMIT_1D",
+    "REL_LIMIT_2D",
+    "SUITES",
+    "agreement_deviation",
+    "bitwise_agreement",
+    "comparison_deviation",
+    "comparison_ok",
+    "read_report",
+    "rel_limit_for_dimensions",
+    "replicated_agreement",
+    "run_conformance",
+    "run_single",
+    "sample_suite",
+    "values_agree",
+    "write_report",
+]

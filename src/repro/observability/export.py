@@ -111,12 +111,15 @@ def write_artifact(
     path: Union[str, Path],
     obs: Observability,
     provenance: dict,
+    checks: Optional[List[dict]] = None,
 ) -> Path:
     """Write one observability artifact as JSON lines.
 
     Line 1 is the provenance record; every metric series and span
     follows as its own line, so artifacts stream and concatenate
-    cleanly.
+    cleanly.  ``checks`` appends ``kind="check"`` records -- one per
+    conformance check result -- which is how ``repro-lm conformance
+    --report`` shares this format.
     """
     path = Path(path)
     lines = [json.dumps({"kind": "provenance", **provenance}, sort_keys=True)]
@@ -124,13 +127,15 @@ def write_artifact(
         lines.append(json.dumps({"kind": "metric", **record}, sort_keys=True))
     for span in obs.tracer.records:
         lines.append(json.dumps({"kind": "span", **span.to_dict()}, sort_keys=True))
+    for record in checks or ():
+        lines.append(json.dumps({"kind": "check", **record}, sort_keys=True))
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text("\n".join(lines) + "\n")
     return path
 
 
 def read_artifact(path: Union[str, Path]) -> dict:
-    """Parse an artifact back into ``{provenance, metrics, spans}``.
+    """Parse an artifact back into ``{provenance, metrics, spans, checks}``.
 
     Raises :class:`~repro.exceptions.ParameterError` on malformed files
     or a schema version this library does not read.
@@ -143,6 +148,7 @@ def read_artifact(path: Union[str, Path]) -> dict:
     provenance: Optional[dict] = None
     metrics: List[dict] = []
     spans: List[SpanRecord] = []
+    checks: List[dict] = []
     for lineno, line in enumerate(text.splitlines(), start=1):
         line = line.strip()
         if not line:
@@ -160,6 +166,8 @@ def read_artifact(path: Union[str, Path]) -> dict:
             metrics.append(record)
         elif kind == "span":
             spans.append(SpanRecord.from_dict(record))
+        elif kind == "check":
+            checks.append(record)
         else:
             raise ParameterError(
                 f"metrics artifact {path} line {lineno} has unknown kind {kind!r}"
@@ -176,7 +184,12 @@ def read_artifact(path: Union[str, Path]) -> dict:
             f"library reads version {ARTIFACT_SCHEMA_VERSION} -- regenerate "
             "the artifact with the current CLI"
         )
-    return {"provenance": provenance, "metrics": metrics, "spans": spans}
+    return {
+        "provenance": provenance,
+        "metrics": metrics,
+        "spans": spans,
+        "checks": checks,
+    }
 
 
 # ----------------------------------------------------------------------

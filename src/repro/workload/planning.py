@@ -64,6 +64,12 @@ class FleetPlan:
     shared_threshold: int
     max_delay: float
 
+    def __post_init__(self) -> None:
+        # Every aggregate below is a mean/quantile over the users; an
+        # empty plan would silently turn them all into NaN.
+        if not self.users:
+            raise ParameterError("FleetPlan needs at least one UserPlan")
+
     @property
     def size(self) -> int:
         return len(self.users)

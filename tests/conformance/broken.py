@@ -1,0 +1,136 @@
+"""Deliberately-broken models and plan factories for the conformance tests.
+
+Every registered check must be able to *fail*: a harness whose checks
+cannot go red proves nothing.  This module collects minimal sabotaged
+implementations, each violating exactly the property one (or a few)
+checks guard, which the tests feed through the real registry via the
+``model_factory``/``plan_factory`` escape hatches of
+:class:`repro.conformance.ConformanceConfig`.
+"""
+
+import numpy as np
+
+from repro import (
+    OneDimensionalModel,
+    TwoDimensionalApproximateModel,
+)
+from repro.conformance import ConformanceConfig
+from repro.paging import blanket_partition, per_ring_partition
+
+
+def make_config(**overrides):
+    """A cheap, well-behaved 1-D operating point the tests perturb."""
+    base = dict(
+        model_name="1d",
+        q=0.2,
+        c=0.02,
+        update_cost=50.0,
+        poll_cost=10.0,
+        d=3,
+        m=2,
+        d_max=8,
+    )
+    base.update(overrides)
+    return ConformanceConfig(**base)
+
+
+class UnnormalizedModel(OneDimensionalModel):
+    """Steady state scaled by 1.05: probabilities no longer sum to 1."""
+
+    def steady_state(self, d, method="auto"):
+        return np.asarray(super().steady_state(d, method), dtype=float) * 1.05
+
+
+class SkewedSteadyModel(OneDimensionalModel):
+    """Normalized but wrong: a quarter of the mass moved to state 0.
+
+    Still sums to 1 (so normalization checks pass), yet the flows no
+    longer balance, and every cost derived from the distribution is
+    systematically off -- the shape of a subtle solver bug.
+    """
+
+    def steady_state(self, d, method="auto"):
+        p = np.array(super().steady_state(d, method), dtype=float)
+        p *= 0.75
+        p[0] += 0.25
+        return p
+
+
+class MethodSkewedModel(OneDimensionalModel):
+    """Only the ``recursive`` solver is wrong; other methods are exact."""
+
+    def steady_state(self, d, method="auto"):
+        p = np.array(super().steady_state(d, "auto"), dtype=float)
+        if method == "recursive":
+            p = p * 0.99
+            p[0] += 0.01
+        return p
+
+
+class GrowingUpdateRateModel(OneDimensionalModel):
+    """Outward boundary rate explodes with d: C_u is no longer
+    non-increasing in the threshold."""
+
+    def update_rate(self, d, convention="paper"):
+        if d == 0:
+            return super().update_rate(0, convention)
+        return min(1.0, 0.001 * 10.0**d)
+
+
+class ExpensiveBoundaryModel(OneDimensionalModel):
+    """Absurd update rate at d = 0 only: even a negligible per-update
+    cost then pushes the optimum away from the d* = 0 it must hit."""
+
+    def update_rate(self, d, convention="paper"):
+        if d == 0:
+            return 1e6
+        return super().update_rate(d, convention)
+
+
+class WrongCoverageModel(OneDimensionalModel):
+    """``g(d) = d``: wrong at 0 and disconnected from the ring sizes."""
+
+    def coverage(self, d):
+        return d
+
+
+class DriftingApproxModel(TwoDimensionalApproximateModel):
+    """Approximate outward rates inflated by 20%: they no longer
+    converge to the exact ring-averaged rates as the ring index grows."""
+
+    def transition_rates(self, d):
+        a, b = super().transition_rates(d)
+        return np.asarray(a, dtype=float) * 1.2, b
+
+
+# -- sabotaged plan factories ------------------------------------------
+
+
+def per_ring_always(model, d, m):
+    """Ignores the delay bound: pages ring-by-ring even when m is
+    finite, so the realized delay can exceed min(d+1, m)."""
+    return per_ring_partition(d)
+
+
+def parity_plan(model, d, m):
+    """Partition depends on threshold *parity*: the C_v(d) curve
+    zig-zags instead of growing monotonically."""
+    return per_ring_partition(d) if d % 2 == 0 else blanket_partition(d)
+
+
+def saturation_breaker(model, d, m):
+    """Treats m = d+1 and m = infinity differently, violating the
+    eqn-(2) saturation l = min(d+1, m)."""
+    import math
+
+    return per_ring_partition(d) if m == math.inf else blanket_partition(d)
+
+
+def delay_regressive_plan(model, d, m):
+    """Cheap partitions only for small delay bounds: paging cost (and
+    the optimal total cost) *rises* when the bound is relaxed."""
+    import math
+
+    if m != math.inf and m <= 2:
+        return per_ring_partition(d)
+    return blanket_partition(d)

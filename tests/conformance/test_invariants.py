@@ -1,0 +1,217 @@
+"""Every registered invariant passes on healthy inputs and -- via the
+deliberately-broken fixtures -- demonstrably *fails* on sabotaged ones.
+
+A conformance check that cannot go red is decoration; each test class
+below pairs one registered invariant with a minimal implementation bug
+it must catch.
+"""
+
+import math
+
+import pytest
+
+from repro.conformance import REGISTRY
+
+from .broken import (
+    DriftingApproxModel,
+    ExpensiveBoundaryModel,
+    GrowingUpdateRateModel,
+    SkewedSteadyModel,
+    UnnormalizedModel,
+    WrongCoverageModel,
+    delay_regressive_plan,
+    make_config,
+    parity_plan,
+    per_ring_always,
+    saturation_breaker,
+)
+
+
+def run(check_id, config):
+    return REGISTRY.get(check_id).run(config)
+
+
+def assert_pass(check_id, config):
+    result = run(check_id, config)
+    assert result.status == "pass", (check_id, result.detail)
+    return result
+
+
+def assert_fail(check_id, config):
+    result = run(check_id, config)
+    assert result.status == "fail", (check_id, result.status, result.detail)
+    assert result.repro is not None
+    return result
+
+
+class TestSteadyStateNormalized:
+    def test_passes_on_real_model(self):
+        assert_pass("steady-state-normalized", make_config())
+
+    def test_fails_on_unnormalized_solver(self):
+        result = assert_fail(
+            "steady-state-normalized",
+            make_config(model_factory=UnnormalizedModel),
+        )
+        assert result.deviation == pytest.approx(0.05, rel=1e-6)
+
+
+class TestEqn5Balance:
+    def test_passes_on_real_model(self):
+        assert_pass("eqn5-balance", make_config())
+
+    def test_fails_on_skewed_distribution(self):
+        # Still normalized -- only the balance equation exposes it.
+        assert_pass("steady-state-normalized", make_config(model_factory=SkewedSteadyModel))
+        assert_fail("eqn5-balance", make_config(model_factory=SkewedSteadyModel))
+
+
+class TestUpdateCostMonotoneThreshold:
+    def test_passes_on_real_model(self):
+        assert_pass("update-cost-monotone-threshold", make_config())
+
+    def test_fails_on_growing_update_rate(self):
+        assert_fail(
+            "update-cost-monotone-threshold",
+            make_config(model_factory=GrowingUpdateRateModel),
+        )
+
+
+class TestPagingCostMonotoneThreshold:
+    def test_passes_on_real_model(self):
+        assert_pass("paging-cost-monotone-threshold", make_config())
+
+    def test_fails_on_parity_dependent_partition(self):
+        assert_fail(
+            "paging-cost-monotone-threshold",
+            make_config(plan_factory=parity_plan),
+        )
+
+
+class TestPagingCostMonotoneDelay:
+    def test_passes_on_real_model(self):
+        assert_pass("paging-cost-monotone-delay", make_config())
+
+    def test_fails_when_relaxing_the_bound_costs_more(self):
+        assert_fail(
+            "paging-cost-monotone-delay",
+            make_config(plan_factory=delay_regressive_plan),
+        )
+
+
+class TestDelaySaturation:
+    def test_passes_on_real_model(self):
+        assert_pass("delay-saturation", make_config())
+
+    def test_fails_when_saturation_is_broken(self):
+        assert_fail(
+            "delay-saturation", make_config(plan_factory=saturation_breaker)
+        )
+
+
+class TestExpectedDelayBounded:
+    def test_passes_on_real_model(self):
+        assert_pass("expected-delay-bounded", make_config())
+
+    def test_fails_when_plan_ignores_the_bound(self):
+        # Ring-by-ring paging under a finite bound m = 2 realizes
+        # delays up to d + 1 = 5.
+        assert_fail(
+            "expected-delay-bounded",
+            make_config(d=4, m=2, plan_factory=per_ring_always),
+        )
+
+
+class TestPolledCellsBounded:
+    def test_passes_on_real_model(self):
+        assert_pass("polled-cells-bounded", make_config())
+
+    def test_fails_when_blanket_is_not_full_coverage(self):
+        assert_fail(
+            "polled-cells-bounded",
+            make_config(d=3, plan_factory=per_ring_always),
+        )
+
+
+class TestCoverageClosedForm:
+    def test_passes_on_real_model(self):
+        assert_pass("coverage-closed-form", make_config())
+
+    def test_fails_on_wrong_coverage(self):
+        assert_fail(
+            "coverage-closed-form", make_config(model_factory=WrongCoverageModel)
+        )
+
+
+class TestApproxTracksExact:
+    def test_passes_on_real_approx_model(self):
+        assert_pass("approx-tracks-exact", make_config(model_name="2d-approx"))
+
+    def test_skips_exact_models(self):
+        assert run("approx-tracks-exact", make_config()).status == "skip"
+
+    def test_fails_on_drifting_rates(self):
+        assert_fail(
+            "approx-tracks-exact",
+            make_config(model_name="2d-approx", model_factory=DriftingApproxModel),
+        )
+
+
+class TestCheapUpdateZeroThreshold:
+    def test_passes_on_real_model(self):
+        assert_pass("cheap-update-zero-threshold", make_config())
+
+    def test_fails_on_expensive_boundary(self):
+        result = assert_fail(
+            "cheap-update-zero-threshold",
+            make_config(model_factory=ExpensiveBoundaryModel),
+        )
+        assert result.deviation >= 1.0  # d* pushed off zero
+
+
+class TestOptimalCostMonotoneDelay:
+    def test_passes_on_real_model(self):
+        assert_pass("optimal-cost-monotone-delay", make_config())
+
+    def test_fails_when_relaxing_the_bound_costs_more(self):
+        assert_fail(
+            "optimal-cost-monotone-delay",
+            make_config(plan_factory=delay_regressive_plan),
+        )
+
+
+class TestSimulationWithinCI:
+    SIM = dict(d=2, m=2, d_max=6, sim_slots=30_000, sim_replications=3)
+
+    def test_skips_without_simulation_budget(self):
+        assert run("simulation-within-ci", make_config()).status == "skip"
+
+    def test_skips_approximate_chains(self):
+        config = make_config(model_name="2d-approx", **self.SIM)
+        assert run("simulation-within-ci", config).status == "skip"
+
+    def test_passes_on_real_model(self):
+        assert_pass("simulation-within-ci", make_config(**self.SIM))
+
+    def test_fails_on_skewed_prediction(self):
+        # The simulation walks the *real* chain; a prediction computed
+        # from the skewed distribution cannot stay inside its CI.
+        assert_fail(
+            "simulation-within-ci",
+            make_config(model_factory=SkewedSteadyModel, **self.SIM),
+        )
+
+
+def test_all_invariants_clean_on_anchor_grid():
+    """No registered invariant fails anywhere on a healthy mini-grid."""
+    configs = [
+        make_config(),
+        make_config(model_name="2d-exact", m=math.inf, convention="physical"),
+        make_config(model_name="square-approx", d=0, m=1, d_max=5),
+    ]
+    for config in configs:
+        for check in REGISTRY.invariants():
+            if check.check_id == "simulation-within-ci":
+                continue  # exercised (with budget) above
+            result = check.run(config)
+            assert result.status != "fail", (check.check_id, result.detail)

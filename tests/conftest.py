@@ -1,4 +1,4 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and hypothesis profiles for the test suite."""
 
 import numpy as np
 import pytest
@@ -12,6 +12,21 @@ from repro import (
     TwoDimensionalApproximateModel,
     TwoDimensionalModel,
 )
+
+try:
+    from hypothesis import settings
+except ImportError:  # hypothesis is optional outside the property suites
+    settings = None
+
+if settings is not None:
+    # "dev" keeps the library defaults for fast local iteration; "ci"
+    # removes the per-example deadline (shared runners have noisy
+    # clocks -- a deadline flake there says nothing about the code)
+    # and prints the seed so failures reproduce.  CI selects with
+    # `--hypothesis-profile=ci`; "dev" is the default.
+    settings.register_profile("dev", settings.get_profile("default"))
+    settings.register_profile("ci", deadline=None, print_blob=True)
+    settings.load_profile("dev")
 
 
 @pytest.fixture

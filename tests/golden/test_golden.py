@@ -16,6 +16,8 @@ import pytest
 
 from .compute import EXPECTATIONS_DIR, GOLDEN_PRODUCERS
 
+pytestmark = pytest.mark.slow
+
 TOLERANCE = 1e-9
 
 

@@ -4,6 +4,12 @@ The analytic models in :mod:`repro.core.baselines` and the strategy
 implementations in :mod:`repro.strategies` were written independently
 (closed-form balance equations vs an event-driven state machine), so
 agreement here is strong evidence both are right.
+
+Agreement is asserted through the conformance harness's reusable
+criterion (:func:`repro.conformance.values_agree`): the analytic value
+must fall within the replication confidence interval or within the
+declared relative band -- the same check the ``simulation-within-ci``
+invariant runs, rather than a private ``pytest.approx`` copy.
 """
 
 import pytest
@@ -15,9 +21,12 @@ from repro import (
     movement_based_costs,
     time_based_costs,
 )
+from repro.conformance import values_agree
 from repro.geometry import HexTopology, LineTopology
 from repro.simulation import run_replicated
 from repro.strategies import LocationAreaStrategy, MovementStrategy, TimerStrategy
+
+pytestmark = pytest.mark.slow
 
 MOBILITY = MobilityParams(0.2, 0.02)
 COSTS = CostParams(30.0, 2.0)
@@ -30,17 +39,30 @@ def simulate(topology, factory, seed):
     )
 
 
+def assert_agreement(analytic_total, sim, rel_limit):
+    __tracebackhide__ = True
+    assert values_agree(
+        predicted=analytic_total,
+        measured=sim.mean_total_cost,
+        ci_half_width=sim.total_cost_ci(),
+        rel_limit=rel_limit,
+    ), (
+        f"analytic {analytic_total:.6g} vs simulated {sim.mean_total_cost:.6g} "
+        f"(ci {sim.total_cost_ci():.3g}, rel limit {rel_limit})"
+    )
+
+
 class TestMovementAgreement:
     @pytest.mark.parametrize("M", [1, 3, 6])
     def test_line(self, M):
         analytic = movement_based_costs(LineTopology(), MOBILITY, COSTS, M)
         sim = simulate(LineTopology(), lambda: MovementStrategy(M, max_delay=1), 40 + M)
-        assert sim.mean_total_cost == pytest.approx(analytic.total_cost, rel=0.03)
+        assert_agreement(analytic.total_cost, sim, rel_limit=0.03)
 
     def test_hex(self):
         analytic = movement_based_costs(HexTopology(), MOBILITY, COSTS, 3)
         sim = simulate(HexTopology(), lambda: MovementStrategy(3, max_delay=1), 50)
-        assert sim.mean_total_cost == pytest.approx(analytic.total_cost, rel=0.03)
+        assert_agreement(analytic.total_cost, sim, rel_limit=0.03)
 
     def test_components_agree(self):
         analytic = movement_based_costs(LineTopology(), MOBILITY, COSTS, 4)
@@ -54,12 +76,12 @@ class TestTimerAgreement:
     def test_line(self, T):
         analytic = time_based_costs(LineTopology(), MOBILITY, COSTS, T)
         sim = simulate(LineTopology(), lambda: TimerStrategy(T, max_delay=1), 60 + T)
-        assert sim.mean_total_cost == pytest.approx(analytic.total_cost, rel=0.03)
+        assert_agreement(analytic.total_cost, sim, rel_limit=0.03)
 
     def test_hex(self):
         analytic = time_based_costs(HexTopology(), MOBILITY, COSTS, 5)
         sim = simulate(HexTopology(), lambda: TimerStrategy(5, max_delay=1), 70)
-        assert sim.mean_total_cost == pytest.approx(analytic.total_cost, rel=0.03)
+        assert_agreement(analytic.total_cost, sim, rel_limit=0.03)
 
 
 class TestLocationAreaAgreement:
@@ -67,10 +89,10 @@ class TestLocationAreaAgreement:
     def test_line(self, n):
         analytic = location_area_costs(LineTopology(), MOBILITY, COSTS, n)
         sim = simulate(LineTopology(), lambda: LocationAreaStrategy(n), 80 + n)
-        assert sim.mean_total_cost == pytest.approx(analytic.total_cost, rel=0.04)
+        assert_agreement(analytic.total_cost, sim, rel_limit=0.04)
 
     @pytest.mark.parametrize("n", [1, 2])
     def test_hex(self, n):
         analytic = location_area_costs(HexTopology(), MOBILITY, COSTS, n)
         sim = simulate(HexTopology(), lambda: LocationAreaStrategy(n), 90 + n)
-        assert sim.mean_total_cost == pytest.approx(analytic.total_cost, rel=0.04)
+        assert_agreement(analytic.total_cost, sim, rel_limit=0.04)

@@ -29,6 +29,8 @@ from repro.strategies import (
     TimerStrategy,
 )
 
+pytestmark = pytest.mark.slow
+
 
 class TestModelVsSimulation:
     def test_1d_model_is_exact(self):

@@ -28,6 +28,8 @@ from repro.strategies import (
     TimerStrategy,
 )
 
+pytestmark = pytest.mark.slow
+
 TOPOLOGIES = [LineTopology(), HexTopology(), SquareTopology()]
 
 

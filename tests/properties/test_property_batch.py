@@ -7,6 +7,7 @@ bar of ``benchmarks/bench_analytic.py``, here enforced over the whole
 random parameter space rather than one operating point.
 """
 
+import pytest
 import math
 
 import numpy as np
@@ -22,6 +23,8 @@ from repro.core.chains import (
 )
 from repro.core.costs import CostEvaluator
 from repro.core.parameters import CostParams, MobilityParams
+
+pytestmark = pytest.mark.slow
 
 TOLERANCE = 1e-10
 

@@ -5,6 +5,7 @@ distribution, the distribution must actually be stationary, and the
 closed forms must match the generic solver they shortcut.
 """
 
+import pytest
 import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -21,6 +22,8 @@ from repro.core.models import (
     TwoDimensionalModel,
 )
 from repro.core.parameters import MobilityParams
+
+pytestmark = pytest.mark.slow
 
 probabilities = st.tuples(
     st.floats(min_value=0.01, max_value=0.8),

@@ -1,5 +1,6 @@
 """Property-based tests for the cost model and optimizer."""
 
+import pytest
 import math
 
 from hypothesis import given, settings
@@ -14,6 +15,8 @@ from repro import (
     exhaustive_search,
     find_optimal_threshold,
 )
+
+pytestmark = pytest.mark.slow
 
 mobility_params = st.builds(
     MobilityParams,

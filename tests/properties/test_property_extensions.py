@@ -4,6 +4,7 @@ Invariants for the queueing substrate, the soft-delay DP, the
 analytical baselines, and transient analysis across random parameters.
 """
 
+import pytest
 import math
 
 import numpy as np
@@ -23,6 +24,8 @@ from repro import (
 )
 from repro.channel import ServiceDistribution, analyze_queue
 from repro.geometry import HexTopology, LineTopology
+
+pytestmark = pytest.mark.slow
 
 HEX = HexTopology()
 LINE = LineTopology()

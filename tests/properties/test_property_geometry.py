@@ -6,10 +6,13 @@ invariants underpin both the Markov model (ring aggregation) and every
 strategy's paging-coverage guarantee.
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.geometry import HexTopology, LineTopology
+
+pytestmark = pytest.mark.slow
 
 HEX = HexTopology()
 LINE = LineTopology()

@@ -11,6 +11,7 @@ snapshots; this test is the contract the instrumentation sites in
 ``runner.py`` and ``vectorized.py`` cite.
 """
 
+import pytest
 import math
 from functools import partial
 
@@ -22,6 +23,8 @@ from repro.geometry import HexTopology
 from repro.observability import session
 from repro.simulation import VectorizedDistanceEngine, run_replicated
 from repro.strategies import DistanceStrategy
+
+pytestmark = pytest.mark.slow
 
 probabilities = st.tuples(
     st.floats(min_value=0.05, max_value=0.6),

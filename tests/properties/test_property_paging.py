@@ -1,5 +1,6 @@
 """Property-based tests for paging partitions and their costs."""
 
+import pytest
 import math
 
 import numpy as np
@@ -14,6 +15,8 @@ from repro.paging import (
     sdf_partition,
     blanket_partition,
 )
+
+pytestmark = pytest.mark.slow
 
 HEX = HexTopology()
 LINE = LineTopology()

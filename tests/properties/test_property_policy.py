@@ -1,5 +1,6 @@
 """Property-based tests for policy serialization and paging plans."""
 
+import pytest
 import math
 
 from hypothesis import given, settings
@@ -8,6 +9,8 @@ from hypothesis import strategies as st
 from repro import Policy
 from repro.geometry import HexTopology, LineTopology, SquareTopology
 from repro.paging import PagingPlan, partition_from_sizes
+
+pytestmark = pytest.mark.slow
 
 TOPOLOGIES = (LineTopology(), HexTopology(), SquareTopology())
 

@@ -7,6 +7,8 @@ from repro.geometry import LineTopology
 from repro.simulation import run_replicated, run_until_precision
 from repro.strategies import DistanceStrategy
 
+pytestmark = pytest.mark.slow
+
 MOBILITY = MobilityParams(0.2, 0.02)
 COSTS = CostParams(30.0, 2.0)
 

@@ -2,6 +2,7 @@
 
 import math
 
+import numpy as np
 import pytest
 
 from repro import CostParams, MobilityParams, ParameterError, TwoDimensionalModel
@@ -84,6 +85,68 @@ class TestAnalyzeQueue:
             simulate_queue(0.5, ServiceDistribution([1.0]), slots=0)
 
 
+class TestQueueEdgeCases:
+    """Overflow, backlog ordering, and degenerate-load behavior."""
+
+    def test_zero_arrivals_simulated(self):
+        # The no-arrival early return must report an idle channel and
+        # fall back to the analytic service mean (nothing was sampled).
+        service = ServiceDistribution([0.25, 0.75])
+        analysis = simulate_queue(0.0, service, slots=500, seed=1)
+        assert analysis.utilization == 0.0
+        assert analysis.mean_wait == 0.0
+        assert analysis.mean_service == pytest.approx(service.mean)
+
+    def test_unit_service_never_waits_even_at_heavy_load(self):
+        # S = 1 with at most one Bernoulli arrival per slot: the
+        # channel is always free again before the next arrival, so the
+        # FIFO recursion must produce exactly zero wait.
+        analysis = simulate_queue(0.9, ServiceDistribution([1.0]), slots=20_000, seed=2)
+        assert analysis.mean_wait == 0.0
+        assert analysis.utilization == pytest.approx(0.9, abs=0.02)
+        assert analysis.stable
+
+    def test_overloaded_queue_clamps_utilization(self):
+        # rho = 0.8 * 3 = 2.4: the simulation must still run (only the
+        # closed form refuses) and report the busy fraction clamped to
+        # 1.0 rather than the nonsensical raw 2.4.
+        overloaded = simulate_queue(
+            0.8, ServiceDistribution([0.0, 0.0, 1.0]), slots=5_000, seed=3
+        )
+        assert overloaded.utilization == 1.0
+        assert not overloaded.stable
+        assert overloaded.mean_wait > 0.0
+
+    def test_overloaded_backlog_grows_with_horizon(self):
+        # Past saturation the backlog diverges: doubling the horizon
+        # must more than double the mean wait (each extra arrival joins
+        # an ever-longer queue).
+        service = ServiceDistribution([0.0, 0.0, 1.0])
+        short = simulate_queue(0.8, service, slots=2_000, seed=4)
+        long = simulate_queue(0.8, service, slots=8_000, seed=4)
+        assert long.mean_wait > 2.0 * short.mean_wait
+
+    def test_overflow_waits_follow_fifo_lindley_recursion(self):
+        # Independent formulation of the same queue: with deterministic
+        # service S = k, the FIFO waits obey the Lindley recursion
+        #   W_0 = 0,  W_i = max(0, W_{i-1} + k - (t_i - t_{i-1})),
+        # which references only inter-arrival gaps -- no start/finish
+        # bookkeeping.  Reconstruct the arrival stream from the same
+        # seed and require the simulated mean wait to match exactly.
+        lam, k, slots, seed = 0.6, 3, 4_000, 5
+        service = ServiceDistribution([0.0, 0.0, 1.0])
+        simulated = simulate_queue(lam, service, slots=slots, seed=seed)
+
+        rng = np.random.default_rng(seed)
+        arrival_slots = np.flatnonzero(rng.random(slots) < lam)
+        assert arrival_slots.size > 0
+        waits = [0.0]
+        for gap in np.diff(arrival_slots):
+            waits.append(max(0.0, waits[-1] + k - gap))
+        assert simulated.mean_wait == pytest.approx(float(np.mean(waits)), abs=1e-12)
+        assert simulated.mean_service == k
+
+
 class TestChannelOperatingPoint:
     def test_blanket_paging_never_queues(self):
         # m = 1 means every paging is one cycle: zero wait always.
@@ -109,6 +172,25 @@ class TestChannelOperatingPoint:
     def test_invalid_terminal_count(self):
         with pytest.raises(ParameterError):
             channel_operating_point(MODEL, COSTS, d=2, m=2, terminals=0)
+
+    def test_zero_capacity_channel_rejected(self):
+        # terminals * c >= 1 leaves no Bernoulli headroom at all -- the
+        # channel has zero capacity for this population and must refuse
+        # (with the shard advisory) rather than report rho >= 1.
+        with pytest.raises(ParameterError, match="shard"):
+            channel_operating_point(MODEL, COSTS, d=2, m=2, terminals=100)
+        with pytest.raises(ParameterError):
+            dimension_channel(MODEL, COSTS, terminals=100, delays=(1, 2))
+
+    def test_zero_load_channel_is_idle(self):
+        # c = 0: no calls ever arrive, so every delay bound is feasible
+        # with an idle channel and zero polling bandwidth.
+        quiet = TwoDimensionalModel(MobilityParams(0.05, 0.0))
+        point = channel_operating_point(quiet, COSTS, d=2, m=2, terminals=50)
+        assert point.feasible
+        assert point.utilization == 0.0
+        assert point.mean_wait_slots == 0.0
+        assert point.polling_bandwidth == 0.0
 
 
 class TestDimensionChannel:

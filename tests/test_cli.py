@@ -486,3 +486,39 @@ class TestObservabilityFlags:
         code = main(["metrics"])
         assert code == 2
         assert "metrics summarize" in capsys.readouterr().err
+
+
+class TestConformanceCommand:
+    # Approximate chains draw no simulation configs, so this scope
+    # keeps the command purely analytic (fast).
+    FAST = ["conformance", "--suite", "quick", "--models", "2d-approx", "--seed", "3"]
+
+    def test_quick_suite_passes(self, capsys):
+        code = main(self.FAST)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Conformance suite 'quick'" in out
+        assert "0 failed" in out
+        assert "approx-tracks-exact" in out
+
+    def test_report_artifact_written(self, capsys, tmp_path):
+        from repro.conformance import read_report
+
+        path = tmp_path / "conformance.jsonl"
+        code = main(self.FAST + ["--report", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "wrote conformance report" in out
+        artifact = read_report(path)
+        assert artifact["provenance"]["command"] == "conformance"
+        assert artifact["provenance"]["seed"] == 3
+        assert {c["params"]["model"] for c in artifact["checks"]} == {"2d-approx"}
+
+    def test_unknown_model_is_a_parameter_error(self, capsys):
+        code = main(["conformance", "--models", "tesseract"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_suite_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["conformance", "--suite", "leisurely"])

@@ -13,6 +13,8 @@ from pathlib import Path
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
 
 #: (script, landmark strings that must appear on stdout)

@@ -15,6 +15,7 @@ from repro.workload import (
     VEHICLE,
     plan_fleet,
 )
+from repro.workload.planning import FleetPlan, UserPlan
 
 COSTS = CostParams(50.0, 2.0)
 
@@ -146,3 +147,49 @@ class TestPlanFleet:
     def test_zero_users_rejected(self):
         with pytest.raises(ParameterError):
             plan_fleet(Population(DEFAULT_MIX), COSTS, 1, users=0)
+
+
+def make_user_plan(personal_cost, shared_cost):
+    return UserPlan(
+        profile_name="p",
+        mobility=MobilityParams(0.1, 0.02),
+        personal_threshold=1,
+        personal_cost=personal_cost,
+        shared_threshold=2,
+        shared_cost=shared_cost,
+    )
+
+
+class TestPlanEdgeCases:
+    def test_empty_fleet_plan_rejected(self):
+        # An empty plan would silently turn every aggregate (fleet
+        # costs, regret quantiles) into NaN; it must refuse up front.
+        with pytest.raises(ParameterError):
+            FleetPlan(users=[], shared_threshold=1, max_delay=1)
+
+    def test_relative_regret_zero_optimum_zero_shared(self):
+        # Both policies free (e.g. zero costs): no regret, not 0/0.
+        assert make_user_plan(0.0, 0.0).relative_regret == 0.0
+
+    def test_relative_regret_zero_optimum_positive_shared(self):
+        # Any extra cost over a free optimum is infinitely regrettable.
+        assert make_user_plan(0.0, 1.5).relative_regret == math.inf
+
+    def test_relative_regret_ordinary(self):
+        plan = make_user_plan(2.0, 3.0)
+        assert plan.regret == pytest.approx(1.0)
+        assert plan.relative_regret == pytest.approx(0.5)
+
+    def test_single_user_fleet_aggregates(self):
+        # The smallest legal fleet: aggregates degenerate to that
+        # user's own numbers and every quantile coincides.
+        plan = FleetPlan(
+            users=[make_user_plan(2.0, 3.0)], shared_threshold=2, max_delay=1
+        )
+        assert plan.size == 1
+        assert plan.personal_fleet_cost == pytest.approx(2.0)
+        assert plan.shared_fleet_cost == pytest.approx(3.0)
+        quantiles = plan.regret_quantiles((0.5, 0.99))
+        assert quantiles[0.5] == pytest.approx(0.5)
+        assert quantiles[0.99] == pytest.approx(0.5)
+        assert plan.by_profile() == {"p": (pytest.approx(2.0), pytest.approx(3.0))}
