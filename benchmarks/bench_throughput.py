@@ -1,13 +1,24 @@
 #!/usr/bin/env python
-"""THROUGHPUT: per-cell engine vs vectorized distance engine.
+"""THROUGHPUT: per-cell engine vs vectorized distance engine, plus the
+sharded fleet gate.
 
     PYTHONPATH=src python benchmarks/bench_throughput.py [--smoke] [--min-speedup X]
+    PYTHONPATH=src python benchmarks/bench_throughput.py --fleet-only \\
+        --fleet-terminals 1000000 --fleet-workers 4
 
 Measures slots/sec of :class:`repro.simulation.SimulationEngine` and
 terminal-slots/sec of
 :class:`repro.simulation.VectorizedDistanceEngine` at the acceptance
 operating point (d=3, m=1, q=0.3, c=0.01) on both geometries, prints a
 table, and writes ``benchmarks/out/throughput.json``.
+
+``--fleet`` (or ``--fleet-only``) additionally runs the sharded
+heterogeneous fleet engine and writes ``benchmarks/out/fleet.json``,
+asserting the bounded-RSS contract: peak RSS of the parent and of the
+worker pool must stay under ``base + bytes_per_terminal * N`` -- any
+change that starts materializing per-terminal history blows through
+the budget by orders of magnitude.  CI smoke runs 100k terminals; the
+nightly ``slow`` test runs the full million.
 
 Unlike the table/figure benches this is a plain script (no
 pytest-benchmark dependency) so CI can run it in smoke mode -- tiny
@@ -124,6 +135,42 @@ def measure_observability_overhead(
     }
 
 
+def run_fleet_gate(
+    terminals: int,
+    shards: int,
+    slots: int,
+    workers: int,
+    seed: int = 0,
+) -> dict:
+    """Run the fleet bench and write ``benchmarks/out/fleet.json``.
+
+    The returned report carries ``rss_within_budget``; callers decide
+    whether to gate on it (``main`` does).
+    """
+    from repro.simulation.fleet import fleet_report
+
+    report = fleet_report(
+        terminals,
+        shards=shards,
+        slots=slots,
+        workers=workers if workers > 1 else None,
+        seed=seed,
+    )
+    OUT_DIR.mkdir(exist_ok=True)
+    out_path = OUT_DIR / "fleet.json"
+    out_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    rss = report["peak_rss_bytes"]
+    print(
+        f"fleet: {terminals:,} terminals x {report['config']['slots']} slots "
+        f"({shards} shards, {workers} worker(s)): "
+        f"{report['terminal_slots_per_sec']:,.0f} terminal-slots/s, "
+        f"peak RSS {rss['max'] / 2**20:,.0f} MiB "
+        f"(budget {report['rss_budget_bytes'] / 2**20:,.0f} MiB); "
+        f"wrote {out_path}"
+    )
+    return report
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -143,7 +190,38 @@ def main(argv=None) -> int:
         help="exit non-zero if armed-but-no-op observability slows the "
         "per-cell engine by more than this fraction (default 0.02)",
     )
+    parser.add_argument(
+        "--fleet", action="store_true",
+        help="also run the sharded fleet gate (writes benchmarks/out/"
+        "fleet.json, asserts the bounded-RSS budget)",
+    )
+    parser.add_argument(
+        "--fleet-only", action="store_true",
+        help="run only the fleet gate, skipping the engine benches",
+    )
+    parser.add_argument("--fleet-terminals", type=int, default=100_000)
+    parser.add_argument("--fleet-shards", type=int, default=8)
+    parser.add_argument("--fleet-slots", type=int, default=None,
+                        help="default: 20 in smoke mode, 50 otherwise")
+    parser.add_argument("--fleet-workers", type=int, default=2)
     args = parser.parse_args(argv)
+
+    if args.fleet_only:
+        report = run_fleet_gate(
+            terminals=args.fleet_terminals,
+            shards=args.fleet_shards,
+            slots=args.fleet_slots or (20 if args.smoke else 50),
+            workers=args.fleet_workers,
+            seed=args.seed,
+        )
+        if not report["rss_within_budget"]:
+            print(
+                f"FAIL: fleet peak RSS {report['peak_rss_bytes']['max']:,} "
+                f"bytes exceeds budget {report['rss_budget_bytes']:,}",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
 
     if args.smoke:
         engine_slots = args.engine_slots or 2_000
@@ -225,12 +303,56 @@ def main(argv=None) -> int:
             file=sys.stderr,
         )
         return 1
+    if args.fleet:
+        report = run_fleet_gate(
+            terminals=args.fleet_terminals,
+            shards=args.fleet_shards,
+            slots=args.fleet_slots or (20 if args.smoke else 50),
+            workers=args.fleet_workers,
+            seed=args.seed,
+        )
+        if not report["rss_within_budget"]:
+            print(
+                f"FAIL: fleet peak RSS {report['peak_rss_bytes']['max']:,} "
+                f"bytes exceeds budget {report['rss_budget_bytes']:,}",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 
 def test_throughput_smoke():
     """Pytest hook so ``pytest benchmarks/`` also exercises the bench."""
     assert main(["--smoke"]) == 0
+
+
+def test_fleet_smoke():
+    """CI fleet gate: 100k terminals, RSS bound asserted."""
+    assert main(["--smoke", "--fleet-only"]) == 0
+
+
+try:  # pytest is absent when this file runs as a plain script
+    import pytest as _pytest
+
+    _slow = _pytest.mark.slow
+except ImportError:  # pragma: no cover
+    def _slow(function):
+        return function
+
+
+@_slow
+def test_fleet_million():
+    """Nightly fleet gate: the full million terminals, bounded RSS.
+
+    Marked slow; the fast CI job deselects it with ``-m 'not slow'``.
+    """
+    assert main([
+        "--fleet-only",
+        "--fleet-terminals", "1000000",
+        "--fleet-shards", "16",
+        "--fleet-workers", "4",
+        "--fleet-slots", "25",
+    ]) == 0
 
 
 if __name__ == "__main__":

@@ -35,9 +35,7 @@ from __future__ import annotations
 import hashlib
 import json
 import math
-import os
 import pickle
-import tempfile
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from pathlib import Path
@@ -54,8 +52,9 @@ from ..core.models import (
 )
 from ..core.parameters import CostParams, MobilityParams, validate_delay
 from ..core.threshold import find_optimal_threshold
-from ..exceptions import ParameterError
+from ..exceptions import ParameterError, SweepPointError
 from ..observability.context import current as _observability
+from ..persist import atomic_write_json
 from ..simulation.runner import _resolve_workers
 
 __all__ = [
@@ -201,20 +200,38 @@ def _solve_grid_point(
     Module-level so worker processes can pickle and run it; both the
     serial and the pooled path go through this exact function, which is
     what makes ``workers=N`` output identical to a serial sweep.
+
+    Any failure is re-raised as a :class:`SweepPointError` carrying the
+    point's parameters: under a process pool, ``future.result()`` would
+    otherwise surface the bare original exception with no way to tell
+    which of the grid's points (or whose ``plan_factory`` call) was
+    responsible.
     """
-    model_cls = MODEL_CLASSES[model_name]
-    model: MobilityModel = model_cls(
-        MobilityParams(move_probability=q, call_probability=c)
-    )
-    costs = CostParams(update_cost=update_cost, poll_cost=poll_cost)
-    solution = find_optimal_threshold(
-        model,
-        costs,
-        max_delay,
-        d_max=d_max,
-        plan_factory=plan_factory,
-        convention=convention,
-    )
+    point_params = {
+        "index": index, "model": model_name, "q": q, "c": c,
+        "U": update_cost, "V": poll_cost, "m": max_delay,
+    }
+    try:
+        model_cls = MODEL_CLASSES[model_name]
+        model: MobilityModel = model_cls(
+            MobilityParams(move_probability=q, call_probability=c)
+        )
+        costs = CostParams(update_cost=update_cost, poll_cost=poll_cost)
+        solution = find_optimal_threshold(
+            model,
+            costs,
+            max_delay,
+            d_max=d_max,
+            plan_factory=plan_factory,
+            convention=convention,
+        )
+    except SweepPointError:
+        raise
+    except Exception as exc:
+        raise SweepPointError(
+            f"grid point {point_params} failed to solve: {exc!r}",
+            point_params,
+        ) from exc
     return index, SweepPoint(
         q=q,
         c=c,
@@ -355,20 +372,7 @@ def _store_cached_points(
             for p in points
         ],
     }
-    path.parent.mkdir(parents=True, exist_ok=True)
-    fd, tmp = tempfile.mkstemp(prefix=path.name + ".", suffix=".tmp", dir=path.parent)
-    try:
-        with os.fdopen(fd, "w") as handle:
-            json.dump(payload, handle)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, path)
-    except BaseException:
-        try:
-            os.unlink(tmp)
-        except OSError:
-            pass
-        raise
+    atomic_write_json(path, payload)
 
 
 # ----------------------------------------------------------------------

@@ -15,6 +15,8 @@ library's own validation tooling::
              --workers 4            # replications on a process pool
     repro-lm validate               # simulation-vs-model campaign
     repro-lm speed                  # engine vs vectorized throughput
+    repro-lm fleet --terminals 1000000 --shards 32 --workers 8 \\
+             --checkpoint fleet.ckpt.json   # sharded heterogeneous fleet
     repro-lm faults --loss 0.2 --outage-rate 0.01   # resilience report
 
 Every data-producing command accepts ``--csv PATH`` to also write the
@@ -189,6 +191,37 @@ def build_parser() -> argparse.ArgumentParser:
     _add_observability_flags(p)
 
     p = sub.add_parser(
+        "fleet",
+        help="sharded heterogeneous fleet simulation with streaming "
+        "metric merges and fleet-granularity checkpoints",
+    )
+    p.add_argument("--terminals", type=int, default=100_000,
+                   help="fleet size (population sampled from the default mix)")
+    p.add_argument("--shards", type=int, default=8,
+                   help="contiguous population shards (unit of parallelism "
+                   "and checkpointing; totals are shard-layout invariant)")
+    p.add_argument("--slots", type=int, default=200)
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes for shards (1 = serial; results "
+                   "are bit-identical either way)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="event-noise seed (the population seed is separate "
+                   "and recorded in the checkpoint fingerprint)")
+    p.add_argument("--population-seed", type=int, default=0,
+                   help="population sampling seed")
+    p.add_argument("--update-cost", type=float, default=50.0, help="U")
+    p.add_argument("--poll-cost", type=float, default=2.0, help="V")
+    p.add_argument("--max-delay", type=_delay, default=2, help="m (int or 'inf')")
+    p.add_argument("--d-max", type=int, default=30,
+                   help="per-profile threshold search bound")
+    p.add_argument("--checkpoint", metavar="PATH",
+                   help="fleet checkpoint JSON, updated after every shard; "
+                   "rerun with identical parameters to resume")
+    p.add_argument("--json", dest="json_path",
+                   help="also write the machine-readable report here")
+    _add_observability_flags(p)
+
+    p = sub.add_parser(
         "faults",
         help="fault injection: cost/delay degradation vs the fault-free baseline",
     )
@@ -327,6 +360,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "simulate": _cmd_simulate,
             "validate": _cmd_validate,
             "speed": _cmd_speed,
+            "fleet": _cmd_fleet,
             "faults": _cmd_faults,
             "soft-delay": _cmd_soft_delay,
             "conformance": _cmd_conformance,
@@ -723,6 +757,59 @@ def _cmd_speed(args) -> int:
     print(f"  vectorized (K={vec['terminals']}): {vec['slots_per_sec']:>10,.0f} "
           f"terminal-slots/sec ({vec['terminal_slots']:,} in {vec['seconds']:.3f}s)")
     print(f"  speedup:          {report['speedup']:.1f}x")
+    if args.json_path:
+        import json
+        from pathlib import Path
+
+        Path(args.json_path).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote JSON report to {args.json_path}")
+    return 0
+
+
+def _cmd_fleet(args) -> int:
+    from .simulation.fleet import fleet_report
+
+    report = fleet_report(
+        args.terminals,
+        shards=args.shards,
+        slots=args.slots,
+        workers=args.workers,
+        seed=args.seed,
+        costs=CostParams(update_cost=args.update_cost, poll_cost=args.poll_cost),
+        max_delay=args.max_delay,
+        d_max=args.d_max,
+        population_seed=args.population_seed,
+        checkpoint=args.checkpoint,
+    )
+    config = report["config"]
+    print(
+        f"Fleet: {config['terminals']:,} terminals, {config['shards']} shards, "
+        f"{config['slots']} slots, m={config['max_delay']}"
+    )
+    print(f"population:        " + ", ".join(
+        f"{name}={count:,}" for name, count in config["population"].items()
+    ))
+    print(f"build time:        {report['build_seconds']:.3f}s")
+    print(f"run time:          {report['run_seconds']:.3f}s "
+          f"({report['terminal_slots_per_sec']:,.0f} terminal-slots/sec)")
+    print(f"mean C_T / slot:   {report['mean_total_cost']:.6f}")
+    print(f"  mean C_u:        {report['mean_update_cost']:.6f}")
+    print(f"  mean C_v:        {report['mean_paging_cost']:.6f}")
+    print(f"mean page delay:   {report['mean_paging_delay']:.3f} cycles")
+    rows = [
+        [name, f"{stats['terminals']:,}", stats["update_cost"],
+         stats["paging_cost"], stats["mean_total_cost"]]
+        for name, stats in report["per_profile"].items()
+    ]
+    print()
+    print(render_table(
+        ["profile", "terminals", "C_u total", "C_v total", "mean C_T/slot"],
+        rows, title="Per-profile breakdown",
+    ))
+    rss = report["peak_rss_bytes"]
+    print(f"\npeak RSS:          {rss['max'] / 2**20:,.0f} MiB "
+          f"(budget {report['rss_budget_bytes'] / 2**20:,.0f} MiB, "
+          f"{'within' if report['rss_within_budget'] else 'OVER'} budget)")
     if args.json_path:
         import json
         from pathlib import Path

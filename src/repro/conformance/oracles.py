@@ -18,6 +18,9 @@ optimal-threshold-consistency   exhaustive (batched) vs exhaustive-scalar
 engine-vs-vectorized            per-cell engine vs vectorized lattice engine
 engine-vs-resilient-nofault     base engine vs fault-free ResilientEngine
 serial-vs-pooled                ``run_replicated`` serial vs process pool
+fleet-sharded-vs-single         ``run_fleet`` sharded vs one shard
+fleet-pooled-vs-inprocess       ``run_fleet`` process pool vs in-process
+fleet-vs-vectorized             homogeneous fleet vs vectorized engine
 ==============================  =============================================
 
 Analytic oracles are exact up to float accumulation (tolerances around
@@ -28,6 +31,17 @@ as a normalized deviation with tolerance 1.0.  ``serial-vs-pooled`` is
 the exception: worker count must never change results, so it demands
 bit identity (tolerance 0.0) and only runs when the sampler grants a
 process pool (``pool_workers >= 2``, the full suite).
+
+The fleet oracles exercise the sharded engine's layout contracts:
+``fleet-sharded-vs-single`` holds the seed fixed and re-runs the same
+population under several shard counts -- the stateless counter-based
+randomness makes event totals *exactly* invariant, so the tolerance is
+float-accumulation-sized rather than statistical;
+``fleet-pooled-vs-inprocess`` demands bit-identical shard snapshots
+between the process-pool and in-process executors (the fleet analogue
+of ``serial-vs-pooled``); ``fleet-vs-vectorized`` checks a homogeneous
+fleet against the independently-implemented vectorized engine
+statistically (the two consume randomness differently by design).
 
 The comparison helpers (:func:`replicated_agreement`,
 :func:`bitwise_agreement`) are module-level so the conformance tests
@@ -343,3 +357,121 @@ def _serial_vs_pooled(config: ConformanceConfig) -> Deviation:
     serial = run_replicated(workers=None, **common)
     pooled = run_replicated(workers=config.pool_workers, **common)
     return bitwise_agreement(serial, pooled)
+
+
+#: Fleet-oracle budgets: shard contracts are exact, so a short run is
+#: as conclusive as a long one; the statistical cross-check gets a
+#: larger (but still CI-sized) slice of the config's slot budget.
+_FLEET_TERMINALS = 256
+_FLEET_EXACT_SLOTS = 400
+_FLEET_STAT_SLOTS = 4_000
+
+
+def _fleet_spec(config: ConformanceConfig):
+    from ..simulation.fleet import FleetSpec  # deferred: heavy
+
+    model = config.build_model()
+    return FleetSpec.homogeneous(
+        topology=model.topology,
+        threshold=config.d,
+        mobility=config.mobility(),
+        costs=config.costs(),
+        max_delay=config.m,
+        count=_FLEET_TERMINALS,
+    )
+
+
+@REGISTRY.oracle(
+    "fleet-sharded-vs-single",
+    tolerance=1e-9,
+    paper_ref="Section 6",
+    description="fleet totals are invariant under the shard count",
+    applies=lambda config: config.sim_slots > 0,
+)
+def _fleet_sharded_vs_single(config: ConformanceConfig) -> Deviation:
+    from ..simulation.fleet import run_fleet  # deferred: heavy
+
+    spec = _fleet_spec(config)
+    slots = min(config.sim_slots, _FLEET_EXACT_SLOTS)
+    single = run_fleet(spec, slots=slots, shards=1, seed=config.seed)
+    worst, detail = 0.0, "all shard layouts agree exactly"
+    for shards in (3, 7):
+        sharded = run_fleet(spec, slots=slots, shards=shards, seed=config.seed)
+        event_gap = max(
+            abs(single.moves - sharded.moves),
+            abs(single.updates - sharded.updates),
+            abs(single.calls - sharded.calls),
+            abs(single.polled_cells - sharded.polled_cells),
+        )
+        scale = max(abs(single.total_cost), 1.0)
+        cost_gap = abs(single.total_cost - sharded.total_cost) / scale
+        gap = float(event_gap + cost_gap)
+        if gap > worst:
+            worst = gap
+            detail = (
+                f"{shards} shards vs 1: event gap {event_gap}, "
+                f"rel cost gap {cost_gap:.3g}"
+            )
+    return Deviation(worst, detail)
+
+
+@REGISTRY.oracle(
+    "fleet-pooled-vs-inprocess",
+    tolerance=0.0,
+    paper_ref="Section 6",
+    description="pooled fleet shards are bit-identical to the in-process run",
+    applies=lambda config: config.sim_slots > 0 and config.pool_workers >= 2,
+)
+def _fleet_pooled_vs_inprocess(config: ConformanceConfig) -> Deviation:
+    from ..simulation.fleet import run_fleet  # deferred: heavy
+
+    spec = _fleet_spec(config)
+    slots = min(config.sim_slots, _FLEET_EXACT_SLOTS)
+    common = dict(slots=slots, shards=4, seed=config.seed)
+    in_process = run_fleet(spec, workers=None, **common)
+    pooled = run_fleet(spec, workers=config.pool_workers, **common)
+    for serial_shard, pooled_shard in zip(in_process.shards, pooled.shards):
+        if serial_shard != pooled_shard:
+            return Deviation(
+                math.inf,
+                f"shard {serial_shard.index} snapshots differ: "
+                f"{serial_shard} vs {pooled_shard}",
+            )
+    gap = abs(in_process.total_cost - pooled.total_cost)
+    return Deviation(float(gap), f"total cost gap {float(gap):.3g}")
+
+
+@REGISTRY.oracle(
+    "fleet-vs-vectorized",
+    tolerance=1.0,
+    paper_ref="Section 6",
+    description="homogeneous fleet agrees statistically with the vectorized engine",
+    applies=lambda config: config.sim_slots > 0,
+)
+def _fleet_vs_vectorized(config: ConformanceConfig) -> Deviation:
+    from ..simulation.fleet import run_fleet  # deferred: heavy
+    from ..simulation.vectorized import VectorizedDistanceEngine  # deferred
+
+    spec = _fleet_spec(config)
+    slots = min(config.sim_slots, _FLEET_STAT_SLOTS)
+    fleet = run_fleet(spec, slots=slots, shards=1, seed=config.seed)
+    vectorized = VectorizedDistanceEngine(
+        topology=spec.topology,
+        threshold=config.d,
+        mobility=config.mobility(),
+        costs=config.costs(),
+        max_delay=config.m,
+        terminals=_FLEET_TERMINALS,
+        seed=config.seed,
+    ).run(slots)
+
+    class _FleetAsReplicated:
+        """Adapter: a one-shard fleet run quacks like a replicated result."""
+
+        mean_total_cost = fleet.mean_total_cost
+
+        @staticmethod
+        def total_cost_ci() -> float:
+            return fleet.shards[0].total_cost_half_width_95
+
+    return replicated_agreement(_FleetAsReplicated(), vectorized)

@@ -13,6 +13,7 @@ __all__ = [
     "SolverError",
     "PartitionError",
     "SimulationError",
+    "SweepPointError",
     "FaultInjectionError",
     "RecoveryExhaustedError",
 ]
@@ -50,6 +51,32 @@ class PartitionError(ReproError, ValueError):
 
 class SimulationError(ReproError, RuntimeError):
     """The discrete-time PCN simulator reached an inconsistent state."""
+
+
+class SweepPointError(ReproError, RuntimeError):
+    """One grid point of a parameter sweep failed to solve.
+
+    A pooled :func:`repro.analysis.sweep.grid_sweep` surfaces worker
+    failures through ``future.result()``, which re-raises the original
+    exception with no indication of *which* of possibly thousands of
+    grid points blew up.  Solvers therefore wrap any failure in this
+    exception, attaching the failing point's parameters (``point`` is a
+    plain dict with ``q``, ``c``, ``U``, ``V``, ``m`` plus the row-major
+    ``index``) and the original error's representation, so a red sweep
+    is immediately reproducible.  The original exception is chained as
+    ``__cause__`` on the serial path; across a process pool the cause
+    does not survive pickling, which is exactly why the message itself
+    carries the point and the underlying error.
+    """
+
+    def __init__(self, message: str, point: dict):
+        super().__init__(message)
+        self.point = dict(point)
+
+    def __reduce__(self):
+        # Two-argument constructor: default Exception pickling would
+        # re-call ``__init__(message)`` and lose ``point``.
+        return type(self), (self.args[0], self.point)
 
 
 class FaultInjectionError(ReproError, RuntimeError):

@@ -4,11 +4,23 @@ Single-terminal engine (chain-faithful slot semantics), a batched
 NumPy engine for the distance strategy, multi-terminal network with
 base stations and a location register, cost metering with confidence
 intervals, and replicated analytic-vs-simulation validation with
-optional process-pool parallelism.
+optional process-pool parallelism.  The sharded fleet engine
+(:mod:`repro.simulation.fleet`) scales the population axis to millions
+of heterogeneous terminals with streaming metric merges and
+fleet-granularity checkpoints.
 """
 
 from .engine import SimulationEngine
 from .events import EventLog, MoveEvent, PagingEvent, UpdateEvent
+from .fleet import (
+    FleetResult,
+    FleetShardEngine,
+    FleetSpec,
+    ShardSnapshot,
+    fleet_report,
+    run_fleet,
+    shard_bounds,
+)
 from .metrics import CostMeter, MeterSnapshot, z_score
 from .network import BaseStation, LocationRegister, MobileTerminal, PCNetwork
 from .runner import (
@@ -25,6 +37,9 @@ __all__ = [
     "BaseStation",
     "CostMeter",
     "EventLog",
+    "FleetResult",
+    "FleetShardEngine",
+    "FleetSpec",
     "LocationRegister",
     "LossyUpdateEngine",
     "MeterSnapshot",
@@ -35,10 +50,14 @@ __all__ = [
     "PagingEvent",
     "PartialReplication",
     "ReplicatedResult",
+    "ShardSnapshot",
     "SimulationEngine",
     "UpdateEvent",
     "VectorizedDistanceEngine",
+    "fleet_report",
+    "run_fleet",
     "run_replicated",
+    "shard_bounds",
     "run_until_precision",
     "throughput_report",
     "validate_against_model",

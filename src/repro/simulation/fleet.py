@@ -1,0 +1,1202 @@
+"""Sharded million-terminal fleet simulation of the distance strategy.
+
+:class:`~repro.simulation.vectorized.VectorizedDistanceEngine` batches
+``K`` *identical* terminals; a real PCS network serves millions of
+*heterogeneous* subscribers -- pedestrians, vehicles, and static
+terminals whose ``(q, c, U, V, d)`` all differ (the mixed-population
+setting surveyed by Bhadauria & Sharma, arXiv 1201.0140, and measured
+across mobility profiles by Martin & Bajcsy, arXiv 1108.1361).  This
+module scales the population axis three orders of magnitude past the
+vectorized engine:
+
+* :class:`FleetSpec` -- the whole population as per-terminal NumPy
+  columns (sampled from :class:`repro.workload.Population`
+  distributions, with per-profile optimal thresholds), carrying a
+  SHA-256 fingerprint of the realized arrays;
+* :class:`FleetShardEngine` -- the heterogeneous batched kernel: one
+  contiguous shard of terminals stepped per slot with parameters held
+  as arrays rather than scalars, and per-terminal paging plans grouped
+  into ``(d, m)`` lookup classes;
+* :func:`run_fleet` -- partitions the fleet into contiguous shards,
+  runs them in-process or on a :class:`ProcessPoolExecutor` (parameter
+  columns shipped to workers as memory-mapped ``.npy`` spill files, so
+  a worker's RSS covers its shard, not the fleet), streams per-shard
+  aggregates through the observability collect/merge path in
+  shard-index order, and checkpoints at *fleet granularity* -- a killed
+  run resumes with any subset of shards complete.
+
+Shard-layout invariance
+-----------------------
+
+The kernel's randomness is **stateless and counter-based**: the event
+draw for terminal ``t`` at slot ``s`` is a SplitMix64-style hash of
+``(seed, stream, s, global index of t)``, not a draw from a sequential
+generator.  A terminal therefore sees the *same* random trajectory no
+matter which shard it lands in, which gives a contract much stronger
+than statistical agreement: event totals (moves, updates, calls,
+polled cells) are **exactly invariant** under the shard count and
+under the executor (in-process vs worker pool).  Cost totals are dot
+products of those integer counts with per-terminal float costs, summed
+shard by shard -- bit-identical for a fixed shard layout regardless of
+executor, exactly invariant across layouts whenever the costs are
+integer-valued, and equal to ~1e-12 relative otherwise (float
+summation order is the only difference).  The conformance suite pins
+both contracts (``fleet-pooled-vs-inprocess`` bit identity,
+``fleet-sharded-vs-single`` near-exact, ``fleet-vs-vectorized``
+statistical).
+
+Bounded memory
+--------------
+
+No per-terminal history is ever materialized: a shard holds its
+parameter columns, one position array, and four per-terminal event
+counters -- order 100 bytes per terminal -- and everything that leaves
+the shard is an O(1) :class:`ShardSnapshot` aggregate.  The fleet bench
+gate (``benchmarks/bench_throughput.py --fleet``) asserts the RSS
+bound at 100k terminals in CI and 1M+ nightly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import shutil
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.parameters import CostParams, MobilityParams, validate_delay
+from ..exceptions import ParameterError
+from ..geometry.hex import HexTopology
+from ..geometry.line import LineTopology
+from ..geometry.square import SquareTopology
+from ..geometry.topology import CellTopology
+from ..observability import context as _obs_context
+from ..paging import sdf_partition
+from ..persist import atomic_write_json
+from ..workload.profiles import Population
+from .runner import _resolve_workers
+from .vectorized import _EVENT_MODES, _Z95, _lattice_kernel
+
+__all__ = [
+    "FleetSpec",
+    "FleetShardEngine",
+    "ShardSnapshot",
+    "FleetResult",
+    "shard_bounds",
+    "run_fleet",
+    "fleet_report",
+]
+
+#: Fleet checkpoint schema version.  Extends the simulation checkpoint
+#: lineage (schema v2 established topology/strategy identity pinning);
+#: the fleet fingerprint additionally pins the *population* (realized
+#: per-terminal arrays) and the shard layout.
+_FLEET_CHECKPOINT_VERSION = 1
+
+# -- stateless counter-based randomness --------------------------------
+
+_M64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+_SLOT_SALT = 0xD1B54A32D192ED03
+_STREAM_SALT = 0x8BB84B93962EACC9
+_GOLDEN_U64 = np.uint64(_GOLDEN)
+_MIX_A = np.uint64(0xBF58476D1CE4E5B9)
+_MIX_B = np.uint64(0x94D049BB133111EB)
+_S30, _S27, _S31 = np.uint64(30), np.uint64(27), np.uint64(31)
+_S11 = np.uint64(11)
+_INV53 = 2.0**-53
+
+#: Independent hash streams: slot-event classification, movement
+#: direction, and the independent-mode call draw.
+_STREAM_EVENT, _STREAM_DIRECTION, _STREAM_CALL = 0, 1, 2
+
+
+def _mix64(x: np.ndarray) -> np.ndarray:
+    """SplitMix64 finalizer, vectorized over uint64 (wrapping) arrays."""
+    x = (x ^ (x >> _S30)) * _MIX_A
+    x = (x ^ (x >> _S27)) * _MIX_B
+    return x ^ (x >> _S31)
+
+
+def _slot_key(seed: int, stream: int, slot: int) -> np.uint64:
+    """One 64-bit key per ``(seed, stream, slot)``.
+
+    Computed in Python integers (NumPy *scalar* uint64 arithmetic warns
+    on wraparound; arrays do not) and finalized with the same SplitMix64
+    mix as the vector side.
+    """
+    x = (
+        seed * _GOLDEN + stream * _STREAM_SALT + slot * _SLOT_SALT
+        + 0x632BE59BD9B4E019
+    ) & _M64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _M64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _M64
+    return np.uint64((x ^ (x >> 31)) & _M64)
+
+
+# -- the fleet specification -------------------------------------------
+
+
+def _model_class_for(topology: CellTopology):
+    """The exact analytic model matching a fleet topology."""
+    from ..core.models import (  # local: models imports geometry, not us
+        OneDimensionalModel,
+        SquareGridModel,
+        TwoDimensionalModel,
+    )
+
+    if isinstance(topology, LineTopology):
+        return OneDimensionalModel
+    if isinstance(topology, HexTopology):
+        return TwoDimensionalModel
+    if isinstance(topology, SquareTopology):
+        return SquareGridModel
+    raise ParameterError(
+        f"fleet engine supports LineTopology, HexTopology, and "
+        f"SquareTopology; got {topology!r}"
+    )
+
+
+def _json_delay(m) -> object:
+    return "inf" if m == math.inf else m
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """A heterogeneous population as per-terminal parameter columns.
+
+    All columns have length ``count``; ``profile_index`` maps each
+    terminal into ``profile_names`` for reporting.  ``population_seed``
+    is the seed the columns were sampled with (see
+    :meth:`Population.sample_arrays` -- explicit seeds are required
+    precisely so this spec can be re-derived), and
+    :meth:`fingerprint` digests the realized arrays for checkpoint
+    identity.
+    """
+
+    topology: CellTopology
+    q: np.ndarray
+    c: np.ndarray
+    update_cost: np.ndarray
+    poll_cost: np.ndarray
+    threshold: np.ndarray
+    profile_index: np.ndarray
+    profile_names: Tuple[str, ...]
+    max_delay: float
+    population_seed: int
+    description: str = "custom"
+
+    def __post_init__(self) -> None:
+        validate_delay(self.max_delay)
+        count = self.q.shape[0]
+        if count < 1:
+            raise ParameterError("FleetSpec needs at least one terminal")
+        for name in ("c", "update_cost", "poll_cost", "threshold", "profile_index"):
+            column = getattr(self, name)
+            if column.shape != (count,):
+                raise ParameterError(
+                    f"FleetSpec column {name!r} has shape {column.shape}, "
+                    f"expected ({count},)"
+                )
+        if np.any(self.q <= 0) or np.any(self.c < 0) or np.any(self.q + self.c > 1.0):
+            raise ParameterError(
+                "per-terminal mobility out of range: need q > 0, c >= 0, "
+                "q + c <= 1 for every terminal"
+            )
+        if np.any(self.update_cost < 0) or np.any(self.poll_cost < 0):
+            raise ParameterError("per-terminal costs must be >= 0")
+        if np.any(self.threshold < 0):
+            raise ParameterError("per-terminal thresholds must be >= 0")
+        if np.any(self.profile_index < 0) or np.any(
+            self.profile_index >= len(self.profile_names)
+        ):
+            raise ParameterError("profile_index out of range for profile_names")
+
+    @property
+    def count(self) -> int:
+        return int(self.q.shape[0])
+
+    def fingerprint(self) -> str:
+        """SHA-256 identity of the realized population + geometry."""
+        digest = hashlib.sha256()
+        digest.update(
+            repr(
+                (
+                    repr(self.topology),
+                    _json_delay(self.max_delay),
+                    self.profile_names,
+                    self.population_seed,
+                    self.description,
+                    self.count,
+                )
+            ).encode()
+        )
+        for column in (
+            self.q, self.c, self.update_cost, self.poll_cost,
+            self.threshold, self.profile_index,
+        ):
+            digest.update(np.ascontiguousarray(column).tobytes())
+        return digest.hexdigest()
+
+    def profile_counts(self) -> Dict[str, int]:
+        tallies = np.bincount(self.profile_index, minlength=len(self.profile_names))
+        return {name: int(n) for name, n in zip(self.profile_names, tallies)}
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def from_population(
+        cls,
+        population: Population,
+        count: int,
+        costs: CostParams,
+        max_delay,
+        seed: int,
+        topology: Optional[CellTopology] = None,
+        d_max: int = 40,
+        convention: str = "physical",
+        thresholds: Optional[Dict[str, int]] = None,
+        profile_costs: Optional[Dict[str, CostParams]] = None,
+    ) -> "FleetSpec":
+        """Sample a fleet from population distributions.
+
+        Per-terminal ``(q, c)`` come from
+        :meth:`Population.sample_arrays` (explicit ``seed`` required);
+        each terminal's threshold is its *profile's* optimal ``d``
+        (solved once per archetype at the archetype's mean mobility --
+        per-terminal solves would cost a million optimizations for no
+        modelling gain), overridable via ``thresholds``; costs default
+        to the shared ``costs`` with optional per-profile overrides.
+        """
+        from ..core.threshold import find_optimal_threshold  # local: cycle
+
+        topology = topology if topology is not None else HexTopology()
+        model_class = _model_class_for(topology)
+        arrays = population.sample_arrays(count, seed=seed)
+        per_profile_d = np.empty(len(population.profiles), dtype=np.int64)
+        for i, profile in enumerate(population.profiles):
+            if thresholds is not None and profile.name in thresholds:
+                per_profile_d[i] = int(thresholds[profile.name])
+            else:
+                per_profile_d[i] = find_optimal_threshold(
+                    model_class(profile.mobility),
+                    costs,
+                    max_delay,
+                    d_max=d_max,
+                    convention=convention,
+                ).threshold
+        per_profile_u = np.full(len(population.profiles), costs.update_cost)
+        per_profile_v = np.full(len(population.profiles), costs.poll_cost)
+        for i, profile in enumerate(population.profiles):
+            override = (profile_costs or {}).get(profile.name)
+            if override is not None:
+                per_profile_u[i] = override.update_cost
+                per_profile_v[i] = override.poll_cost
+        return cls(
+            topology=topology,
+            q=arrays.q,
+            c=arrays.c,
+            update_cost=per_profile_u[arrays.profile_index],
+            poll_cost=per_profile_v[arrays.profile_index],
+            threshold=per_profile_d[arrays.profile_index],
+            profile_index=arrays.profile_index,
+            profile_names=arrays.profile_names,
+            max_delay=validate_delay(max_delay),
+            population_seed=seed,
+            description=f"population:{population!r}",
+        )
+
+    @classmethod
+    def homogeneous(
+        cls,
+        topology: CellTopology,
+        threshold: int,
+        mobility: MobilityParams,
+        costs: CostParams,
+        max_delay,
+        count: int,
+    ) -> "FleetSpec":
+        """Every terminal identical -- the cross-check configuration the
+        ``fleet-vs-vectorized`` conformance oracle compares against
+        :class:`~repro.simulation.vectorized.VectorizedDistanceEngine`.
+        """
+        if count < 1:
+            raise ParameterError(f"count must be >= 1, got {count}")
+        return cls(
+            topology=topology,
+            q=np.full(count, mobility.move_probability),
+            c=np.full(count, mobility.call_probability),
+            update_cost=np.full(count, float(costs.update_cost)),
+            poll_cost=np.full(count, float(costs.poll_cost)),
+            threshold=np.full(count, int(threshold), dtype=np.int64),
+            profile_index=np.zeros(count, dtype=np.int32),
+            profile_names=("uniform",),
+            max_delay=validate_delay(max_delay),
+            population_seed=0,
+            description=f"homogeneous:d={threshold}",
+        )
+
+
+# -- shard accounting ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardSnapshot:
+    """O(1) aggregate of one finished shard.
+
+    The only thing a shard ever ships out: event totals, cost totals
+    (dot products of per-terminal event counts with per-terminal
+    costs), shard-level per-slot cost statistics, the aggregated
+    paging-delay histogram, and a per-profile cost breakdown.
+    ``mean_total_cost`` is per *terminal-slot*, so it is directly
+    comparable with the analytic per-slot ``C_T``.
+    """
+
+    index: int
+    start: int
+    stop: int
+    slots: int
+    moves: int
+    updates: int
+    calls: int
+    polled_cells: int
+    update_cost: float
+    paging_cost: float
+    mean_total_cost: float
+    total_cost_half_width_95: float
+    mean_paging_delay: float
+    delay_histogram: Dict[int, int]
+    profile_terminals: Tuple[int, ...]
+    profile_update_cost: Tuple[float, ...]
+    profile_paging_cost: Tuple[float, ...]
+
+    @property
+    def terminals(self) -> int:
+        return self.stop - self.start
+
+    @property
+    def total_cost(self) -> float:
+        return self.update_cost + self.paging_cost
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "index": self.index,
+            "start": self.start,
+            "stop": self.stop,
+            "slots": self.slots,
+            "moves": self.moves,
+            "updates": self.updates,
+            "calls": self.calls,
+            "polled_cells": self.polled_cells,
+            "update_cost": self.update_cost,
+            "paging_cost": self.paging_cost,
+            "mean_total_cost": self.mean_total_cost,
+            "total_cost_half_width_95": self.total_cost_half_width_95,
+            "mean_paging_delay": self.mean_paging_delay,
+            "delay_histogram": {
+                str(cycles): count
+                for cycles, count in sorted(self.delay_histogram.items())
+            },
+            "profile_terminals": list(self.profile_terminals),
+            "profile_update_cost": list(self.profile_update_cost),
+            "profile_paging_cost": list(self.profile_paging_cost),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ShardSnapshot":
+        try:
+            return cls(
+                index=int(payload["index"]),
+                start=int(payload["start"]),
+                stop=int(payload["stop"]),
+                slots=int(payload["slots"]),
+                moves=int(payload["moves"]),
+                updates=int(payload["updates"]),
+                calls=int(payload["calls"]),
+                polled_cells=int(payload["polled_cells"]),
+                update_cost=float(payload["update_cost"]),
+                paging_cost=float(payload["paging_cost"]),
+                mean_total_cost=float(payload["mean_total_cost"]),
+                total_cost_half_width_95=float(
+                    payload["total_cost_half_width_95"]
+                ),
+                mean_paging_delay=float(payload["mean_paging_delay"]),
+                delay_histogram={
+                    int(cycles): int(count)
+                    for cycles, count in dict(payload["delay_histogram"]).items()
+                },
+                profile_terminals=tuple(
+                    int(v) for v in payload["profile_terminals"]
+                ),
+                profile_update_cost=tuple(
+                    float(v) for v in payload["profile_update_cost"]
+                ),
+                profile_paging_cost=tuple(
+                    float(v) for v in payload["profile_paging_cost"]
+                ),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ParameterError(f"malformed shard snapshot payload: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class FleetResult:
+    """Pooled outcome of a fleet run: shard snapshots in shard order.
+
+    Fleet totals are folded in shard-index order, so they equal the sum
+    of the shard snapshot columns *exactly* -- the same accounting
+    contract ``run_replicated`` keeps for replications (and the
+    invariant the fleet property tests assert).
+    """
+
+    spec_fingerprint: str
+    profile_names: Tuple[str, ...]
+    shards: Tuple[ShardSnapshot, ...]
+
+    @property
+    def terminals(self) -> int:
+        return sum(s.terminals for s in self.shards)
+
+    @property
+    def slots(self) -> int:
+        return self.shards[0].slots if self.shards else 0
+
+    @property
+    def moves(self) -> int:
+        return sum(s.moves for s in self.shards)
+
+    @property
+    def updates(self) -> int:
+        return sum(s.updates for s in self.shards)
+
+    @property
+    def calls(self) -> int:
+        return sum(s.calls for s in self.shards)
+
+    @property
+    def polled_cells(self) -> int:
+        return sum(s.polled_cells for s in self.shards)
+
+    @property
+    def update_cost(self) -> float:
+        return sum(s.update_cost for s in self.shards)
+
+    @property
+    def paging_cost(self) -> float:
+        return sum(s.paging_cost for s in self.shards)
+
+    @property
+    def total_cost(self) -> float:
+        return self.update_cost + self.paging_cost
+
+    @property
+    def terminal_slots(self) -> int:
+        return sum(s.terminals * s.slots for s in self.shards)
+
+    @property
+    def mean_total_cost(self) -> float:
+        """Fleet-wide mean cost per terminal-slot (empirical ``C_T``)."""
+        denominator = self.terminal_slots
+        return self.total_cost / denominator if denominator else 0.0
+
+    @property
+    def mean_update_cost(self) -> float:
+        denominator = self.terminal_slots
+        return self.update_cost / denominator if denominator else 0.0
+
+    @property
+    def mean_paging_cost(self) -> float:
+        denominator = self.terminal_slots
+        return self.paging_cost / denominator if denominator else 0.0
+
+    @property
+    def delay_histogram(self) -> Dict[int, int]:
+        merged: Dict[int, int] = {}
+        for shard in self.shards:
+            for cycles, count in shard.delay_histogram.items():
+                merged[cycles] = merged.get(cycles, 0) + count
+        return dict(sorted(merged.items()))
+
+    @property
+    def mean_paging_delay(self) -> float:
+        histogram = self.delay_histogram
+        calls = sum(histogram.values())
+        if not calls:
+            return 0.0
+        return sum(cycles * count for cycles, count in histogram.items()) / calls
+
+    def per_profile(self) -> Dict[str, Dict[str, float]]:
+        """Fleet cost breakdown per population profile."""
+        out: Dict[str, Dict[str, float]] = {}
+        for i, name in enumerate(self.profile_names):
+            terminals = sum(s.profile_terminals[i] for s in self.shards)
+            update = sum(s.profile_update_cost[i] for s in self.shards)
+            paging = sum(s.profile_paging_cost[i] for s in self.shards)
+            slots = self.slots
+            denominator = terminals * slots
+            out[name] = {
+                "terminals": terminals,
+                "update_cost": update,
+                "paging_cost": paging,
+                "mean_total_cost": (
+                    (update + paging) / denominator if denominator else 0.0
+                ),
+            }
+        return out
+
+
+# -- the heterogeneous shard kernel ------------------------------------
+
+
+class FleetShardEngine:
+    """Batched kernel over one contiguous shard of a heterogeneous fleet.
+
+    The :class:`VectorizedDistanceEngine` chain generalized to
+    per-terminal parameter *arrays*: thresholds, mobilities, and costs
+    all vary terminal by terminal, with per-terminal SDF paging plans
+    grouped into ``(d, m)`` lookup classes.  Randomness is the
+    stateless counter hash keyed by each terminal's *global* fleet
+    index (``global_offset + local index``), which is what makes fleet
+    totals invariant under the shard layout -- see the module
+    docstring.
+
+    State is O(terminals): positions, per-terminal event counters, and
+    shard-level scalars.  Nothing per-slot is retained.
+    """
+
+    def __init__(
+        self,
+        topology: CellTopology,
+        q: np.ndarray,
+        c: np.ndarray,
+        update_cost: np.ndarray,
+        poll_cost: np.ndarray,
+        threshold: np.ndarray,
+        profile_index: np.ndarray,
+        n_profiles: int,
+        max_delay,
+        global_offset: int = 0,
+        seed: int = 0,
+        event_mode: str = "exclusive",
+    ) -> None:
+        if event_mode not in _EVENT_MODES:
+            raise ParameterError(
+                f"event_mode must be one of {_EVENT_MODES}, got {event_mode!r}"
+            )
+        self.topology = topology
+        self.max_delay = validate_delay(max_delay)
+        self.event_mode = event_mode
+        self.seed = int(seed)
+        self.global_offset = int(global_offset)
+        self._q = np.ascontiguousarray(q, dtype=np.float64)
+        self._c = np.ascontiguousarray(c, dtype=np.float64)
+        self._qc = self._q + self._c
+        self._update_cost = np.ascontiguousarray(update_cost, dtype=np.float64)
+        self._poll_cost = np.ascontiguousarray(poll_cost, dtype=np.float64)
+        self._threshold = np.ascontiguousarray(threshold, dtype=np.int64)
+        self._profile = np.ascontiguousarray(profile_index, dtype=np.int64)
+        self.terminals = int(self._q.shape[0])
+        self.n_profiles = int(n_profiles)
+        if self.terminals < 1:
+            raise ParameterError("shard needs at least one terminal")
+        self._dirs, self._distance = _lattice_kernel(topology)
+        self._degree = int(self._dirs.shape[0])
+        # Per-terminal paging plans, grouped into (d, m) classes: row i
+        # of the lookup tables serves every terminal whose threshold is
+        # unique_d[i].  ring -> 0-based polling cycle, and cycle ->
+        # cumulative cells polled (w_j of eqn (64)).
+        unique_d = np.unique(self._threshold)
+        self._class_idx = np.searchsorted(unique_d, self._threshold)
+        plans = [sdf_partition(int(d), self.max_delay) for d in unique_d]
+        max_d = int(unique_d[-1])
+        self.max_cycles = max(plan.delay_bound for plan in plans)
+        self._ring_to_cycle = np.zeros((len(plans), max_d + 1), dtype=np.int64)
+        self._cum_polled = np.zeros((len(plans), self.max_cycles), dtype=np.int64)
+        for row, plan in enumerate(plans):
+            for cycle, group in enumerate(plan.subareas):
+                for ring in group:
+                    self._ring_to_cycle[row, ring] = cycle
+            cumulative = np.asarray(
+                plan.cumulative_polled(topology), dtype=np.int64
+            )
+            self._cum_polled[row, : cumulative.shape[0]] = cumulative
+            # Pad defensively: a class never pages past its own plan's
+            # delay bound, but keep the tail monotone anyway.
+            self._cum_polled[row, cumulative.shape[0]:] = cumulative[-1]
+        # Hash keys of the *global* terminal indices, fixed once.
+        self._idx_keys = _mix64(
+            (np.arange(
+                self.global_offset,
+                self.global_offset + self.terminals,
+                dtype=np.uint64,
+            ) + np.uint64(1)) * _GOLDEN_U64
+        )
+        self._pos = np.zeros((self.terminals, self._dirs.shape[1]), dtype=np.int64)
+        self.slot = 0
+        self.reset_meters()
+
+    # ------------------------------------------------------------------
+
+    def reset_meters(self) -> None:
+        """Zero the shard's accounting (positions and slot clock kept)."""
+        K = self.terminals
+        self._metered_slots = 0
+        self._moves = np.zeros(K, dtype=np.int64)
+        self._updates = np.zeros(K, dtype=np.int64)
+        self._calls = np.zeros(K, dtype=np.int64)
+        self._polled = np.zeros(K, dtype=np.int64)
+        self._cost_sum = 0.0
+        self._cost_sq_sum = 0.0
+        self._delay_counts = np.zeros(self.max_cycles, dtype=np.int64)
+
+    def _uniforms(self, stream: int, slot: int) -> np.ndarray:
+        """One U(0,1) per terminal for ``(stream, slot)``, layout-free."""
+        h = _mix64(self._idx_keys ^ _slot_key(self.seed, stream, slot))
+        return (h >> _S11).astype(np.float64) * _INV53
+
+    def run(self, slots: int) -> None:
+        """Advance every terminal in the shard ``slots`` slots."""
+        if slots < 0:
+            raise ParameterError(f"slots must be >= 0, got {slots}")
+        for _ in range(slots):
+            self._step()
+
+    def _step(self) -> None:
+        t = self.slot
+        u = self._uniforms(_STREAM_EVENT, t)
+        called = u < self._c
+        if self.event_mode == "exclusive":
+            moved = (~called) & (u < self._qc)
+        else:
+            moved = u < self._q
+            called = self._uniforms(_STREAM_CALL, t) < self._c
+        slot_cost = 0.0
+        # Calls first -- the same within-slot order as the per-cell and
+        # vectorized engines.
+        if called.any():
+            slot_cost += self._handle_calls(called)
+        if moved.any():
+            slot_cost += self._handle_moves(moved, t)
+        self._cost_sum += slot_cost
+        self._cost_sq_sum += slot_cost * slot_cost
+        self._metered_slots += 1
+        self.slot += 1
+
+    def _handle_calls(self, called: np.ndarray) -> float:
+        rings = self._distance(self._pos[called])
+        classes = self._class_idx[called]
+        cycles = self._ring_to_cycle[classes, rings]
+        polled = self._cum_polled[classes, cycles]
+        self._calls[called] += 1
+        self._polled[called] += polled
+        np.add.at(self._delay_counts, cycles, 1)
+        cost = float(self._poll_cost[called] @ polled)
+        # Pinpointed terminals re-center: relative position resets.
+        self._pos[called] = 0
+        return cost
+
+    def _handle_moves(self, moved: np.ndarray, slot: int) -> float:
+        movers = np.nonzero(moved)[0]
+        h = _mix64(self._idx_keys[movers] ^ _slot_key(self.seed, _STREAM_DIRECTION, slot))
+        directions = (
+            (h >> _S11).astype(np.float64) * _INV53 * self._degree
+        ).astype(np.int64)
+        self._pos[movers] += self._dirs[directions]
+        self._moves[movers] += 1
+        distances = self._distance(self._pos[movers])
+        updating = movers[distances > self._threshold[movers]]
+        cost = 0.0
+        if updating.size:
+            self._updates[updating] += 1
+            cost = float(self._update_cost[updating].sum())
+            self._pos[updating] = 0
+        return cost
+
+    # ------------------------------------------------------------------
+
+    def snapshot(self, index: int = 0) -> ShardSnapshot:
+        """Freeze the shard's aggregates (no per-terminal data leaves)."""
+        slots = self._metered_slots
+        K = self.terminals
+        update_cost = float(
+            self._updates.astype(np.float64) @ self._update_cost
+        )
+        paging_cost = float(self._polled.astype(np.float64) @ self._poll_cost)
+        if slots:
+            # Per-slot shard cost, normalized per terminal: mean and a
+            # CLT half-width over slots (the batch dimension).
+            mean_slot = self._cost_sum / slots / K
+        else:
+            mean_slot = 0.0
+        if slots >= 2:
+            per_terminal_sq = self._cost_sq_sum / (K * K)
+            var = max(per_terminal_sq / slots - mean_slot * mean_slot, 0.0)
+            half = _Z95 * math.sqrt(var / slots)
+        else:
+            half = math.inf
+        calls = int(self._calls.sum())
+        if calls:
+            delay = float(
+                np.arange(1, self.max_cycles + 1, dtype=np.float64)
+                @ self._delay_counts
+            ) / calls
+        else:
+            delay = 0.0
+        profile_terminals = np.bincount(self._profile, minlength=self.n_profiles)
+        profile_update = np.bincount(
+            self._profile,
+            weights=self._updates * self._update_cost,
+            minlength=self.n_profiles,
+        )
+        profile_paging = np.bincount(
+            self._profile,
+            weights=self._polled * self._poll_cost,
+            minlength=self.n_profiles,
+        )
+        return ShardSnapshot(
+            index=index,
+            start=self.global_offset,
+            stop=self.global_offset + K,
+            slots=slots,
+            moves=int(self._moves.sum()),
+            updates=int(self._updates.sum()),
+            calls=calls,
+            polled_cells=int(self._polled.sum()),
+            update_cost=update_cost,
+            paging_cost=paging_cost,
+            mean_total_cost=mean_slot,
+            total_cost_half_width_95=half,
+            mean_paging_delay=delay,
+            delay_histogram={
+                cycle + 1: int(count)
+                for cycle, count in enumerate(self._delay_counts)
+                if count
+            },
+            profile_terminals=tuple(int(v) for v in profile_terminals),
+            profile_update_cost=tuple(float(v) for v in profile_update),
+            profile_paging_cost=tuple(float(v) for v in profile_paging),
+        )
+
+
+# -- sharding and execution --------------------------------------------
+
+
+def shard_bounds(count: int, shards: int) -> Tuple[Tuple[int, int], ...]:
+    """Contiguous near-equal shard boundaries over ``count`` terminals."""
+    if count < 1:
+        raise ParameterError(f"count must be >= 1, got {count}")
+    if shards < 1:
+        raise ParameterError(f"shards must be >= 1, got {shards}")
+    if shards > count:
+        raise ParameterError(
+            f"cannot split {count} terminals into {shards} shards"
+        )
+    base, extra = divmod(count, shards)
+    bounds: List[Tuple[int, int]] = []
+    lo = 0
+    for index in range(shards):
+        hi = lo + base + (1 if index < extra else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return tuple(bounds)
+
+
+#: Column order of the spill files / array bundle shipped to shards.
+_SPEC_COLUMNS = (
+    "q", "c", "update_cost", "poll_cost", "threshold", "profile_index"
+)
+
+
+def _spill_spec(spec: FleetSpec, directory: Path) -> Dict[str, str]:
+    """Write the spec's columns as ``.npy`` files for memory-mapping.
+
+    Worker processes ``np.load(..., mmap_mode="r")`` and slice their
+    shard, so the fleet's parameter columns live in the OS page cache
+    once instead of being pickled into every worker.
+    """
+    paths: Dict[str, str] = {}
+    for name in _SPEC_COLUMNS:
+        path = directory / f"{name}.npy"
+        np.save(path, getattr(spec, name))
+        paths[name] = str(path)
+    return paths
+
+
+def _shard_arrays(
+    source: Dict[str, object], lo: int, hi: int
+) -> Dict[str, np.ndarray]:
+    """Materialize one shard's columns from arrays or spill paths."""
+    out: Dict[str, np.ndarray] = {}
+    for name in _SPEC_COLUMNS:
+        column = source[name]
+        if isinstance(column, str):
+            column = np.load(column, mmap_mode="r")
+        out[name] = np.asarray(column[lo:hi])
+    return out
+
+
+def _execute_shard(
+    index: int,
+    lo: int,
+    hi: int,
+    source: Dict[str, object],
+    topology: CellTopology,
+    n_profiles: int,
+    max_delay,
+    slots: int,
+    seed: int,
+    event_mode: str,
+    observe: bool,
+) -> Tuple[int, Dict[str, object], Optional[dict]]:
+    """Run one shard to completion.
+
+    Module-level so pooled workers can pickle it; the in-process path
+    runs the exact same function on the exact same arrays, which is
+    what makes ``workers=N`` bit-identical to a serial fleet run.
+    Returns ``(index, snapshot dict, observability payload or None)``.
+    """
+    columns = _shard_arrays(source, lo, hi)
+
+    def simulate() -> ShardSnapshot:
+        engine = FleetShardEngine(
+            topology=topology,
+            n_profiles=n_profiles,
+            max_delay=max_delay,
+            global_offset=lo,
+            seed=seed,
+            event_mode=event_mode,
+            **columns,
+        )
+        engine.run(slots)
+        return engine.snapshot(index=index)
+
+    if not observe:
+        return index, simulate().to_dict(), None
+    with _obs_context.session() as obs:
+        with obs.tracer.span(
+            "simulate.fleet_shard", shard=index, terminals=hi - lo, slots=slots
+        ):
+            snapshot = simulate()
+        return index, snapshot.to_dict(), obs.collect_payload()
+
+
+# -- fleet checkpoints --------------------------------------------------
+
+
+def _fleet_fingerprint(
+    spec: FleetSpec,
+    bounds: Sequence[Tuple[int, int]],
+    slots: int,
+    seed: int,
+    event_mode: str,
+) -> dict:
+    """The identity a fleet checkpoint must match to be resumed.
+
+    Extends the schema-v2 campaign fingerprint idea with the realized
+    *population* fingerprint and the shard layout: a checkpoint written
+    for different subscribers, a different geometry, or a different
+    shard partition describes different random variables (or
+    incompatible partial sums) and is refused, not silently pooled.
+    """
+    return {
+        "version": _FLEET_CHECKPOINT_VERSION,
+        "population": spec.fingerprint(),
+        "topology": repr(spec.topology),
+        "max_delay": _json_delay(spec.max_delay),
+        "terminals": spec.count,
+        "bounds": [[int(lo), int(hi)] for lo, hi in bounds],
+        "slots": slots,
+        "seed": seed,
+        "event_mode": event_mode,
+    }
+
+
+def _load_fleet_checkpoint(
+    path: Path, fingerprint: dict
+) -> Dict[int, ShardSnapshot]:
+    """Read a fleet checkpoint, validating it belongs to this run."""
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ParameterError(f"unreadable fleet checkpoint {path}: {exc}") from exc
+    stored = payload.get("fingerprint") or {}
+    version = stored.get("version")
+    if version != _FLEET_CHECKPOINT_VERSION:
+        raise ParameterError(
+            f"fleet checkpoint {path} uses schema version {version!r}, but "
+            f"this library writes version {_FLEET_CHECKPOINT_VERSION}; "
+            "delete the file to restart (shard results are re-derivable -- "
+            "only compute time is lost)"
+        )
+    if stored != fingerprint:
+        raise ParameterError(
+            f"fleet checkpoint {path} belongs to a different run "
+            "(population/topology/shard layout/slots/seed differ); delete "
+            "it or point the run at a fresh path"
+        )
+    return {
+        int(entry["index"]): ShardSnapshot.from_dict(entry["snapshot"])
+        for entry in payload["shards"]
+    }
+
+
+def _write_fleet_checkpoint(
+    path: Path, fingerprint: dict, completed: Dict[int, ShardSnapshot]
+) -> None:
+    atomic_write_json(
+        path,
+        {
+            "fingerprint": fingerprint,
+            "shards": [
+                {"index": index, "snapshot": completed[index].to_dict()}
+                for index in sorted(completed)
+            ],
+        },
+    )
+
+
+# -- the fleet runner ---------------------------------------------------
+
+
+def run_fleet(
+    spec: FleetSpec,
+    slots: int,
+    shards: int = 1,
+    seed: int = 0,
+    workers: Optional[Union[int, str]] = None,
+    event_mode: str = "exclusive",
+    checkpoint: Optional[Union[str, Path]] = None,
+    spill_dir: Optional[Union[str, Path]] = None,
+) -> FleetResult:
+    """Simulate a heterogeneous fleet, sharded across processes.
+
+    ``shards`` partitions the population into contiguous blocks (the
+    unit of parallelism *and* of checkpointing); ``workers`` selects
+    the executor exactly as in :func:`~repro.simulation.runner.
+    run_replicated` -- ``None``/``1``/``"serial"`` run in-process, an
+    int > 1 dispatches shards to that many worker processes, shipping
+    the parameter columns as memory-mapped spill files (``spill_dir``
+    overrides where; default is a temporary directory, removed
+    afterwards).  Because shard randomness is stateless in the global
+    terminal index, the executor AND the shard count never change event
+    totals -- see the module docstring for the exact contract.
+
+    ``checkpoint`` names a JSON file updated atomically after every
+    completed shard; a killed run rerun with the same spec, slots,
+    seed, and shard count resumes with any subset of shards complete.
+    ``seed`` drives event noise only -- the population is pinned by
+    ``spec`` (its own ``population_seed`` is recorded in the
+    fingerprint).
+    """
+    if slots < 1:
+        raise ParameterError(f"slots must be >= 1, got {slots}")
+    if event_mode not in _EVENT_MODES:
+        raise ParameterError(
+            f"event_mode must be one of {_EVENT_MODES}, got {event_mode!r}"
+        )
+    bounds = shard_bounds(spec.count, shards)
+    pool_size = _resolve_workers(workers)
+    parent_obs = _obs_context.current()
+    observe = parent_obs.enabled
+    fingerprint = _fleet_fingerprint(spec, bounds, slots, seed, event_mode)
+    checkpoint_path = Path(checkpoint) if checkpoint is not None else None
+    completed: Dict[int, ShardSnapshot] = {}
+    if checkpoint_path is not None and checkpoint_path.exists():
+        completed = _load_fleet_checkpoint(checkpoint_path, fingerprint)
+    pending = [i for i in range(len(bounds)) if i not in completed]
+
+    payloads: Dict[int, dict] = {}
+
+    def record(index: int, snapshot_dict: Dict[str, object], payload) -> None:
+        if payload is not None:
+            payloads[index] = payload
+        completed[index] = ShardSnapshot.from_dict(snapshot_dict)
+        if checkpoint_path is not None:
+            _write_fleet_checkpoint(checkpoint_path, fingerprint, completed)
+
+    n_profiles = len(spec.profile_names)
+
+    with parent_obs.tracer.span(
+        "simulate.fleet_run",
+        terminals=spec.count,
+        shards=len(bounds),
+        slots=slots,
+        workers=pool_size or 1,
+    ):
+        if pool_size is None:
+            source = {name: getattr(spec, name) for name in _SPEC_COLUMNS}
+            for index in pending:
+                lo, hi = bounds[index]
+                record(*_execute_shard(
+                    index, lo, hi, source, spec.topology, n_profiles,
+                    spec.max_delay, slots, seed, event_mode, observe,
+                ))
+        elif pending:
+            spill_root = tempfile.mkdtemp(
+                prefix="fleet-spill-",
+                dir=str(spill_dir) if spill_dir is not None else None,
+            )
+            try:
+                source = _spill_spec(spec, Path(spill_root))
+                with ProcessPoolExecutor(
+                    max_workers=min(pool_size, len(pending))
+                ) as pool:
+                    futures = [
+                        pool.submit(
+                            _execute_shard,
+                            index, *bounds[index], source, spec.topology,
+                            n_profiles, spec.max_delay, slots, seed,
+                            event_mode, observe,
+                        )
+                        for index in pending
+                    ]
+                    for future in as_completed(futures):
+                        record(*future.result())
+            finally:
+                shutil.rmtree(spill_root, ignore_errors=True)
+        # Shard payloads (spans) merge after all shards finish, in
+        # shard-index order -- as_completed order is nondeterministic,
+        # and exact reproducibility needs a canonical merge order.
+        for index in sorted(payloads):
+            parent_obs.merge_payload(payloads[index], shard=index)
+        if observe:
+            # Fleet-level exact accounting: every counter is fed once
+            # per shard from its snapshot, in shard-index order, so the
+            # exported totals are bit-equal to summing the snapshot
+            # columns regardless of the executor.
+            registry = parent_obs.registry
+            labels = {"engine": "fleet"}
+            instruments = {
+                "slots": registry.counter("slots_total", **labels),
+                "moves": registry.counter("moves_total", **labels),
+                "updates": registry.counter(
+                    "updates_total", trigger="distance", **labels
+                ),
+                "calls": registry.counter("calls_total", **labels),
+                "polled": registry.counter("polled_cells_total", **labels),
+                "update_cost": registry.counter("update_cost_total", **labels),
+                "paging_cost": registry.counter("paging_cost_total", **labels),
+            }
+            delay = registry.histogram("paging_delay_cycles", **labels)
+            for index in sorted(completed):
+                snapshot = completed[index]
+                instruments["slots"].inc(snapshot.slots * snapshot.terminals)
+                instruments["moves"].inc(snapshot.moves)
+                instruments["updates"].inc(snapshot.updates)
+                instruments["calls"].inc(snapshot.calls)
+                instruments["polled"].inc(snapshot.polled_cells)
+                instruments["update_cost"].inc(snapshot.update_cost)
+                instruments["paging_cost"].inc(snapshot.paging_cost)
+                for cycles, count in sorted(snapshot.delay_histogram.items()):
+                    delay.observe(cycles, count)
+    return FleetResult(
+        spec_fingerprint=fingerprint["population"],
+        profile_names=spec.profile_names,
+        shards=tuple(completed[i] for i in sorted(completed)),
+    )
+
+
+# -- benchmarking -------------------------------------------------------
+
+
+def _peak_rss_bytes() -> Dict[str, int]:
+    """High-water RSS of this process and its (reaped) children."""
+    import resource
+
+    scale = 1024  # ru_maxrss is KiB on Linux
+    if not hasattr(resource, "getrusage"):  # pragma: no cover - non-posix
+        return {"self": 0, "children": 0}
+    return {
+        "self": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * scale,
+        "children": resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+        * scale,
+    }
+
+
+def fleet_report(
+    terminals: int,
+    shards: int,
+    slots: int,
+    workers: Optional[Union[int, str]] = None,
+    seed: int = 0,
+    population_seed: Optional[int] = None,
+    population: Optional[Population] = None,
+    costs: Optional[CostParams] = None,
+    max_delay=2,
+    topology: Optional[CellTopology] = None,
+    d_max: int = 30,
+    checkpoint: Optional[Union[str, Path]] = None,
+    rss_base_budget_bytes: int = 600 * 1024 * 1024,
+    rss_budget_bytes_per_terminal: float = 256.0,
+) -> dict:
+    """Run a fleet once and report throughput plus the RSS bound.
+
+    The memory budget is deliberately loose -- ``base + per_terminal *
+    N`` with a few hundred bytes per terminal -- because its job is to
+    catch *asymptotic* regressions (anything that materializes
+    per-terminal per-slot history blows through it by orders of
+    magnitude), not to fight allocator noise.  Consumed by
+    ``benchmarks/bench_throughput.py`` and ``repro-lm fleet --json``.
+    """
+    from ..workload.profiles import DEFAULT_MIX  # local: avoid cycle
+
+    population = population if population is not None else Population(DEFAULT_MIX)
+    costs = costs if costs is not None else CostParams(update_cost=50.0, poll_cost=2.0)
+    tic = time.perf_counter()
+    spec = FleetSpec.from_population(
+        population,
+        terminals,
+        costs,
+        max_delay,
+        seed=population_seed if population_seed is not None else seed,
+        topology=topology,
+        d_max=d_max,
+    )
+    build_seconds = time.perf_counter() - tic
+    tic = time.perf_counter()
+    result = run_fleet(
+        spec, slots=slots, shards=shards, seed=seed, workers=workers,
+        checkpoint=checkpoint,
+    )
+    run_seconds = time.perf_counter() - tic
+    rss = _peak_rss_bytes()
+    budget = int(rss_base_budget_bytes + rss_budget_bytes_per_terminal * terminals)
+    peak = max(rss["self"], rss["children"])
+    return {
+        "config": {
+            "terminals": terminals,
+            "shards": shards,
+            "slots": slots,
+            "workers": workers if isinstance(workers, int) else 1,
+            "seed": seed,
+            "max_delay": _json_delay(validate_delay(max_delay)),
+            "topology": repr(spec.topology),
+            "population": spec.profile_counts(),
+            "population_fingerprint": result.spec_fingerprint,
+        },
+        "build_seconds": build_seconds,
+        "run_seconds": run_seconds,
+        "terminal_slots": result.terminal_slots,
+        "terminal_slots_per_sec": (
+            result.terminal_slots / run_seconds if run_seconds else math.inf
+        ),
+        "mean_total_cost": result.mean_total_cost,
+        "mean_update_cost": result.mean_update_cost,
+        "mean_paging_cost": result.mean_paging_cost,
+        "mean_paging_delay": result.mean_paging_delay,
+        "updates": result.updates,
+        "calls": result.calls,
+        "moves": result.moves,
+        "polled_cells": result.polled_cells,
+        "per_profile": result.per_profile(),
+        "peak_rss_bytes": {**rss, "max": peak},
+        "rss_budget_bytes": budget,
+        "rss_within_budget": peak <= budget,
+    }

@@ -48,9 +48,7 @@ from __future__ import annotations
 
 import json
 import math
-import os
 import pickle
-import tempfile
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
@@ -65,6 +63,7 @@ from ..core.parameters import CostParams, MobilityParams
 from ..exceptions import ParameterError
 from ..geometry.topology import Cell, CellTopology
 from ..observability import context as _obs_context
+from ..persist import atomic_write_json
 from ..strategies.base import UpdateStrategy
 from .engine import SimulationEngine, strategy_labels
 from .metrics import CostMeter, MeterSnapshot
@@ -261,22 +260,7 @@ def _write_checkpoint(
             for _, p in sorted(partials.items())
         ],
     }
-    path.parent.mkdir(parents=True, exist_ok=True)
-    fd, tmp = tempfile.mkstemp(
-        prefix=path.name + ".", suffix=".tmp", dir=path.parent
-    )
-    try:
-        with os.fdopen(fd, "w") as handle:
-            json.dump(payload, handle)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, path)
-    except BaseException:
-        try:
-            os.unlink(tmp)
-        except OSError:
-            pass
-        raise
+    atomic_write_json(path, payload)
 
 
 def _resolve_workers(workers: Optional[Union[int, str]]) -> Optional[int]:

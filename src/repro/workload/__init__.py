@@ -11,6 +11,7 @@ from .profiles import (
     DEFAULT_MIX,
     PEDESTRIAN,
     Population,
+    PopulationArrays,
     STATIC,
     UserProfile,
     VEHICLE,
@@ -21,6 +22,7 @@ __all__ = [
     "FleetPlan",
     "PEDESTRIAN",
     "Population",
+    "PopulationArrays",
     "STATIC",
     "UserPlan",
     "UserProfile",

@@ -161,3 +161,63 @@ class TestSweepWrapper:
     def test_sweep_rejects_unknown_parameter(self):
         with pytest.raises(ParameterError, match="varied must be"):
             sweep("1d", "x", [1.0])
+
+
+def _poisoned_plan_factory(model, d, m):
+    """Module-level so the pooled path can pickle it into workers."""
+    if d >= 1:
+        raise ValueError("poisoned partition")
+    return per_ring_partition(d)
+
+
+class TestSweepPointError:
+    """A failing grid point must surface *which* point failed.
+
+    Regression: the worker fan-out used to re-raise the bare original
+    exception from ``future.result()``, masking the failing point's
+    parameters entirely.
+    """
+
+    AXES = {"q": [0.05, 0.1], "U": [20.0, 50.0]}
+
+    def assert_carries_point(self, excinfo):
+        from repro.exceptions import SweepPointError
+
+        error = excinfo.value
+        assert isinstance(error, SweepPointError)
+        assert set(error.point) == {"index", "model", "q", "c", "U", "V", "m"}
+        assert error.point["model"] == "1d"
+        assert error.point["q"] in (0.05, 0.1)
+        assert error.point["U"] in (20.0, 50.0)
+        # The original failure stays chained for the full traceback.
+        assert "poisoned partition" in str(error)
+
+    def test_serial_failure_names_the_point(self):
+        from repro.exceptions import SweepPointError
+
+        with pytest.raises(SweepPointError) as excinfo:
+            grid_sweep(
+                "1d", self.AXES, d_max=8, plan_factory=_poisoned_plan_factory
+            )
+        self.assert_carries_point(excinfo)
+        assert excinfo.value.__cause__ is not None
+
+    def test_pooled_failure_names_the_point(self):
+        from repro.exceptions import SweepPointError
+
+        with pytest.raises(SweepPointError) as excinfo:
+            grid_sweep(
+                "1d", self.AXES, d_max=8,
+                plan_factory=_poisoned_plan_factory, workers=2,
+            )
+        self.assert_carries_point(excinfo)
+
+    def test_pickle_roundtrip_keeps_the_point(self):
+        import pickle
+
+        from repro.exceptions import SweepPointError
+
+        original = SweepPointError("boom", {"index": 3, "q": 0.1})
+        clone = pickle.loads(pickle.dumps(original))
+        assert clone.point == {"index": 3, "q": 0.1}
+        assert str(clone) == "boom"

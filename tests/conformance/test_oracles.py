@@ -101,6 +101,40 @@ class TestEngineOracleGating:
         assert run("serial-vs-pooled", config).status == "skip"
 
 
+class TestFleetOracles:
+    @pytest.mark.parametrize(
+        "check_id",
+        [
+            "fleet-sharded-vs-single",
+            "fleet-pooled-vs-inprocess",
+            "fleet-vs-vectorized",
+        ],
+    )
+    def test_skip_without_simulation_budget(self, check_id):
+        assert run(check_id, make_config()).status == "skip"
+
+    def test_pooled_fleet_oracle_needs_a_pool(self):
+        config = make_config(sim_slots=2_000, pool_workers=0)
+        assert run("fleet-pooled-vs-inprocess", config).status == "skip"
+
+    @pytest.mark.parametrize("model_name", ["1d", "2d-exact", "square-approx"])
+    def test_sharded_vs_single_agrees_on_real_models(self, model_name):
+        config = make_config(model_name=model_name, sim_slots=2_000)
+        result = run("fleet-sharded-vs-single", config)
+        assert result.status == "pass", result.detail
+        assert result.deviation == 0.0
+
+    def test_pooled_vs_inprocess_is_bit_identical(self):
+        config = make_config(sim_slots=2_000, pool_workers=2)
+        result = run("fleet-pooled-vs-inprocess", config)
+        assert result.status == "pass", result.detail
+        assert result.deviation == 0.0
+
+    def test_fleet_agrees_with_vectorized_engine(self):
+        result = run("fleet-vs-vectorized", make_config(sim_slots=2_000))
+        assert result.status == "pass", result.detail
+
+
 def _replicated(d, seed, slots=6_000, replications=3):
     from repro.geometry import LineTopology
 

@@ -175,6 +175,55 @@ class TestSimulateCommand:
         assert "error:" in capsys.readouterr().err
 
 
+class TestFleetCommand:
+    BASE = [
+        "fleet", "--terminals", "250", "--shards", "4", "--slots", "40",
+        "--workers", "1", "--seed", "9", "--population-seed", "3",
+    ]
+
+    def test_runs_and_reports(self, capsys):
+        code = main(self.BASE)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "250 terminals, 4 shards" in out
+        assert "mean C_T / slot:" in out
+        assert "Per-profile breakdown" in out
+        assert "within budget" in out
+
+    def test_shard_count_does_not_change_output(self, capsys):
+        assert main(self.BASE) == 0
+        sharded = capsys.readouterr().out
+        assert main(
+            [arg if arg != "4" else "1" for arg in self.BASE]
+        ) == 0
+        single = capsys.readouterr().out
+        # Timing and shard-count lines differ; the physics must not.
+        pick = [
+            line for line in sharded.splitlines()
+            if line.startswith(("mean C_", "  mean C_", "mean page"))
+        ]
+        assert pick == [
+            line for line in single.splitlines()
+            if line.startswith(("mean C_", "  mean C_", "mean page"))
+        ]
+
+    def test_json_report(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "fleet.json"
+        code = main(self.BASE + ["--json", str(path)])
+        assert code == 0
+        report = json.loads(path.read_text())
+        assert report["config"]["terminals"] == 250
+        assert report["rss_within_budget"] is True
+        assert "wrote JSON report" in capsys.readouterr().out
+
+    def test_bad_shard_count_is_parameter_error(self, capsys):
+        code = main(self.BASE + ["--shards", "0"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
 class TestSpeedCommand:
     def test_reports_throughput_and_json(self, capsys, tmp_path):
         path = tmp_path / "speed.json"

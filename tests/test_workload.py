@@ -87,7 +87,63 @@ class TestPopulation:
 
     def test_negative_count_rejected(self):
         with pytest.raises(ParameterError):
-            Population(DEFAULT_MIX).sample_users(-1)
+            Population(DEFAULT_MIX).sample_users(-1, seed=0)
+
+
+class TestSeedRequirement:
+    """Sampling without an explicit seed is refused.
+
+    An unseeded population cannot be re-derived, which would let a
+    resumed fleet run silently simulate different subscribers than the
+    shards its checkpoint already completed.
+    """
+
+    @pytest.mark.parametrize("seed", [None, True, 1.5, "7"])
+    def test_sample_users_requires_integer_seed(self, seed):
+        with pytest.raises(ParameterError, match="explicit integer seed"):
+            Population(DEFAULT_MIX).sample_users(10, seed=seed)
+
+    @pytest.mark.parametrize("seed", [None, False, 2.0])
+    def test_sample_arrays_requires_integer_seed(self, seed):
+        with pytest.raises(ParameterError, match="explicit integer seed"):
+            Population(DEFAULT_MIX).sample_arrays(10, seed=seed)
+
+    def test_omitting_seed_entirely_is_refused(self):
+        with pytest.raises(ParameterError, match="explicit integer seed"):
+            Population(DEFAULT_MIX).sample_users(10)
+
+
+class TestPopulationArrays:
+    def test_columns_match_count_and_ranges(self):
+        arrays = Population(DEFAULT_MIX).sample_arrays(500, seed=11)
+        assert arrays.count == 500
+        assert arrays.q.shape == arrays.c.shape == (500,)
+        assert ((arrays.q > 0) & (arrays.q <= 0.95)).all()
+        assert ((arrays.c >= 0) & (arrays.c <= 0.5)).all()
+        assert (arrays.q + arrays.c <= 1.0 + 1e-12).all()
+        assert sum(arrays.profile_counts().values()) == 500
+
+    def test_deterministic_per_seed(self):
+        population = Population(DEFAULT_MIX)
+        a = population.sample_arrays(64, seed=5)
+        b = population.sample_arrays(64, seed=5)
+        c = population.sample_arrays(64, seed=6)
+        assert (a.q == b.q).all() and (a.c == b.c).all()
+        assert a.fingerprint() == b.fingerprint()
+        assert a.fingerprint() != c.fingerprint()
+
+    def test_respects_weights(self):
+        arrays = Population(DEFAULT_MIX).sample_arrays(3000, seed=4)
+        counts = arrays.profile_counts()
+        assert counts["pedestrian"] / 3000 == pytest.approx(0.6, abs=0.05)
+
+    def test_zero_jitter_profile_is_exact(self):
+        uniform = Population(
+            [UserProfile("only", MobilityParams(0.1, 0.02), jitter=0.0)]
+        )
+        arrays = uniform.sample_arrays(32, seed=1)
+        assert (arrays.q == 0.1).all()
+        assert (arrays.c == 0.02).all()
 
 
 class TestPlanFleet:
