@@ -29,14 +29,20 @@ import shutil
 import sys
 import tempfile
 import time
+from contextlib import contextmanager
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 
+import kernels_baseline  # noqa: E402
 from repro.analysis.sweep import MODEL_CLASSES, grid_sweep  # noqa: E402
+from repro.core.batch import banded_steady_state, batched_steady_states  # noqa: E402
 from repro.core.costs import CostEvaluator  # noqa: E402
 from repro.core.parameters import CostParams, MobilityParams  # noqa: E402
 from repro.core.threshold import find_optimal_threshold  # noqa: E402
+from repro.exceptions import SolverError  # noqa: E402
+from repro.observability.export import build_provenance  # noqa: E402
 
 OUT_DIR = Path(__file__).parent / "out"
 
@@ -110,6 +116,118 @@ def _time_scalar_grid(d_max: int, u_values, m_values, reps: int) -> float:
     return best
 
 
+def run_solver_gate(d: int, reps: int, write_baseline: bool) -> list:
+    """Banded vs dense steady-state solvers at depth ``d``; gate ratios.
+
+    At very large ``d`` the triangular recursion overflows float64 (its
+    unnormalized probabilities grow like ``2**d``), so the only dense
+    method that still works is the O(d^3) matrix solve -- that is the
+    honest denominator for the banded O(d) path.  Returns a list of
+    failure strings (empty = pass).
+    """
+    import numpy as np
+
+    def _best(fn, repeats, inner=1):
+        """Best-of-``repeats`` mean seconds over ``inner`` back-to-back calls.
+
+        The banded solve finishes in ~0.1 ms, far too quick to time as a
+        single call without scheduler noise dominating the ratio -- the
+        inner loop amortizes that noise away.
+        """
+        best_s, out = math.inf, None
+        for _ in range(repeats):
+            model = MODEL_CLASSES[MODEL_NAME](MOBILITY)
+            start = time.perf_counter()
+            for _ in range(inner):
+                out = fn(model)
+            best_s = min(best_s, (time.perf_counter() - start) / inner)
+        return best_s, out
+
+    matrix_s, matrix_pi = _best(
+        lambda m: m.steady_state(d, method="matrix"), reps
+    )
+    banded_s, banded_pi = _best(
+        lambda m: banded_steady_state(m, d), reps, inner=50
+    )
+    deviation = float(np.max(np.abs(matrix_pi - banded_pi)))
+    try:
+        with warnings_suppressed():
+            MODEL_CLASSES[MODEL_NAME](MOBILITY).steady_state(
+                d, method="recursive"
+            )
+        recursive_note = "finite (below the overflow horizon)"
+    except SolverError:
+        recursive_note = (
+            "overflow (SolverError): the unnormalized recursion grows "
+            "like 2**d and leaves float64 range near d ~ 760"
+        )
+    batched_s, batched_pi = _best(
+        lambda m: batched_steady_states(m, d, method="banded"), 1
+    )
+    entry = {
+        "reps": reps,
+        "matrix_seconds": matrix_s,
+        "banded_seconds": banded_s,
+        "banded_vs_matrix_speedup": matrix_s / banded_s,
+        "max_abs_deviation": deviation,
+        "recursive": recursive_note,
+        "batched_banded_seconds": batched_s,
+        "batched_banded_finite": bool(np.all(np.isfinite(batched_pi))),
+    }
+    print(f"solver gate at {MODEL_NAME}, d={d} (best of {reps}):")
+    print(f"  dense matrix solve  {matrix_s * 1e3:10.2f} ms")
+    print(f"  banded solve        {banded_s * 1e3:10.3f} ms "
+          f"({entry['banded_vs_matrix_speedup']:,.0f}x)")
+    print(f"  recursive solve     {recursive_note}")
+    print(f"  agreement: max |matrix - banded| = {deviation:.2e}")
+    print(f"  batched banded to d_max={d}: {batched_s:.3f}s, "
+          f"finite: {entry['batched_banded_finite']}")
+
+    errors = []
+    if deviation > AGREEMENT_TOLERANCE:
+        errors.append(
+            f"banded/matrix deviation {deviation:.3e} exceeds "
+            f"{AGREEMENT_TOLERANCE:.0e}"
+        )
+    if not entry["batched_banded_finite"]:
+        errors.append(f"batched banded d_max={d} produced non-finite rows")
+    key = f"d{d}"
+    if write_baseline:
+        baseline = kernels_baseline.load_baseline()
+        section = baseline.get("analytic", {})
+        section[key] = entry
+        path = kernels_baseline.update_baseline(
+            "analytic", section,
+            build_provenance("bench:kernels", {"d": d, "reps": reps}),
+        )
+        print(f"wrote baseline entry {key} to {path}")
+        return errors
+    committed = kernels_baseline.load_baseline().get("analytic", {}).get(key)
+    if committed is None:
+        print(f"  no committed baseline for {key}; gate skipped")
+        return errors
+    failure = kernels_baseline.check_ratio(
+        f"analytic.{key}.banded_vs_matrix_speedup",
+        entry["banded_vs_matrix_speedup"],
+        committed.get("banded_vs_matrix_speedup"),
+    )
+    if failure:
+        errors.append(failure)
+    else:
+        print(f"  gate: OK against committed {key} baseline "
+              f"(margin {kernels_baseline.REGRESSION_MARGIN:.0%})")
+    return errors
+
+
+@contextmanager
+def warnings_suppressed():
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        yield
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -123,7 +241,36 @@ def main(argv=None) -> int:
         "--min-speedup", type=float, default=0.0,
         help="exit non-zero if the curve speedup falls below this factor",
     )
+    parser.add_argument(
+        "--kernels", action="store_true",
+        help="also run the banded-vs-dense solver gate against the "
+        "committed benchmarks/out/kernels.json baseline",
+    )
+    parser.add_argument(
+        "--kernels-only", action="store_true",
+        help="run only the solver gate",
+    )
+    parser.add_argument("--kernels-d", type=int, default=2000,
+                        help="steady-state depth for the solver gate")
+    parser.add_argument(
+        "--write-kernels-baseline", action="store_true",
+        help="refresh the analytic section of benchmarks/out/kernels.json "
+        "instead of gating against it",
+    )
     args = parser.parse_args(argv)
+
+    if args.kernels or args.kernels_only:
+        solver_errors = run_solver_gate(
+            d=args.kernels_d,
+            reps=2 if args.smoke else 3,
+            write_baseline=args.write_kernels_baseline,
+        )
+        for failure in solver_errors:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        if args.kernels_only:
+            return 1 if solver_errors else 0
+    else:
+        solver_errors = []
 
     if args.smoke:
         d_max = args.d_max or 40
@@ -181,6 +328,10 @@ def main(argv=None) -> int:
 
     payload = {
         "mode": "smoke" if args.smoke else "full",
+        "provenance": build_provenance(
+            "bench:analytic",
+            {"d_max": d_max, "reps": reps, "smoke": args.smoke},
+        ),
         "point": {
             "model": MODEL_NAME,
             "q": MOBILITY.move_probability,
@@ -258,12 +409,17 @@ def main(argv=None) -> int:
             file=sys.stderr,
         )
         return 1
-    return 0
+    return 1 if solver_errors else 0
 
 
 def test_analytic_smoke():
     """Pytest hook so ``pytest benchmarks/`` also exercises the bench."""
     assert main(["--smoke"]) == 0
+
+
+def test_solver_gate_smoke():
+    """CI solver gate: banded-vs-dense ratio vs the committed baseline."""
+    assert main(["--smoke", "--kernels-only"]) == 0
 
 
 if __name__ == "__main__":

@@ -5,6 +5,12 @@ ablation) and prints the reproduced rows next to the published values,
 so running ``pytest benchmarks/ --benchmark-only -s`` produces the full
 evaluation section of the paper on stdout.  Output also works without
 ``-s``: every bench writes its rendering into ``benchmarks/out/``.
+
+Every artifact written here is provenance-stamped with the same
+schema the observability exporter uses (git revision, library version,
+parameter fingerprint), so a committed ``benchmarks/out/`` file can
+always be traced to the commit and inputs that produced it -- the
+fix for the historical drift where out/ carried anonymous snapshots.
 """
 
 import json
@@ -21,20 +27,42 @@ def out_dir() -> Path:
     return OUT_DIR
 
 
-def emit(out_dir: Path, name: str, text: str) -> None:
-    """Print a bench's report and persist it under benchmarks/out/."""
+def _provenance(name: str, params: dict) -> dict:
+    from repro.observability.export import build_provenance
+
+    return build_provenance(f"bench:{name}", params, seed=params.get("seed"))
+
+
+def emit(out_dir: Path, name: str, text: str, **params) -> None:
+    """Print a bench's report and persist it under benchmarks/out/.
+
+    Alongside the human-readable ``<name>.txt`` this writes a stamped
+    ``<name>.json`` twin carrying the provenance block and the rendered
+    report, so even text-only benches leave a traceable artifact.
+    """
     print()
     print(text)
     (out_dir / f"{name}.txt").write_text(text + "\n")
+    (out_dir / f"{name}.json").write_text(
+        json.dumps(
+            {"provenance": _provenance(name, params), "report": text},
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
 
 
-def emit_json(out_dir: Path, name: str, payload: dict) -> None:
+def emit_json(out_dir: Path, name: str, payload: dict, **params) -> None:
     """Persist a bench's results as ``benchmarks/out/<name>.json``.
 
     The text rendering is for humans; dashboards and regression
     trackers consume this machine-readable twin instead of scraping
-    tables.
+    tables.  A ``provenance`` block is injected unless the payload
+    already carries one.
     """
+    stamped = dict(payload)
+    stamped.setdefault("provenance", _provenance(name, params))
     (out_dir / f"{name}.json").write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        json.dumps(stamped, indent=2, sort_keys=True) + "\n"
     )

@@ -21,6 +21,12 @@ serial-vs-pooled                ``run_replicated`` serial vs process pool
 fleet-sharded-vs-single         ``run_fleet`` sharded vs one shard
 fleet-pooled-vs-inprocess       ``run_fleet`` process pool vs in-process
 fleet-vs-vectorized             homogeneous fleet vs vectorized engine
+steady-banded-vs-recursive      banded tridiagonal LU vs Section-4.1 recursion
+surface-banded-vs-dense         cost surface solved banded vs dense recursion
+vectorized-backend-vs-fallback  compiled counter kernel vs its NumPy port
+fleet-backend-vs-fallback       compiled fleet kernel vs its NumPy port
+vectorized-counter-vs-fleet     counter-mode vectorized vs homogeneous fleet
+vectorized-counter-vs-pcg64     counter-RNG backend vs legacy PCG64 backend
 ==============================  =============================================
 
 Analytic oracles are exact up to float accumulation (tolerances around
@@ -475,3 +481,210 @@ def _fleet_vs_vectorized(config: ConformanceConfig) -> Deviation:
             return fleet.shards[0].total_cost_half_width_95
 
     return replicated_agreement(_FleetAsReplicated(), vectorized)
+
+
+# -- backend oracles (PR 8: compiled kernels + banded solver) -----------
+
+
+@REGISTRY.oracle(
+    "steady-banded-vs-recursive",
+    tolerance=1e-10,
+    paper_ref="Section 4.1",
+    description="banded tridiagonal steady state equals the recursive solve",
+)
+def _steady_banded_vs_recursive(config: ConformanceConfig) -> Deviation:
+    return _steady_pair(config, "banded", "recursive")
+
+
+@REGISTRY.oracle(
+    "surface-banded-vs-dense",
+    tolerance=1e-10,
+    paper_ref="eqns (61)-(66)",
+    description="cost surface solved banded equals the dense triangular solve",
+    applies=lambda config: config.plan_factory is None,
+)
+def _surface_banded_vs_dense(config: ConformanceConfig) -> Deviation:
+    from ..core.batch import compute_cost_surface  # deferred: avoid cycle
+
+    model = config.build_model()
+    common = dict(
+        costs=config.costs(),
+        d_max=config.d_max,
+        delays=(config.m,),
+        convention=config.convention,
+    )
+    dense = compute_cost_surface(model, solver="dense", **common)
+    banded = compute_cost_surface(model, solver="banded", **common)
+    gaps = {
+        "update": float(np.max(np.abs(dense.update - banded.update))),
+        "paging": float(np.max(np.abs(dense.paging - banded.paging))),
+        "total": float(np.max(np.abs(dense.total - banded.total))),
+    }
+    worst_field = max(gaps, key=gaps.get)
+    return Deviation(
+        gaps[worst_field],
+        f"worst field {worst_field!r}: gap {gaps[worst_field]:.3g} "
+        f"over d<=:{config.d_max}",
+    )
+
+
+def _counter_engine(config: ConformanceConfig, slots: int):
+    """A counter-mode vectorized engine, run for ``slots``."""
+    from ..simulation.vectorized import VectorizedDistanceEngine  # deferred
+
+    model = config.build_model()
+    engine = VectorizedDistanceEngine(
+        topology=model.topology,
+        threshold=config.d,
+        mobility=config.mobility(),
+        costs=config.costs(),
+        max_delay=config.m,
+        terminals=_FLEET_TERMINALS,
+        seed=config.seed,
+        backend="auto",
+    )
+    engine.run(slots)
+    return engine
+
+
+@REGISTRY.oracle(
+    "vectorized-backend-vs-fallback",
+    tolerance=0.0,
+    paper_ref="Section 6",
+    description="compiled vectorized kernel is bit-identical to its NumPy port",
+    applies=lambda config: config.sim_slots > 0,
+)
+def _vectorized_backend_vs_fallback(config: ConformanceConfig) -> Deviation:
+    """Bit-identity of the counter kernel across executions.
+
+    With numba installed this compares the jit-compiled step against the
+    interpreted NumPy port; without numba both runs resolve to the
+    fallback and the check degenerates to a (documented) identity --
+    which is exactly the contract: results never depend on whether
+    numba is present.
+    """
+    from ..core.backend import use_numpy_fallback  # deferred
+
+    slots = min(config.sim_slots, _FLEET_EXACT_SLOTS)
+    compiled = _counter_engine(config, slots)
+    with use_numpy_fallback():
+        fallback = _counter_engine(config, slots)
+    gap = 0.0
+    for name in ("_moves", "_updates", "_calls", "_polled_cells",
+                 "_delay_counts", "_cost_sum", "_cost_sq_sum"):
+        a, b = getattr(compiled, name), getattr(fallback, name)
+        gap = max(gap, float(np.max(np.abs(a - b))) if a.size else 0.0)
+    return Deviation(
+        gap,
+        f"{compiled.backend_resolved} vs {fallback.backend_resolved}: "
+        f"max per-terminal meter gap {gap:.3g}",
+    )
+
+
+@REGISTRY.oracle(
+    "fleet-backend-vs-fallback",
+    tolerance=1e-9,
+    paper_ref="Section 6",
+    description="compiled fleet kernel matches its NumPy port exactly on counters",
+    applies=lambda config: config.sim_slots > 0,
+)
+def _fleet_backend_vs_fallback(config: ConformanceConfig) -> Deviation:
+    """Integer event totals exact; cost totals to float accumulation.
+
+    The fleet kernel's shard-level per-slot scalars are the one place
+    the compiled and NumPy executions may differ (summation order,
+    ~1e-12 relative); every integer counter and the cost totals derived
+    from them are bit-identical.
+    """
+    from ..core.backend import use_numpy_fallback  # deferred
+    from ..simulation.fleet import run_fleet  # deferred: heavy
+
+    spec = _fleet_spec(config)
+    slots = min(config.sim_slots, _FLEET_EXACT_SLOTS)
+    compiled = run_fleet(spec, slots=slots, shards=2, seed=config.seed,
+                         backend="auto")
+    with use_numpy_fallback():
+        fallback = run_fleet(spec, slots=slots, shards=2, seed=config.seed,
+                             backend="auto")
+    event_gap = max(
+        abs(compiled.moves - fallback.moves),
+        abs(compiled.updates - fallback.updates),
+        abs(compiled.calls - fallback.calls),
+        abs(compiled.polled_cells - fallback.polled_cells),
+    )
+    scale = max(abs(fallback.total_cost), 1.0)
+    cost_gap = abs(compiled.total_cost - fallback.total_cost) / scale
+    return Deviation(
+        float(event_gap + cost_gap),
+        f"event gap {event_gap}, rel cost gap {cost_gap:.3g}",
+    )
+
+
+@REGISTRY.oracle(
+    "vectorized-counter-vs-fleet",
+    tolerance=0.0,
+    paper_ref="Section 6",
+    description="counter-mode vectorized engine replays the fleet trajectory exactly",
+    applies=lambda config: config.sim_slots > 0,
+)
+def _vectorized_counter_vs_fleet(config: ConformanceConfig) -> Deviation:
+    """The strongest cross-engine check in the suite.
+
+    A homogeneous single-shard fleet (global offset 0) and the
+    counter-mode vectorized engine hash the *same* ``(seed, stream,
+    slot, terminal)`` keys with the same within-slot semantics, so two
+    independently implemented step kernels must produce identical
+    trajectories -- event totals equal as integers, cost totals equal
+    as the same integer-weighted dot products.
+    """
+    from ..simulation.fleet import run_fleet  # deferred: heavy
+
+    spec = _fleet_spec(config)
+    slots = min(config.sim_slots, _FLEET_EXACT_SLOTS)
+    fleet = run_fleet(spec, slots=slots, shards=1, seed=config.seed)
+    engine = _counter_engine(config, slots)
+    costs = config.costs()
+    gaps = {
+        "moves": abs(int(engine._moves.sum()) - fleet.moves),
+        "updates": abs(int(engine._updates.sum()) - fleet.updates),
+        "calls": abs(int(engine._calls.sum()) - fleet.calls),
+        "polled": abs(int(engine._polled_cells.sum()) - fleet.polled_cells),
+        "update_cost": abs(
+            int(engine._updates.sum()) * costs.update_cost - fleet.update_cost
+        ),
+        "paging_cost": abs(
+            int(engine._polled_cells.sum()) * costs.poll_cost
+            - fleet.paging_cost
+        ),
+    }
+    worst_field = max(gaps, key=gaps.get)
+    return Deviation(
+        float(gaps[worst_field]),
+        f"worst field {worst_field!r}: gap {float(gaps[worst_field]):.3g}",
+    )
+
+
+@REGISTRY.oracle(
+    "vectorized-counter-vs-pcg64",
+    tolerance=1.0,
+    paper_ref="Section 6",
+    description="counter-RNG backend agrees statistically with the PCG64 backend",
+    applies=lambda config: config.sim_slots > 0,
+)
+def _vectorized_counter_vs_pcg64(config: ConformanceConfig) -> Deviation:
+    from ..simulation.vectorized import VectorizedDistanceEngine  # deferred
+
+    model = config.build_model()
+    slots = min(config.sim_slots, _FLEET_STAT_SLOTS)
+    common = dict(
+        topology=model.topology,
+        threshold=config.d,
+        mobility=config.mobility(),
+        costs=config.costs(),
+        max_delay=config.m,
+        terminals=_FLEET_TERMINALS,
+        seed=config.seed,
+    )
+    legacy = VectorizedDistanceEngine(backend="numpy", **common).run(slots)
+    counter = VectorizedDistanceEngine(backend="auto", **common).run(slots)
+    return replicated_agreement(legacy, counter)

@@ -37,10 +37,12 @@ agree to 1e-10 and measures the speedup (>= 20x at ``d_max = 100``).
 from __future__ import annotations
 
 import math
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Iterator, Optional, Sequence, Tuple
 
 import numpy as np
+from scipy.linalg import solve_banded
 
 from ..exceptions import ParameterError, SolverError
 from ..observability.tracing import traced
@@ -49,11 +51,15 @@ from .models import MobilityModel
 from .parameters import CostParams, validate_delay, validate_threshold
 
 __all__ = [
+    "BANDED_CUTOVER",
     "CostSurfaceGrid",
+    "banded_steady_state",
     "batched_steady_states",
     "batched_update_rates",
     "batched_update_costs",
     "compute_cost_surface",
+    "default_solver",
+    "use_solver",
 ]
 
 #: Tolerance for the vectorized state-0 balance check (same bound the
@@ -63,6 +69,51 @@ _BALANCE_TOLERANCE = 1e-9
 #: Tie-breaking tolerance of the exhaustive argmin; matches
 #: :func:`repro.core.optimizers.exhaustive_search`.
 _TIE_TOLERANCE = 1e-15
+
+#: The steady-state solver methods ``batched_steady_states`` accepts.
+_SOLVERS = ("auto", "dense", "banded")
+
+#: ``method="auto"`` switches from the dense triangular recursion to the
+#: banded LU above this ``d_max``.  The dense recursion carries
+#: unnormalized magnitudes that grow like ``prod(s_i / a_i) >= 2**d``
+#: (``s_i = a_i + b_i + c >= 2 a_i`` whenever ``b_i >= a_i``, true for
+#: every model in the library), so float64 overflows near ``d ~ 760``;
+#: 512 leaves a comfortable margin while keeping the dense path -- which
+#: is faster for small surfaces -- on every historical workload.
+BANDED_CUTOVER = 512
+
+#: Process-wide default for ``method=None`` (see :func:`use_solver`).
+_DEFAULT_SOLVER = "auto"
+
+
+def _validate_solver(method: str) -> str:
+    if method not in _SOLVERS:
+        raise ParameterError(
+            f"steady-state solver must be one of {_SOLVERS}, got {method!r}"
+        )
+    return method
+
+
+def default_solver() -> str:
+    """The solver used when ``method``/``solver`` is not given."""
+    return _DEFAULT_SOLVER
+
+
+@contextmanager
+def use_solver(method: str) -> Iterator[None]:
+    """Override the default steady-state solver inside the block.
+
+    This is how coarse-grained entry points (``repro-lm sweep
+    --backend``) select the analytic solver without threading a
+    parameter through every optimizer call in between.
+    """
+    global _DEFAULT_SOLVER
+    previous = _DEFAULT_SOLVER
+    _DEFAULT_SOLVER = _validate_solver(method)
+    try:
+        yield
+    finally:
+        _DEFAULT_SOLVER = previous
 
 
 def _require_invariant_rates(model: MobilityModel) -> None:
@@ -75,17 +126,93 @@ def _require_invariant_rates(model: MobilityModel) -> None:
         )
 
 
+def _banded_solve(a: np.ndarray, b: np.ndarray, c: float) -> np.ndarray:
+    """One chain's steady state via a tridiagonal ``solve_banded`` LU.
+
+    Anchors ``p_0 = 1`` and solves the interior balance equations
+
+        (a_i + b_i + c) p_i - a_{i-1} p_{i-1} - b_{i+1} p_{i+1} = 0
+
+    for the unknowns ``p_1 .. p_d`` (the reset flows all land in the
+    state-0 equation, which normalization replaces).  The dense
+    triangular recursion instead anchors ``u_d = 1`` and works
+    *backward*, so its unnormalized values grow like
+    ``prod(s_i / a_i)`` -- at least ``2**d`` for the library's models --
+    and overflow float64 near ``d ~ 760``.  The ``p_0 = 1`` anchor
+    turns that growth into harmless underflow of the far tail, which is
+    what makes very large ``d`` feasible at all (and the LU is O(d)
+    time/memory instead of O(d^2) dense rows).
+    """
+    d = a.size - 1
+    if d == 0:
+        return np.ones(1)
+    s = a + b + c
+    ab = np.zeros((3, d))
+    ab[1, :] = s[1:]
+    ab[0, 1:] = -b[2:]
+    ab[2, :-1] = -a[1:d]
+    rhs = np.zeros(d)
+    rhs[0] = a[0]
+    x = solve_banded((1, 1), ab, rhs)
+    p = np.concatenate(([1.0], x))
+    if np.any(p < 0) or not np.all(np.isfinite(p)):
+        raise SolverError(
+            "banded solve produced an invalid steady-state vector; the "
+            "chain parameters are numerically pathological"
+        )
+    return p / p.sum()
+
+
+@traced("analytic.banded_steady_state")
+def banded_steady_state(model: MobilityModel, d: int) -> np.ndarray:
+    """Steady state of one threshold ``d`` via the banded LU solver.
+
+    Unlike the batched solvers this needs no rate invariance -- the
+    chain is built per ``d`` -- and it stays finite far past the
+    ``d ~ 760`` overflow horizon of the backward recursion.  The
+    state-0 balance check of the scalar solvers is applied to the
+    result.
+    """
+    d = validate_threshold(d)
+    chain = model.chain(d)
+    pi = _banded_solve(chain.a, chain.b, chain.reset)
+    if d >= 1:
+        lhs = pi[0] * chain.a[0]
+        rhs = (
+            pi[1] * chain.b[1]
+            + pi[d] * chain.a[d]
+            + chain.reset * (1.0 - pi[0])
+        )
+        if abs(lhs - rhs) > _BALANCE_TOLERANCE:
+            raise SolverError(
+                f"state-0 balance violated by {abs(lhs - rhs):.3e} in the "
+                "banded solve; steady-state vector is inconsistent"
+            )
+    return pi
+
+
 @traced("analytic.batched_steady_states")
-def batched_steady_states(model: MobilityModel, d_max: int) -> np.ndarray:
+def batched_steady_states(
+    model: MobilityModel, d_max: int, method: Optional[str] = None
+) -> np.ndarray:
     """Steady-state vectors of *every* threshold ``0 .. d_max`` at once.
 
     Returns a ``(d_max + 1, d_max + 1)`` row-triangular matrix ``P``
     whose row ``d`` holds ``p_{0,d} .. p_{d,d}`` followed by zeros --
     exactly what ``model.steady_state(d, method="recursive")`` returns
-    per row, computed here by one vectorized backward recursion.
+    per row.
 
-    The recursion (paper Section 4.1, uniform form): with unnormalized
-    ``u_{d,d} = 1`` and ``u_{d,d+1} = 0``,
+    ``method`` picks the solver: ``"dense"`` is the vectorized backward
+    recursion below, ``"banded"`` solves each row with the O(d)
+    tridiagonal LU of :func:`_banded_solve`, and ``"auto"`` (the
+    default, via :func:`default_solver`) uses the dense sweep up to
+    :data:`BANDED_CUTOVER` and the banded path beyond it -- the dense
+    recursion's unnormalized values overflow float64 near ``d ~ 760``,
+    so very large surfaces are *only* reachable banded.  Both methods
+    agree to ~1e-14 (the conformance suite pins 1e-10).
+
+    The dense recursion (paper Section 4.1, uniform form): with
+    unnormalized ``u_{d,d} = 1`` and ``u_{d,d+1} = 0``,
 
         u_{d,i-1} = (u_{d,i} (a_i + b_i + c) - u_{d,i+1} b_{i+1}) / a_{i-1}
 
@@ -97,25 +224,39 @@ def batched_steady_states(model: MobilityModel, d_max: int) -> np.ndarray:
     """
     d_max = validate_threshold(d_max)
     _require_invariant_rates(model)
+    if method is None:
+        method = _DEFAULT_SOLVER
+    _validate_solver(method)
+    if method == "auto":
+        method = "dense" if d_max <= BANDED_CUTOVER else "banded"
     a, b = model.transition_rates(d_max)
     a = np.asarray(a, dtype=float)
     b = np.asarray(b, dtype=float)
     c = model.c
     n = d_max + 1
-    s = a + b + c
-    u = np.zeros((n, n + 1))
-    diag = np.arange(n)
-    u[diag, diag] = 1.0
-    b_pad = np.append(b, 0.0)  # u_{d,d+1} is 0, so b_{d+1} never matters
-    for i in range(d_max, 0, -1):
-        u[i:, i - 1] = (u[i:, i] * s[i] - u[i:, i + 1] * b_pad[i + 1]) / a[i - 1]
-    u = u[:, :n]
-    if np.any(u < 0) or not np.all(np.isfinite(u)):
-        raise SolverError(
-            "batched solve produced an invalid unnormalized matrix; the "
-            "chain parameters are numerically pathological"
-        )
-    pi = u / u.sum(axis=1, keepdims=True)
+    if method == "banded":
+        pi = np.zeros((n, n))
+        pi[0, 0] = 1.0
+        for d in range(1, n):
+            pi[d, : d + 1] = _banded_solve(a[: d + 1], b[: d + 1], c)
+    else:
+        s = a + b + c
+        u = np.zeros((n, n + 1))
+        diag = np.arange(n)
+        u[diag, diag] = 1.0
+        b_pad = np.append(b, 0.0)  # u_{d,d+1} is 0, so b_{d+1} never matters
+        for i in range(d_max, 0, -1):
+            u[i:, i - 1] = (
+                u[i:, i] * s[i] - u[i:, i + 1] * b_pad[i + 1]
+            ) / a[i - 1]
+        u = u[:, :n]
+        if np.any(u < 0) or not np.all(np.isfinite(u)):
+            raise SolverError(
+                "batched solve produced an invalid unnormalized matrix; the "
+                "chain parameters are numerically pathological -- for very "
+                "large d_max use method='banded'"
+            )
+        pi = u / u.sum(axis=1, keepdims=True)
     _check_reset_balance_batch(a, b, c, pi)
     return pi
 
@@ -265,6 +406,7 @@ def compute_cost_surface(
     delays: Sequence[float] = (1, 2, 3, math.inf),
     convention: str = "paper",
     steady: np.ndarray = None,
+    solver: Optional[str] = None,
 ) -> CostSurfaceGrid:
     """Evaluate ``C_u``, ``C_v``, and ``C_T`` on the full ``(d, m)`` grid.
 
@@ -272,6 +414,10 @@ def compute_cost_surface(
     delay adds only a cumulative-sum pass over the SDF partition
     weights.  Only the paper's SDF partition is supported -- custom
     plan factories need the scalar :class:`CostEvaluator` path.
+
+    ``solver`` picks the steady-state method (``"auto"`` | ``"dense"``
+    | ``"banded"``, default :func:`default_solver`); it is ignored when
+    a precomputed ``steady`` matrix is passed.
 
     ``steady`` may pass a precomputed :func:`batched_steady_states`
     matrix (for this model, possibly larger than ``d_max + 1``) to
@@ -285,7 +431,7 @@ def compute_cost_surface(
     if len(set(delays)) != len(delays):
         raise ParameterError(f"duplicate delay bounds in {list(delays)}")
     if steady is None:
-        steady = batched_steady_states(model, d_max)
+        steady = batched_steady_states(model, d_max, method=solver)
     else:
         steady = np.asarray(steady, dtype=float)
         if steady.ndim != 2 or steady.shape[0] != steady.shape[1]:

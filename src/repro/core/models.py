@@ -126,8 +126,11 @@ class MobilityModel(abc.ABC):
 
         ``method`` selects the solver: ``"auto"`` (the model's preferred
         solver, cached), ``"closed_form"`` (where available),
-        ``"recursive"`` (paper Section 4.1), or ``"matrix"`` (reference
-        linear solve).  Results of ``"auto"`` are cached per threshold.
+        ``"recursive"`` (paper Section 4.1), ``"matrix"`` (reference
+        linear solve), or ``"banded"`` (the scipy tridiagonal LU of
+        :func:`repro.core.batch.banded_steady_state` -- the only solver
+        that stays finite past ``d ~ 760``).  Results of ``"auto"`` are
+        cached per threshold.
         """
         d = validate_threshold(d)
         if method == "auto":
@@ -143,12 +146,35 @@ class MobilityModel(abc.ABC):
             return solve_steady_state_recursive(self.chain(d))
         if method == "matrix":
             return solve_steady_state_matrix(self.chain(d))
+        if method == "banded":
+            return self._solve_banded(d)
         raise ParameterError(
-            f"unknown method {method!r}; expected auto/closed_form/recursive/matrix"
+            f"unknown method {method!r}; expected "
+            "auto/closed_form/recursive/matrix/banded"
         )
 
     def _solve_default(self, d: int) -> np.ndarray:
         return self._solve_closed_form(d)
+
+    def _solve_banded(self, d: int) -> np.ndarray:
+        from .batch import banded_steady_state  # local: batch imports us
+
+        return banded_steady_state(self, d)
+
+    def _solve_recursive_or_banded(self, d: int) -> np.ndarray:
+        """Default solver for recursion-based models.
+
+        The backward recursion's unnormalized values grow at least like
+        ``2**d`` and overflow float64 near ``d ~ 760``; past the batch
+        module's cutover the banded LU -- which anchors ``p_0 = 1`` and
+        only ever *underflows* -- takes over, making very large
+        thresholds solvable through the same ``steady_state(d)`` call.
+        """
+        from .batch import BANDED_CUTOVER  # local: batch imports us
+
+        if d > BANDED_CUTOVER:
+            return self._solve_banded(d)
+        return solve_steady_state_recursive(self.chain(d))
 
     def _solve_closed_form(self, d: int) -> np.ndarray:
         raise ParameterError(f"{self.name} has no closed-form steady state")
@@ -248,7 +274,7 @@ class TwoDimensionalModel(MobilityModel):
         return a, b
 
     def _solve_default(self, d: int) -> np.ndarray:
-        return solve_steady_state_recursive(self.chain(d))
+        return self._solve_recursive_or_banded(d)
 
     def _interior_outward_rate(self, d: int) -> float:
         return self.q * (1.0 / 3.0 + 1.0 / (6.0 * d))
@@ -329,7 +355,7 @@ class SquareGridModel(MobilityModel):
         return a, b
 
     def _solve_default(self, d: int) -> np.ndarray:
-        return solve_steady_state_recursive(self.chain(d))
+        return self._solve_recursive_or_banded(d)
 
     def _interior_outward_rate(self, d: int) -> float:
         return self.q * (0.5 + 1.0 / (4.0 * d))

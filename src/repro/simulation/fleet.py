@@ -71,6 +71,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..core.backend import resolve_backend, validate_backend
 from ..core.parameters import CostParams, MobilityParams, validate_delay
 from ..exceptions import ParameterError
 from ..geometry.hex import HexTopology
@@ -81,6 +82,19 @@ from ..observability import context as _obs_context
 from ..paging import sdf_partition
 from ..persist import atomic_write_json
 from ..workload.profiles import Population
+from .kernels import (
+    _INV53,
+    _S11,
+    STREAM_CALL as _STREAM_CALL,
+    STREAM_DIRECTION as _STREAM_DIRECTION,
+    STREAM_EVENT as _STREAM_EVENT,
+    compiled_kernels,
+    counter_uniforms as _counter_uniforms,
+    mix64 as _mix64,
+    slot_key as _slot_key,
+    terminal_keys as _terminal_keys,
+    topology_code,
+)
 from .runner import _resolve_workers
 from .vectorized import _EVENT_MODES, _Z95, _lattice_kernel
 
@@ -100,45 +114,11 @@ __all__ = [
 #: per-terminal arrays) and the shard layout.
 _FLEET_CHECKPOINT_VERSION = 1
 
-# -- stateless counter-based randomness --------------------------------
-
-_M64 = (1 << 64) - 1
-_GOLDEN = 0x9E3779B97F4A7C15
-_SLOT_SALT = 0xD1B54A32D192ED03
-_STREAM_SALT = 0x8BB84B93962EACC9
-_GOLDEN_U64 = np.uint64(_GOLDEN)
-_MIX_A = np.uint64(0xBF58476D1CE4E5B9)
-_MIX_B = np.uint64(0x94D049BB133111EB)
-_S30, _S27, _S31 = np.uint64(30), np.uint64(27), np.uint64(31)
-_S11 = np.uint64(11)
-_INV53 = 2.0**-53
-
-#: Independent hash streams: slot-event classification, movement
-#: direction, and the independent-mode call draw.
-_STREAM_EVENT, _STREAM_DIRECTION, _STREAM_CALL = 0, 1, 2
-
-
-def _mix64(x: np.ndarray) -> np.ndarray:
-    """SplitMix64 finalizer, vectorized over uint64 (wrapping) arrays."""
-    x = (x ^ (x >> _S30)) * _MIX_A
-    x = (x ^ (x >> _S27)) * _MIX_B
-    return x ^ (x >> _S31)
-
-
-def _slot_key(seed: int, stream: int, slot: int) -> np.uint64:
-    """One 64-bit key per ``(seed, stream, slot)``.
-
-    Computed in Python integers (NumPy *scalar* uint64 arithmetic warns
-    on wraparound; arrays do not) and finalized with the same SplitMix64
-    mix as the vector side.
-    """
-    x = (
-        seed * _GOLDEN + stream * _STREAM_SALT + slot * _SLOT_SALT
-        + 0x632BE59BD9B4E019
-    ) & _M64
-    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _M64
-    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _M64
-    return np.uint64((x ^ (x >> 31)) & _M64)
+# The stateless counter-based randomness primitives (SplitMix64
+# finalizer, slot keys, terminal keys) live in
+# :mod:`repro.simulation.kernels` -- shared with the vectorized engine's
+# counter backend and ported inside the jit kernels -- and are imported
+# above under their historical private names.
 
 
 # -- the fleet specification -------------------------------------------
@@ -585,6 +565,7 @@ class FleetShardEngine:
         global_offset: int = 0,
         seed: int = 0,
         event_mode: str = "exclusive",
+        backend: str = "numpy",
     ) -> None:
         if event_mode not in _EVENT_MODES:
             raise ParameterError(
@@ -594,6 +575,14 @@ class FleetShardEngine:
         self.max_delay = validate_delay(max_delay)
         self.event_mode = event_mode
         self.seed = int(seed)
+        # The fleet kernel always draws from the counter RNG, so the
+        # backend only selects the *execution* of the same step --
+        # integer event counters are bit-identical either way (see
+        # kernels.py for the one float caveat on the per-slot scalars).
+        self.backend = validate_backend(backend)
+        self.backend_resolved = (
+            resolve_backend(backend) if backend != "numpy" else "numpy"
+        )
         self.global_offset = int(global_offset)
         self._q = np.ascontiguousarray(q, dtype=np.float64)
         self._c = np.ascontiguousarray(c, dtype=np.float64)
@@ -613,7 +602,9 @@ class FleetShardEngine:
         # unique_d[i].  ring -> 0-based polling cycle, and cycle ->
         # cumulative cells polled (w_j of eqn (64)).
         unique_d = np.unique(self._threshold)
-        self._class_idx = np.searchsorted(unique_d, self._threshold)
+        self._class_idx = np.ascontiguousarray(
+            np.searchsorted(unique_d, self._threshold), dtype=np.int64
+        )
         plans = [sdf_partition(int(d), self.max_delay) for d in unique_d]
         max_d = int(unique_d[-1])
         self.max_cycles = max(plan.delay_bound for plan in plans)
@@ -631,13 +622,7 @@ class FleetShardEngine:
             # delay bound, but keep the tail monotone anyway.
             self._cum_polled[row, cumulative.shape[0]:] = cumulative[-1]
         # Hash keys of the *global* terminal indices, fixed once.
-        self._idx_keys = _mix64(
-            (np.arange(
-                self.global_offset,
-                self.global_offset + self.terminals,
-                dtype=np.uint64,
-            ) + np.uint64(1)) * _GOLDEN_U64
-        )
+        self._idx_keys = _terminal_keys(self.global_offset, self.terminals)
         self._pos = np.zeros((self.terminals, self._dirs.shape[1]), dtype=np.int64)
         self.slot = 0
         self.reset_meters()
@@ -658,15 +643,48 @@ class FleetShardEngine:
 
     def _uniforms(self, stream: int, slot: int) -> np.ndarray:
         """One U(0,1) per terminal for ``(stream, slot)``, layout-free."""
-        h = _mix64(self._idx_keys ^ _slot_key(self.seed, stream, slot))
-        return (h >> _S11).astype(np.float64) * _INV53
+        return _counter_uniforms(self._idx_keys, self.seed, stream, slot)
 
     def run(self, slots: int) -> None:
         """Advance every terminal in the shard ``slots`` slots."""
         if slots < 0:
             raise ParameterError(f"slots must be >= 0, got {slots}")
-        for _ in range(slots):
-            self._step()
+        if slots and self.backend_resolved == "numba":
+            self._run_compiled(slots)
+        else:
+            for _ in range(slots):
+                self._step()
+
+    def _run_compiled(self, slots: int) -> None:  # pragma: no cover - numba
+        _, fleet_step = compiled_kernels()
+        cost_sum, cost_sq_sum = fleet_step(
+            self._pos,
+            self._dirs,
+            np.int64(topology_code(self.topology)),
+            np.int64(0 if self.event_mode == "exclusive" else 1),
+            np.uint64(self.seed),
+            self._idx_keys,
+            np.int64(self.slot),
+            np.int64(slots),
+            self._q,
+            self._c,
+            self._qc,
+            self._threshold,
+            self._update_cost,
+            self._poll_cost,
+            self._class_idx,
+            self._ring_to_cycle,
+            self._cum_polled,
+            self._moves,
+            self._updates,
+            self._calls,
+            self._polled,
+            self._delay_counts,
+        )
+        self._cost_sum += cost_sum
+        self._cost_sq_sum += cost_sq_sum
+        self._metered_slots += slots
+        self.slot += slots
 
     def _step(self) -> None:
         t = self.slot
@@ -854,6 +872,7 @@ def _execute_shard(
     seed: int,
     event_mode: str,
     observe: bool,
+    backend: str = "numpy",
 ) -> Tuple[int, Dict[str, object], Optional[dict]]:
     """Run one shard to completion.
 
@@ -872,6 +891,7 @@ def _execute_shard(
             global_offset=lo,
             seed=seed,
             event_mode=event_mode,
+            backend=backend,
             **columns,
         )
         engine.run(slots)
@@ -974,6 +994,7 @@ def run_fleet(
     event_mode: str = "exclusive",
     checkpoint: Optional[Union[str, Path]] = None,
     spill_dir: Optional[Union[str, Path]] = None,
+    backend: str = "numpy",
 ) -> FleetResult:
     """Simulate a heterogeneous fleet, sharded across processes.
 
@@ -994,6 +1015,13 @@ def run_fleet(
     ``seed`` drives event noise only -- the population is pinned by
     ``spec`` (its own ``population_seed`` is recorded in the
     fingerprint).
+
+    ``backend`` selects the shard kernel's *execution* only
+    (``"numpy"`` | ``"numba"`` | ``"auto"``, see
+    :mod:`repro.core.backend`) and is deliberately **not** part of the
+    checkpoint fingerprint: integer event totals are bit-identical
+    across backends, so a checkpoint written by either execution is
+    resumable by the other.
     """
     if slots < 1:
         raise ParameterError(f"slots must be >= 1, got {slots}")
@@ -1001,6 +1029,7 @@ def run_fleet(
         raise ParameterError(
             f"event_mode must be one of {_EVENT_MODES}, got {event_mode!r}"
         )
+    validate_backend(backend)
     bounds = shard_bounds(spec.count, shards)
     pool_size = _resolve_workers(workers)
     parent_obs = _obs_context.current()
@@ -1037,6 +1066,7 @@ def run_fleet(
                 record(*_execute_shard(
                     index, lo, hi, source, spec.topology, n_profiles,
                     spec.max_delay, slots, seed, event_mode, observe,
+                    backend,
                 ))
         elif pending:
             spill_root = tempfile.mkdtemp(
@@ -1053,7 +1083,7 @@ def run_fleet(
                             _execute_shard,
                             index, *bounds[index], source, spec.topology,
                             n_profiles, spec.max_delay, slots, seed,
-                            event_mode, observe,
+                            event_mode, observe, backend,
                         )
                         for index in pending
                     ]
@@ -1073,6 +1103,10 @@ def run_fleet(
             # columns regardless of the executor.
             registry = parent_obs.registry
             labels = {"engine": "fleet"}
+            if backend != "numpy":
+                # Non-default backends are labelled; the default keeps
+                # the metric identities of existing golden exports.
+                labels["backend"] = resolve_backend(backend)
             instruments = {
                 "slots": registry.counter("slots_total", **labels),
                 "moves": registry.counter("moves_total", **labels),
@@ -1135,6 +1169,7 @@ def fleet_report(
     checkpoint: Optional[Union[str, Path]] = None,
     rss_base_budget_bytes: int = 600 * 1024 * 1024,
     rss_budget_bytes_per_terminal: float = 256.0,
+    backend: str = "numpy",
 ) -> dict:
     """Run a fleet once and report throughput plus the RSS bound.
 
@@ -1163,7 +1198,7 @@ def fleet_report(
     tic = time.perf_counter()
     result = run_fleet(
         spec, slots=slots, shards=shards, seed=seed, workers=workers,
-        checkpoint=checkpoint,
+        checkpoint=checkpoint, backend=backend,
     )
     run_seconds = time.perf_counter() - tic
     rss = _peak_rss_bytes()
@@ -1176,6 +1211,10 @@ def fleet_report(
             "slots": slots,
             "workers": workers if isinstance(workers, int) else 1,
             "seed": seed,
+            "backend": backend,
+            "backend_resolved": (
+                resolve_backend(backend) if backend != "numpy" else "numpy"
+            ),
             "max_delay": _json_delay(validate_delay(max_delay)),
             "topology": repr(spec.topology),
             "population": spec.profile_counts(),

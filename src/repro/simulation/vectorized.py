@@ -49,6 +49,12 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from ..core.backend import (
+    numba_available,
+    resolve_backend,
+    use_numpy_fallback,
+    validate_backend,
+)
 from ..core.parameters import CostParams, MobilityParams
 from ..exceptions import ParameterError
 from ..geometry.hex import AXIAL_DIRECTIONS, HexTopology
@@ -58,10 +64,25 @@ from ..geometry.topology import CellTopology
 from ..observability.context import current as _observability
 from ..paging import PagingPlan, sdf_partition
 from ..core.parameters import validate_delay, validate_threshold
+from .kernels import (
+    STREAM_CALL,
+    STREAM_DIRECTION,
+    STREAM_EVENT,
+    compiled_kernels,
+    counter_uniforms,
+    mix64,
+    slot_key,
+    terminal_keys,
+    topology_code,
+)
 from .metrics import MeterSnapshot
 from .runner import ReplicatedResult
 
-__all__ = ["VectorizedDistanceEngine", "throughput_report"]
+__all__ = [
+    "VectorizedDistanceEngine",
+    "compare_backends_report",
+    "throughput_report",
+]
 
 _EVENT_MODES = ("exclusive", "independent")
 
@@ -124,6 +145,15 @@ class VectorizedDistanceEngine:
     event_mode:
         ``"exclusive"`` (chain-faithful, default) or ``"independent"``
         -- same slot semantics as :class:`SimulationEngine`.
+    backend:
+        ``"numpy"`` (default) keeps the historical sequential-PCG64
+        step, preserving every committed golden value.  ``"numba"`` or
+        ``"auto"`` switch the engine to the stateless SplitMix64
+        *counter* RNG (the fleet engine's randomness) and -- when numba
+        is importable -- run the jit-compiled step kernel; without
+        numba the bit-identical NumPy port of the same kernel runs
+        instead, so results never depend on whether numba is installed.
+        Counter mode requires an integer ``seed`` (``None`` means 0).
     """
 
     def __init__(
@@ -137,6 +167,7 @@ class VectorizedDistanceEngine:
         terminals: int = 1024,
         seed=None,
         event_mode: str = "exclusive",
+        backend: str = "numpy",
     ) -> None:
         if event_mode not in _EVENT_MODES:
             raise ParameterError(
@@ -151,6 +182,21 @@ class VectorizedDistanceEngine:
         self.costs = costs
         self.event_mode = event_mode
         self.terminals = int(terminals)
+        self.backend = validate_backend(backend)
+        self._counter_mode = self.backend != "numpy"
+        self.backend_resolved = (
+            resolve_backend(self.backend) if self._counter_mode else "numpy"
+        )
+        if self._counter_mode:
+            if seed is None:
+                seed = 0
+            if not isinstance(seed, (int, np.integer)):
+                raise ParameterError(
+                    f"backend={self.backend!r} uses the counter RNG, which "
+                    f"needs an integer seed; got {seed!r}"
+                )
+            self._seed = int(seed)
+            self._idx_keys = terminal_keys(0, self.terminals)
         self.rng = np.random.default_rng(seed)
         if plan is not None and plan.threshold != self.threshold:
             raise ParameterError(
@@ -184,6 +230,10 @@ class VectorizedDistanceEngine:
                 "d": self.threshold,
                 "engine": "vectorized",
             }
+            if self._counter_mode:
+                # Only non-default backends are labelled, so the metric
+                # identities of existing golden exports are untouched.
+                labels["backend"] = self.backend_resolved
             registry = obs.registry
             self._tracer = obs.tracer
             self._instruments = {
@@ -228,8 +278,7 @@ class VectorizedDistanceEngine:
         if slots < 0:
             raise ParameterError(f"slots must be >= 0, got {slots}")
         if self._instruments is None:
-            for _ in range(slots):
-                self._step()
+            self._advance(slots)
             return self.result()
         before = (
             self._moves.copy(),
@@ -244,10 +293,51 @@ class VectorizedDistanceEngine:
             terminals=self.terminals,
             threshold=self.threshold,
         ):
-            for _ in range(slots):
-                self._step()
+            self._advance(slots)
         self._record_run(before, slots)
         return self.result()
+
+    def _advance(self, slots: int) -> None:
+        """Run ``slots`` steps on whichever backend resolution picked."""
+        if slots == 0:
+            return
+        if self._counter_mode and self.backend_resolved == "numba":
+            self._run_compiled(slots)
+        elif self._counter_mode:
+            for _ in range(slots):
+                self._step_counter()
+        else:
+            for _ in range(slots):
+                self._step()
+
+    def _run_compiled(self, slots: int) -> None:  # pragma: no cover - numba
+        homogeneous_step, _ = compiled_kernels()
+        homogeneous_step(
+            self._pos,
+            self._dirs,
+            np.int64(topology_code(self.topology)),
+            np.int64(0 if self.event_mode == "exclusive" else 1),
+            np.uint64(self._seed),
+            self._idx_keys,
+            np.int64(self.slot),
+            np.int64(slots),
+            float(self.mobility.move_probability),
+            float(self.mobility.call_probability),
+            np.int64(self.threshold),
+            float(self.costs.update_cost),
+            float(self.costs.poll_cost),
+            self._ring_to_cycle,
+            self._cumulative_polled,
+            self._moves,
+            self._updates,
+            self._calls,
+            self._polled_cells,
+            self._delay_counts,
+            self._cost_sum,
+            self._cost_sq_sum,
+        )
+        self._metered_slots += slots
+        self.slot += slots
 
     def _record_run(self, before: tuple, slots: int) -> None:
         """Fold one observed run() into the metrics registry.
@@ -378,6 +468,57 @@ class VectorizedDistanceEngine:
             slot_cost[updating] += self.costs.update_cost
             self._pos[updating] = 0
 
+    # -- counter-RNG backend (NumPy port of the jit kernel) ---------------
+
+    def _step_counter(self) -> None:
+        """One slot on the counter RNG -- bit-identical to the jit kernel.
+
+        Same hashes, same within-slot order (calls then moves), and the
+        same per-terminal float arithmetic as
+        ``kernels.homogeneous_step``, so every meter -- including the
+        float cost accumulators -- matches the compiled execution bit
+        for bit.
+        """
+        c = self.mobility.call_probability
+        q = self.mobility.move_probability
+        u = counter_uniforms(self._idx_keys, self._seed, STREAM_EVENT, self.slot)
+        if self.event_mode == "exclusive":
+            called = u < c
+            moved = (~called) & (u < c + q)
+        else:
+            moved = u < q
+            called = (
+                counter_uniforms(self._idx_keys, self._seed, STREAM_CALL, self.slot)
+                < c
+            )
+        slot_cost = np.zeros(self.terminals, dtype=np.float64)
+        if called.any():
+            self._handle_calls(called, slot_cost)
+        if moved.any():
+            self._handle_moves_counter(moved, slot_cost)
+        self._cost_sum += slot_cost
+        self._cost_sq_sum += slot_cost * slot_cost
+        self._metered_slots += 1
+        self.slot += 1
+
+    def _handle_moves_counter(
+        self, moved: np.ndarray, slot_cost: np.ndarray
+    ) -> None:
+        movers = np.nonzero(moved)[0]
+        h = mix64(
+            self._idx_keys[movers]
+            ^ slot_key(self._seed, STREAM_DIRECTION, self.slot)
+        )
+        unit = (h >> np.uint64(11)).astype(np.float64) * 2.0**-53
+        directions = (unit * float(self._dirs.shape[0])).astype(np.int64)
+        self._pos[movers] += self._dirs[directions]
+        self._moves[movers] += 1
+        updating = movers[self._distance(self._pos[movers]) > self.threshold]
+        if updating.size:
+            self._updates[updating] += 1
+            slot_cost[updating] += self.costs.update_cost
+            self._pos[updating] = 0
+
 
 def throughput_report(
     topology: CellTopology,
@@ -389,6 +530,7 @@ def throughput_report(
     vector_slots: int = 20_000,
     terminals: int = 1024,
     seed: int = 0,
+    backend: str = "numpy",
 ) -> dict:
     """Measure slots/sec of the per-cell engine vs the vectorized one.
 
@@ -420,6 +562,7 @@ def throughput_report(
         max_delay=max_delay,
         terminals=terminals,
         seed=seed,
+        backend=backend,
     )
     tic = time.perf_counter()
     vectorized.run(vector_slots)
@@ -439,6 +582,7 @@ def throughput_report(
             "update_cost": costs.update_cost,
             "poll_cost": costs.poll_cost,
             "seed": seed,
+            "backend": backend,
         },
         "engine": {
             "terminal_slots": engine_slots,
@@ -451,6 +595,88 @@ def throughput_report(
             "terminal_slots": vector_slots * terminals,
             "seconds": vector_seconds,
             "slots_per_sec": vector_rate,
+            "backend": vectorized.backend_resolved,
         },
         "speedup": vector_rate / engine_rate if engine_rate else math.inf,
+    }
+
+
+def compare_backends_report(
+    topology: CellTopology,
+    threshold: int,
+    mobility: MobilityParams,
+    costs: CostParams,
+    max_delay=1,
+    slots: int = 5_000,
+    terminals: int = 2_048,
+    seed: int = 0,
+) -> dict:
+    """Time every execution backend on one configuration.
+
+    Rows: ``numpy`` (legacy sequential-PCG64 step), ``numpy-counter``
+    (the counter-RNG kernel forced onto its NumPy port), and -- when
+    numba is importable -- ``numba`` (the jit-compiled kernel).  The
+    ``numpy-counter`` and ``numba`` rows report the same mean cost bit
+    for bit; that agreement is part of the output so speedup claims and
+    the identity contract are reproducible with one command
+    (``repro-lm speed --compare-backends``).
+    """
+    rows = [("numpy", "numpy", False), ("numpy-counter", "auto", True)]
+    if numba_available():
+        rows.append(("numba", "numba", False))
+    out_rows = []
+    for name, requested, force in rows:
+        def _build():
+            return VectorizedDistanceEngine(
+                topology=topology,
+                threshold=threshold,
+                mobility=mobility,
+                costs=costs,
+                max_delay=max_delay,
+                terminals=terminals,
+                seed=seed,
+                backend=requested,
+            )
+
+        if force:
+            with use_numpy_fallback():
+                engine = _build()
+        else:
+            engine = _build()
+        if engine.backend_resolved == "numba":  # pragma: no cover - numba
+            # Trigger compilation outside the timed window, on a
+            # throwaway engine so the timed one still starts at slot 0
+            # (keeping its meters bit-comparable to the numpy-counter
+            # row).
+            _build().run(1)
+        tic = time.perf_counter()
+        result = engine.run(slots)
+        seconds = time.perf_counter() - tic
+        terminal_slots = slots * terminals
+        out_rows.append(
+            {
+                "name": name,
+                "requested": requested,
+                "resolved": engine.backend_resolved,
+                "terminal_slots": terminal_slots,
+                "seconds": seconds,
+                "slots_per_sec": terminal_slots / seconds if seconds else math.inf,
+                "mean_total_cost": result.mean_total_cost,
+            }
+        )
+    return {
+        "config": {
+            "topology": repr(topology),
+            "threshold": threshold,
+            "max_delay": None if max_delay == math.inf else max_delay,
+            "q": mobility.move_probability,
+            "c": mobility.call_probability,
+            "update_cost": costs.update_cost,
+            "poll_cost": costs.poll_cost,
+            "seed": seed,
+            "slots": slots,
+            "terminals": terminals,
+        },
+        "numba_available": numba_available(),
+        "backends": out_rows,
     }

@@ -1,0 +1,134 @@
+"""Backend capability detection, resolution, and fallback semantics.
+
+Numba presence is simulated by monkeypatching the import hook, so both
+branches run on every host regardless of whether numba is installed.
+"""
+
+import types
+import warnings
+
+import pytest
+
+from repro.core import backend as backend_mod
+from repro.core.backend import (
+    BACKENDS,
+    backend_info,
+    numba_available,
+    reset_backend_state,
+    resolve_backend,
+    use_numpy_fallback,
+    validate_backend,
+)
+from repro.exceptions import ParameterError
+
+FAKE_NUMBA = types.SimpleNamespace(__version__="0.0-fake")
+
+
+@pytest.fixture(autouse=True)
+def _isolated_backend_state():
+    reset_backend_state()
+    yield
+    reset_backend_state()
+
+
+def _with_numba(monkeypatch):
+    monkeypatch.setattr(backend_mod, "_import_numba", lambda: FAKE_NUMBA)
+
+
+def _without_numba(monkeypatch):
+    def _fail():
+        raise ImportError("no module named numba")
+
+    monkeypatch.setattr(backend_mod, "_import_numba", _fail)
+
+
+def test_validate_accepts_every_backend_name():
+    for name in BACKENDS:
+        assert validate_backend(name) == name
+
+
+def test_validate_rejects_unknown_backend():
+    with pytest.raises(ParameterError, match="backend must be one of"):
+        validate_backend("cuda")
+
+
+def test_resolve_with_numba_present(monkeypatch):
+    _with_numba(monkeypatch)
+    assert resolve_backend("auto") == "numba"
+    assert resolve_backend("numba") == "numba"
+    assert resolve_backend("numpy") == "numpy"
+
+
+def test_auto_falls_back_silently_without_numba(monkeypatch):
+    _without_numba(monkeypatch)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert resolve_backend("auto") == "numpy"
+
+
+def test_explicit_numba_warns_exactly_once(monkeypatch):
+    _without_numba(monkeypatch)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        assert resolve_backend("numba") == "numpy"
+        assert resolve_backend("numba") == "numpy"
+        assert resolve_backend("auto") == "numpy"
+    runtime = [w for w in caught if issubclass(w.category, RuntimeWarning)]
+    assert len(runtime) == 1
+    assert "pip install 'repro[numba]'" in str(runtime[0].message)
+
+
+def test_warn_latch_clears_with_reset(monkeypatch):
+    _without_numba(monkeypatch)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        resolve_backend("numba")
+        reset_backend_state()
+        resolve_backend("numba")
+    runtime = [w for w in caught if issubclass(w.category, RuntimeWarning)]
+    assert len(runtime) == 2
+
+
+def test_probe_is_memoized(monkeypatch):
+    calls = []
+
+    def _probe():
+        calls.append(1)
+        return FAKE_NUMBA
+
+    monkeypatch.setattr(backend_mod, "_import_numba", _probe)
+    assert numba_available()
+    assert numba_available()
+    resolve_backend("auto")
+    assert len(calls) == 1
+
+
+def test_use_numpy_fallback_forces_interpreted_kernel(monkeypatch):
+    _with_numba(monkeypatch)
+    assert resolve_backend("auto") == "numba"
+    with use_numpy_fallback():
+        assert resolve_backend("auto") == "numpy"
+        # Forcing the fallback must not trip the explicit-request warning.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_backend("numba") == "numpy"
+    assert resolve_backend("auto") == "numba"
+
+
+def test_backend_info_with_numba(monkeypatch):
+    _with_numba(monkeypatch)
+    info = backend_info("auto")
+    assert info == {
+        "requested": "auto",
+        "resolved": "numba",
+        "numba_available": True,
+        "numba_version": "0.0-fake",
+    }
+
+
+def test_backend_info_without_numba(monkeypatch):
+    _without_numba(monkeypatch)
+    info = backend_info("numpy")
+    assert info["resolved"] == "numpy"
+    assert info["numba_available"] is False
+    assert info["numba_version"] is None

@@ -1,0 +1,76 @@
+"""Property: backend choice never changes fleet totals, at any sharding.
+
+The compiled (numba) fleet kernel and its NumPy fallback are ports of
+the same SplitMix64 counter-RNG step, so for any population, seed, and
+shard layout in {1, 2, 7, 16} the event totals under ``backend="auto"``
+must be *bit-identical* to the reference ``backend="numpy"`` run -- on
+a numba host this pins compiled-vs-interpreted, elsewhere it pins the
+NumPy port against the reference path (and the shard invariance of
+both).  Costs are drawn integer-valued so float summation order cannot
+blur the comparison.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import CostParams
+from repro.geometry import HexTopology, LineTopology, SquareTopology
+from repro.simulation.fleet import FleetSpec, run_fleet
+from repro.workload import DEFAULT_MIX, Population
+
+pytestmark = pytest.mark.slow
+
+SHARD_COUNTS = (1, 2, 7, 16)
+TOPOLOGIES = (HexTopology(), LineTopology(), SquareTopology())
+
+POPULATION = Population(DEFAULT_MIX)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    population_seed=st.integers(min_value=0, max_value=2**31 - 1),
+    event_seed=st.integers(min_value=0, max_value=2**31 - 1),
+    terminals=st.integers(min_value=16, max_value=60),
+    slots=st.integers(min_value=1, max_value=30),
+    update_cost=st.integers(min_value=1, max_value=200),
+    poll_cost=st.integers(min_value=1, max_value=20),
+    topology_index=st.integers(min_value=0, max_value=len(TOPOLOGIES) - 1),
+    event_mode=st.sampled_from(["exclusive", "independent"]),
+)
+def test_backend_totals_bit_identical_across_shard_counts(
+    population_seed,
+    event_seed,
+    terminals,
+    slots,
+    update_cost,
+    poll_cost,
+    topology_index,
+    event_mode,
+):
+    spec = FleetSpec.from_population(
+        POPULATION,
+        terminals,
+        CostParams(update_cost=float(update_cost), poll_cost=float(poll_cost)),
+        2,
+        seed=population_seed,
+        topology=TOPOLOGIES[topology_index],
+        d_max=6,
+    )
+    reference = run_fleet(
+        spec, slots=slots, shards=1, seed=event_seed,
+        event_mode=event_mode, backend="numpy",
+    )
+    for shards in SHARD_COUNTS:
+        result = run_fleet(
+            spec, slots=slots, shards=shards, seed=event_seed,
+            event_mode=event_mode, backend="auto",
+        )
+        context = f"shards={shards}"
+        assert result.moves == reference.moves, context
+        assert result.updates == reference.updates, context
+        assert result.calls == reference.calls, context
+        assert result.polled_cells == reference.polled_cells, context
+        assert result.delay_histogram == reference.delay_histogram, context
+        assert result.update_cost == reference.update_cost, context
+        assert result.paging_cost == reference.paging_cost, context

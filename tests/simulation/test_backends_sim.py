@@ -1,0 +1,168 @@
+"""Counter-RNG backend plumbing on the simulation engines.
+
+Everything here runs without numba: a non-``"numpy"`` backend switches
+the engines to the stateless counter RNG whether or not the compiled
+kernel is importable, and the NumPy port is the reference the compiled
+kernel must match bit-for-bit.  The ``numba``-marked tier at the bottom
+only runs on hosts with the optional extra installed and pins the
+compiled kernel against that reference.
+"""
+
+from contextlib import nullcontext
+
+import numpy as np
+import pytest
+
+from repro.core.backend import (
+    numba_available,
+    reset_backend_state,
+    use_numpy_fallback,
+)
+from repro.core.parameters import CostParams, MobilityParams
+from repro.exceptions import ParameterError
+from repro.geometry import HexTopology, LineTopology, SquareTopology
+from repro.simulation.fleet import FleetSpec, run_fleet
+from repro.simulation.kernels import kernel_compile_info, topology_code
+from repro.simulation.vectorized import (
+    VectorizedDistanceEngine,
+    compare_backends_report,
+)
+from repro.workload import DEFAULT_MIX, Population
+
+MOBILITY = MobilityParams(move_probability=0.25, call_probability=0.03)
+COSTS = CostParams(update_cost=40.0, poll_cost=2.0)
+
+_STATE_ARRAYS = (
+    "_moves", "_updates", "_calls", "_polled_cells",
+    "_delay_counts", "_cost_sum", "_cost_sq_sum", "_pos",
+)
+
+
+def _engine(backend="auto", topology=None, event_mode="exclusive", seed=7):
+    return VectorizedDistanceEngine(
+        topology if topology is not None else HexTopology(),
+        3,
+        MOBILITY,
+        COSTS,
+        max_delay=2,
+        terminals=96,
+        seed=seed,
+        event_mode=event_mode,
+        backend=backend,
+    )
+
+
+@pytest.mark.parametrize("topology", [HexTopology(), LineTopology(),
+                                      SquareTopology()],
+                         ids=lambda t: type(t).__name__)
+@pytest.mark.parametrize("event_mode", ["exclusive", "independent"])
+def test_counter_engine_bit_identical_to_forced_fallback(topology, event_mode):
+    resolved = _engine(topology=topology, event_mode=event_mode)
+    resolved.run(300)
+    with use_numpy_fallback():
+        fallback = _engine(topology=topology, event_mode=event_mode)
+    fallback.run(300)
+    for name in _STATE_ARRAYS:
+        np.testing.assert_array_equal(
+            getattr(resolved, name), getattr(fallback, name), err_msg=name
+        )
+
+
+def test_counter_engine_is_reproducible_and_seed_sensitive():
+    a = _engine(seed=11).run(400)
+    b = _engine(seed=11).run(400)
+    c = _engine(seed=12).run(400)
+    assert a.mean_total_cost == b.mean_total_cost
+    assert a.mean_total_cost != c.mean_total_cost
+
+
+def test_counter_engine_requires_integer_seed():
+    with pytest.raises(ParameterError, match="integer seed"):
+        _engine(seed=1.5)
+    # None degrades to seed 0 rather than erroring.
+    engine = _engine(seed=None)
+    assert engine._seed == 0
+
+
+def test_backend_attributes_resolve():
+    legacy = _engine(backend="numpy")
+    assert legacy.backend == legacy.backend_resolved == "numpy"
+    counter = _engine(backend="auto")
+    assert counter.backend == "auto"
+    assert counter.backend_resolved == (
+        "numba" if numba_available() else "numpy"
+    )
+
+
+def test_counter_and_legacy_backends_agree_statistically():
+    legacy = _engine(backend="numpy", seed=3).run(4000)
+    counter = _engine(backend="auto", seed=3).run(4000)
+    assert counter.mean_total_cost == pytest.approx(
+        legacy.mean_total_cost, rel=0.15
+    )
+
+
+def test_compare_backends_report_shape():
+    report = compare_backends_report(
+        HexTopology(), 3, MOBILITY, COSTS,
+        max_delay=2, slots=200, terminals=64, seed=0,
+    )
+    names = [row["name"] for row in report["backends"]]
+    assert names[:2] == ["numpy", "numpy-counter"]
+    assert ("numba" in names) == report["numba_available"]
+    for row in report["backends"]:
+        assert row["slots_per_sec"] > 0
+        assert row["terminal_slots"] == 200 * 64
+    assert report["config"]["terminals"] == 64
+
+
+def test_fleet_totals_independent_of_backend_request():
+    spec = FleetSpec.from_population(
+        Population(DEFAULT_MIX), 400, COSTS, 2, seed=5, d_max=8
+    )
+    base = run_fleet(spec, slots=40, shards=2, seed=9)
+    reset_backend_state()  # arm the warn-once latch for this test
+    for backend in ("numba", "auto"):
+        expect_warning = backend == "numba" and not numba_available()
+        with pytest.warns(RuntimeWarning) if expect_warning else nullcontext():
+            result = run_fleet(spec, slots=40, shards=2, seed=9,
+                               backend=backend)
+        assert result.moves == base.moves
+        assert result.updates == base.updates
+        assert result.calls == base.calls
+        assert result.polled_cells == base.polled_cells
+        assert result.update_cost == base.update_cost
+        assert result.paging_cost == base.paging_cost
+
+
+def test_topology_code_rejects_unknown_topology():
+    class Fake:
+        name = "torus"
+
+    with pytest.raises(ParameterError):
+        topology_code(Fake())
+
+
+def test_kernel_compile_info_reports_host_state():
+    info = kernel_compile_info()
+    assert info["numba_available"] == numba_available()
+    if not info["numba_available"]:
+        assert info["compiled"] is False
+
+
+@pytest.mark.numba
+@pytest.mark.skipif(not numba_available(), reason="requires the numba extra")
+def test_compiled_kernels_importable_and_bit_identical():
+    from repro.simulation.kernels import compiled_kernels
+
+    kernels = compiled_kernels()
+    assert kernels is not None
+    compiled = _engine(backend="numba")
+    compiled.run(300)
+    with use_numpy_fallback():
+        interpreted = _engine(backend="numba")
+    interpreted.run(300)
+    for name in _STATE_ARRAYS:
+        np.testing.assert_array_equal(
+            getattr(compiled, name), getattr(interpreted, name), err_msg=name
+        )
