@@ -10,6 +10,13 @@ and :mod:`~repro.analysis.report` renders everything as text/CSV.
 """
 
 from . import paper_data
+from .compare import (
+    SCHEMES,
+    SchemeOutcome,
+    TournamentPoint,
+    TournamentResult,
+    run_tournament,
+)
 from .crossover import CrossoverMap, compute_crossover_map
 from .figures import (
     DELAY_CURVES,
@@ -58,8 +65,12 @@ __all__ = [
     "FigureSeries",
     "MODEL_CLASSES",
     "GridSweepResult",
+    "SCHEMES",
+    "SchemeOutcome",
     "SweepPoint",
     "SweepResult",
+    "TournamentPoint",
+    "TournamentResult",
     "TABLE1_DELAYS",
     "TABLE2_DELAYS",
     "Table1Entry",
@@ -83,6 +94,7 @@ __all__ = [
     "render_table",
     "grid_sweep",
     "sweep",
+    "run_tournament",
     "run_validation_campaign",
     "table1_rows",
     "table2_rows",

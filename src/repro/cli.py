@@ -28,6 +28,7 @@ from __future__ import annotations
 import argparse
 import math
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from .analysis import (
@@ -355,13 +356,44 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "compare",
-        help="analytic comparison of distance/movement/timer/LA schemes",
+        help="cross-scheme tournament: distance/movement/timer/LA/"
+        "jointly-optimal winner map over a parameter grid",
     )
-    p.add_argument("--dimensions", type=int, choices=(1, 2), default=2)
-    p.add_argument("--q", type=float, required=True)
-    p.add_argument("--c", type=float, required=True)
-    p.add_argument("--update-cost", type=float, required=True)
-    p.add_argument("--poll-cost", type=float, required=True)
+    p.add_argument("--model", choices=sorted(MODEL_CLASSES), default="2d-exact")
+    p.add_argument(
+        "--vary", action="append", default=[], metavar="PARAM=SPEC",
+        help="axis to vary; PARAM is one of q/c/U/V/m, SPEC is either a "
+        "comma list (e.g. 'U=20,50,100' or 'm=1,3,inf') or "
+        "'start:stop:count[:log]'; repeatable.  Without --vary the "
+        "tournament runs at the single fixed operating point",
+    )
+    p.add_argument("--q", type=float, default=0.05, help="fixed move probability")
+    p.add_argument("--c", type=float, default=0.01, help="fixed call probability")
+    p.add_argument("--update-cost", type=float, default=100.0, help="fixed U")
+    p.add_argument("--poll-cost", type=float, default=10.0, help="fixed V")
+    p.add_argument("--max-delay", type=_delay, default=1, help="fixed m")
+    p.add_argument("--d-max", type=int, default=100, help="search bound D")
+    p.add_argument(
+        "--schemes", metavar="NAMES",
+        help="comma list restricting the field (distance always runs); "
+        "default: all of distance,movement,timer,location-area,"
+        "jointly-optimal",
+    )
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the distance grid leg (1 = serial)",
+    )
+    p.add_argument(
+        "--cache-dir", default="benchmarks/out/cache",
+        help="on-disk sweep cache directory (default: benchmarks/out/cache)",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute without reading or writing the sweep cache",
+    )
+    p.add_argument("--json", help="write the full tournament payload here")
+    p.add_argument("--csv", help="write the per-point winner table here")
+    _add_observability_flags(p)
 
     return parser
 
@@ -511,8 +543,13 @@ def _parse_axis_spec(param: str, spec: str):
                 f"bad range spec {spec!r} for {param!r}; expected "
                 "start:stop:count or start:stop:count:log"
             )
-        start, stop = float(parts[0]), float(parts[1])
-        count = int(parts[2])
+        try:
+            start, stop = float(parts[0]), float(parts[1])
+            count = int(parts[2])
+        except ValueError:
+            raise ParameterError(
+                f"non-numeric range spec {spec!r} for axis {param!r}"
+            ) from None
         if count < 2:
             raise ParameterError(f"range spec {spec!r} needs count >= 2")
         if len(parts) == 4:
@@ -531,9 +568,14 @@ def _parse_axis_spec(param: str, spec: str):
     tokens = [t.strip() for t in spec.split(",") if t.strip()]
     if not tokens:
         raise ParameterError(f"empty value list for axis {param!r}")
-    if param == "m":
-        return [_delay(t) for t in tokens]
-    return [float(t) for t in tokens]
+    try:
+        if param == "m":
+            return [_delay(t) for t in tokens]
+        return [float(t) for t in tokens]
+    except ValueError:
+        raise ParameterError(
+            f"non-numeric value in {spec!r} for axis {param!r}"
+        ) from None
 
 
 def _cmd_sweep(args) -> int:
@@ -1074,44 +1116,79 @@ def _cmd_show(args) -> int:
 
 
 def _cmd_compare(args) -> int:
-    from .core.baselines import (
-        optimal_la_radius,
-        optimal_movement_threshold,
-        optimal_timer_period,
-    )
-    from .core.models import OneDimensionalModel, TwoDimensionalModel
-    from .geometry import HexTopology, LineTopology
+    import json as json_module
 
-    mobility = MobilityParams(move_probability=args.q, call_probability=args.c)
-    costs = CostParams(update_cost=args.update_cost, poll_cost=args.poll_cost)
-    if args.dimensions == 1:
-        topology, model = LineTopology(), OneDimensionalModel(mobility)
-    else:
-        topology, model = HexTopology(), TwoDimensionalModel(mobility)
-    distance = find_optimal_threshold(model, costs, 1, convention="physical")
-    movement = optimal_movement_threshold(topology, mobility, costs)
-    timer = optimal_timer_period(topology, mobility, costs)
-    la = optimal_la_radius(topology, mobility, costs)
-    rows = [
-        ["distance (paper)", f"d={distance.threshold}", distance.update_cost,
-         distance.paging_cost, distance.total_cost],
-        ["movement [3]", f"M={movement.parameter}", movement.update_cost,
-         movement.paging_cost, movement.total_cost],
-        ["timer [3]", f"T={timer.parameter}", timer.update_cost,
-         timer.paging_cost, timer.total_cost],
-        ["location-area [8]", f"n={la.parameter}", la.update_cost,
-         la.paging_cost, la.total_cost],
-    ]
+    from .analysis.compare import SCHEMES, run_tournament
+
+    axes = {}
+    for entry in args.vary:
+        param, sep, spec = entry.partition("=")
+        if not sep:
+            raise ReproError(
+                f"--vary takes PARAM=SPEC (e.g. U=20,50,100), got {entry!r}"
+            )
+        param = param.strip()
+        if param in axes:
+            raise ReproError(f"axis {param!r} given more than once")
+        axes[param] = _parse_axis_spec(param, spec.strip())
+    if not axes:
+        # Degenerate single-point tournament: vary m over just the
+        # fixed value so grid_sweep has an axis to enumerate.
+        axes = {"m": [args.max_delay]}
+    schemes = None
+    if args.schemes:
+        schemes = [s.strip() for s in args.schemes.split(",") if s.strip()]
+
+    result = run_tournament(
+        args.model,
+        axes,
+        q=args.q,
+        c=args.c,
+        update_cost=args.update_cost,
+        poll_cost=args.poll_cost,
+        max_delay=args.max_delay,
+        d_max=args.d_max,
+        schemes=schemes,
+        workers=args.workers,
+        cache_dir=None if args.no_cache else args.cache_dir,
+    )
+
+    varied = [name for name, _ in result.axes]
+    headers = varied + [f"{s} C_T" for s in result.schemes] + ["winner"]
+    attr = {"q": "q", "c": "c", "U": "update_cost", "V": "poll_cost",
+            "m": "max_delay"}
+    rows = []
+    for point in result.points:
+        row = [getattr(point, attr[name]) for name in varied]
+        row += [point.outcome(s).total_cost for s in result.schemes]
+        row.append(point.winner)
+        rows.append(row)
+    shape = " x ".join(str(n) for n in result.shape)
     print(
         render_table(
-            ["scheme", "best param", "C_u", "C_v", "C_T"],
+            headers,
             rows,
             title=(
-                f"Analytic scheme comparison ({args.dimensions}-D, q={args.q}, "
-                f"c={args.c}, U={args.update_cost}, V={args.poll_cost}, delay 1)"
+                f"Scheme tournament ({args.model}, {shape} = "
+                f"{len(result.points)} points, d_max={args.d_max})"
             ),
         )
     )
+    counts = result.winner_counts()
+    summary = ", ".join(f"{s}: {counts[s]}" for s in result.schemes)
+    print(f"\nwins: {summary}")
+    source = "cache" if result.from_cache else (
+        f"{args.workers} worker(s)" if args.workers > 1 else "serial solve"
+    )
+    print(f"source: {source}")
+    if args.json:
+        Path(args.json).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.json).write_text(
+            json_module.dumps(result.to_payload(), indent=2) + "\n"
+        )
+        print(f"payload: {args.json}")
+    if args.csv:
+        write_csv(args.csv, headers, rows)
     return 0
 
 

@@ -10,6 +10,8 @@ agreement, and the paper's structural laws, continuously checkable:
 * :mod:`repro.conformance.oracles` -- cross-backend agreement checks;
 * :mod:`repro.conformance.invariants` -- paper-derived metamorphic
   relations (eqn references on each registration);
+* :mod:`repro.conformance.joint` -- cross-scheme invariants pinning
+  the jointly optimal policy against the distance-based scheme;
 * :mod:`repro.conformance.agreement` -- the reusable
   simulation-vs-analysis agreement criterion;
 * :mod:`repro.conformance.sampling` -- the ``quick``/``full`` suite
@@ -31,6 +33,7 @@ from .checks import (
     Deviation,
 )
 from . import invariants as _invariants  # noqa: F401  (registers checks)
+from . import joint as _joint  # noqa: F401  (registers checks)
 from . import oracles as _oracles  # noqa: F401  (registers checks)
 from .agreement import (
     REL_LIMIT_1D,

@@ -1,0 +1,127 @@
+"""Cross-scheme invariants for the jointly optimal policy.
+
+Three checks keep the Hajek/Mitzel/Yang alternating algorithm
+(:mod:`repro.strategies.jointly_optimal`) honest against the paper's
+distance-based scheme at every sampled operating point:
+
+* **joint-dominates-distance** -- the converged joint cost never
+  exceeds the distance-based optimum ``C_T(d*, m)``.  This is the
+  dominance relation that makes the algorithm worth having: the
+  iteration *starts* at ``(d*, SDF)`` and never accepts a worse point.
+* **joint-monotone-iterations** -- the per-iteration cost history is
+  monotone non-increasing and starts at the distance optimum.
+* **joint-degenerate-recovery** -- under the blanket bound ``m = 1``
+  every paging order is a single poll of the whole registration disk,
+  so the joint optimum must collapse exactly to the distance policy
+  (same threshold, same cost, one polling group).
+
+The distance leg honors ``config.plan_factory`` (the conformance
+test-suite's sabotage hatch), so a broken paging plan or steady-state
+solver makes these checks fail rather than silently comparing a scheme
+against itself.
+"""
+
+from __future__ import annotations
+
+from .checks import ConformanceConfig, Deviation, REGISTRY
+
+__all__ = []
+
+_HMY_REF = "Hajek/Mitzel/Yang cs/0702102 (PAPERS.md); paper eqns (61)-(66)"
+
+
+def _distance_and_joint(config: ConformanceConfig, max_delay):
+    """Solve both schemes at the config's operating point."""
+    from ..core.threshold import find_optimal_threshold  # deferred: cycle
+    from ..strategies.jointly_optimal import optimize_joint_policy
+
+    model = config.build_model()
+    costs = config.costs()
+    distance = find_optimal_threshold(
+        model,
+        costs,
+        max_delay,
+        d_max=config.d_max,
+        plan_factory=config.plan_factory,
+        convention=config.convention,
+    )
+    joint = optimize_joint_policy(
+        model,
+        costs,
+        max_delay,
+        d_max=config.d_max,
+        convention=config.convention,
+    )
+    return distance, joint
+
+
+@REGISTRY.invariant(
+    "joint-dominates-distance",
+    tolerance=1e-9,
+    paper_ref=_HMY_REF,
+    description="jointly optimal C_T <= distance-based C_T(d*, m)",
+)
+def _joint_dominates_distance(config: ConformanceConfig) -> Deviation:
+    distance, joint = _distance_and_joint(config, config.m)
+    gap = joint.total_cost - distance.total_cost
+    return Deviation(
+        value=max(0.0, gap),
+        detail=(
+            f"joint C_T={joint.total_cost:.12g} at d={joint.threshold} "
+            f"({joint.plan.describe()}) vs distance "
+            f"C_T={distance.total_cost:.12g} at d*={distance.threshold}"
+        ),
+    )
+
+
+@REGISTRY.invariant(
+    "joint-monotone-iterations",
+    tolerance=1e-9,
+    paper_ref=_HMY_REF,
+    description="alternating minimization starts at the distance optimum "
+    "and never raises the cost",
+)
+def _joint_monotone_iterations(config: ConformanceConfig) -> Deviation:
+    distance, joint = _distance_and_joint(config, config.m)
+    history = joint.cost_history()
+    worst_rise, where = 0.0, -1
+    for i in range(len(history) - 1):
+        rise = history[i + 1] - history[i]
+        if rise > worst_rise:
+            worst_rise, where = rise, i
+    init_gap = abs(history[0] - distance.total_cost)
+    if init_gap >= worst_rise:
+        detail = (
+            f"iteration 0 cost {history[0]:.12g} vs distance optimum "
+            f"{distance.total_cost:.12g} (|gap|={init_gap:.3g})"
+        )
+    else:
+        detail = (
+            f"cost rose by {worst_rise:.3g} between iterations "
+            f"{where} and {where + 1}: {history}"
+        )
+    return Deviation(value=max(worst_rise, init_gap), detail=detail)
+
+
+@REGISTRY.invariant(
+    "joint-degenerate-recovery",
+    tolerance=1e-9,
+    paper_ref=_HMY_REF,
+    description="under m=1 the joint optimum collapses to the distance "
+    "policy with blanket paging",
+)
+def _joint_degenerate_recovery(config: ConformanceConfig) -> Deviation:
+    # Probe the blanket bound regardless of the config's m: only at
+    # m=1 is the paging order forced, making the collapse exact.
+    distance, joint = _distance_and_joint(config, 1)
+    threshold_gap = float(abs(joint.threshold - distance.threshold))
+    cost_gap = abs(joint.total_cost - distance.total_cost)
+    non_blanket = 0.0 if len(joint.plan.subareas) == 1 else 1.0
+    return Deviation(
+        value=max(threshold_gap, cost_gap, non_blanket),
+        detail=(
+            f"joint d={joint.threshold}, plan={joint.plan.describe()!r}, "
+            f"C_T={joint.total_cost:.12g}; distance d*={distance.threshold}, "
+            f"C_T={distance.total_cost:.12g}"
+        ),
+    )

@@ -7,7 +7,9 @@
 * :class:`LocationAreaStrategy` -- the static LA scheme of
   reference [8];
 * :class:`DynamicStrategy` -- per-user online threshold adaptation in
-  the spirit of reference [1].
+  the spirit of reference [1];
+* :class:`JointlyOptimalStrategy` -- jointly optimized paging +
+  registration via the Hajek/Mitzel/Yang alternating algorithm.
 
 All implement :class:`UpdateStrategy` and are registered by name for
 the CLI and benches.
@@ -16,6 +18,14 @@ the CLI and benches.
 from .base import UpdateStrategy, create_strategy, register_strategy, strategy_names
 from .distance import DistanceStrategy
 from .dynamic import DynamicStrategy
+from .jointly_optimal import (
+    JointIteration,
+    JointlyOptimalStrategy,
+    JointPolicy,
+    adapt_plan,
+    exact_model_for_topology,
+    optimize_joint_policy,
+)
 from .location_area import (
     LocationAreaStrategy,
     hex_la_center,
@@ -28,13 +38,19 @@ from .timer import TimerStrategy
 __all__ = [
     "DistanceStrategy",
     "DynamicStrategy",
+    "JointIteration",
+    "JointPolicy",
+    "JointlyOptimalStrategy",
     "LocationAreaStrategy",
     "MovementStrategy",
     "TimerStrategy",
     "UpdateStrategy",
+    "adapt_plan",
     "create_strategy",
+    "exact_model_for_topology",
     "hex_la_center",
     "line_la_index",
+    "optimize_joint_policy",
     "register_strategy",
     "square_la_center",
     "strategy_names",

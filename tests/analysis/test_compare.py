@@ -1,0 +1,112 @@
+"""Unit tests for the cross-scheme tournament layer."""
+
+import json
+import math
+
+import pytest
+
+from repro.analysis.compare import SCHEMES, run_tournament
+from repro.analysis.sweep import MODEL_CLASSES
+from repro.exceptions import ParameterError
+
+AXES = {"U": [20.0, 100.0], "m": [1, 2]}
+POINT_KW = dict(q=0.2, c=0.02, poll_cost=10.0, d_max=25)
+
+
+@pytest.fixture(scope="module")
+def small_tournament():
+    return run_tournament("1d", AXES, **POINT_KW)
+
+
+class TestStructure:
+    def test_grid_shape_and_axis_order(self, small_tournament):
+        assert small_tournament.shape == (2, 2)
+        assert [name for name, _ in small_tournament.axes] == ["U", "m"]
+        assert len(small_tournament.points) == 4
+        assert small_tournament.schemes == SCHEMES
+
+    def test_every_point_has_all_schemes(self, small_tournament):
+        for point in small_tournament.points:
+            assert tuple(e.scheme for e in point.outcomes) == SCHEMES
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ParameterError):
+            run_tournament("1d", AXES, schemes=["distance", "nope"], **POINT_KW)
+
+    def test_scheme_subset_always_includes_distance(self):
+        result = run_tournament("1d", AXES, schemes=["timer"], **POINT_KW)
+        assert result.schemes == ("distance", "timer")
+        for point in result.points:
+            assert {e.scheme for e in point.outcomes} == {"distance", "timer"}
+
+
+class TestWinnerMap:
+    def test_winner_is_cheapest_scheme(self, small_tournament):
+        for point in small_tournament.points:
+            cheapest = min(e.total_cost for e in point.outcomes)
+            assert point.outcome(point.winner).total_cost <= cheapest + 1e-12
+
+    def test_joint_dominates_distance_everywhere(self, small_tournament):
+        for point in small_tournament.points:
+            joint = point.outcome("jointly-optimal").total_cost
+            distance = point.outcome("distance").total_cost
+            assert joint <= distance + 1e-9
+
+    def test_winner_counts_cover_all_points(self, small_tournament):
+        counts = small_tournament.winner_counts()
+        assert set(counts) == set(SCHEMES)
+        assert sum(counts.values()) == len(small_tournament.points)
+
+    def test_cost_surface_matches_outcomes(self, small_tournament):
+        surface = small_tournament.cost_surface("timer")
+        assert surface == [
+            p.outcome("timer").total_cost for p in small_tournament.points
+        ]
+
+
+class TestSerialization:
+    def test_payload_is_json_safe_including_inf(self):
+        result = run_tournament("1d", {"m": [1, math.inf]}, **POINT_KW)
+        payload = json.loads(json.dumps(result.to_payload()))
+        assert payload["axes"] == [["m", [1, "inf"]]]
+        assert payload["points"][1]["m"] == "inf"
+        assert set(payload["winner_counts"]) == set(SCHEMES)
+
+    def test_rows_are_flat_and_complete(self, small_tournament):
+        rows = small_tournament.rows()
+        assert len(rows) == 4
+        for row in rows:
+            for scheme in SCHEMES:
+                assert scheme in row
+                assert f"{scheme}_param" in row
+            assert row["winner"] in SCHEMES
+
+
+class TestCaching:
+    def test_cache_round_trip_identical(self, tmp_path):
+        first = run_tournament("1d", AXES, cache_dir=tmp_path, **POINT_KW)
+        second = run_tournament("1d", AXES, cache_dir=tmp_path, **POINT_KW)
+        assert not first.from_cache
+        assert second.from_cache
+        assert first.points == second.points
+
+
+@pytest.mark.slow
+class TestAllModels:
+    @pytest.mark.parametrize("model_name", sorted(MODEL_CLASSES))
+    def test_dominance_holds_on_every_model(self, model_name):
+        result = run_tournament(
+            model_name,
+            {"q": [0.05, 0.3], "m": [1, 3]},
+            c=0.02,
+            update_cost=100.0,
+            poll_cost=10.0,
+            d_max=30,
+        )
+        for point in result.points:
+            joint = point.outcome("jointly-optimal").total_cost
+            distance = point.outcome("distance").total_cost
+            assert joint <= distance + 1e-9
+            assert point.outcome(point.winner).total_cost == pytest.approx(
+                min(e.total_cost for e in point.outcomes)
+            )

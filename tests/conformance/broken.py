@@ -126,6 +126,22 @@ def saturation_breaker(model, d, m):
     return per_ring_partition(d) if m == math.inf else blanket_partition(d)
 
 
+def sdf_scalar_path(model, d, m):
+    """The paper's own SDF partition, but as a *custom* factory.
+
+    Plans are identical to the default; the point is that any non-None
+    ``plan_factory`` forces :class:`repro.core.costs.CostEvaluator`
+    down the scalar per-threshold path, where a broken
+    ``model.steady_state`` (e.g. :class:`SkewedSteadyModel`) poisons
+    the distance-scheme costs while solvers that derive steady states
+    from ``transition_rates`` stay correct -- exactly the split the
+    cross-scheme joint checks must detect.
+    """
+    from repro.paging import sdf_partition
+
+    return sdf_partition(d, m)
+
+
 def delay_regressive_plan(model, d, m):
     """Cheap partitions only for small delay bounds: paging cost (and
     the optimal total cost) *rises* when the bound is relaxed."""

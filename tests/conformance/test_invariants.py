@@ -24,6 +24,7 @@ from .broken import (
     parity_plan,
     per_ring_always,
     saturation_breaker,
+    sdf_scalar_path,
 )
 
 
@@ -199,6 +200,57 @@ class TestSimulationWithinCI:
         assert_fail(
             "simulation-within-ci",
             make_config(model_factory=SkewedSteadyModel, **self.SIM),
+        )
+
+
+class TestJointDominatesDistance:
+    def test_passes_on_real_model(self):
+        assert_pass("joint-dominates-distance", make_config())
+
+    def test_passes_at_unbounded_delay(self):
+        assert_pass("joint-dominates-distance", make_config(m=math.inf))
+
+    def test_fails_when_distance_costs_are_poisoned(self):
+        # The custom (but SDF-identical) plan factory forces the
+        # distance leg down the scalar path, where the skewed
+        # steady_state makes it look cheaper than the correctly-solved
+        # joint policy -- dominance must go red.
+        assert_fail(
+            "joint-dominates-distance",
+            make_config(
+                model_factory=SkewedSteadyModel, plan_factory=sdf_scalar_path
+            ),
+        )
+
+
+class TestJointMonotoneIterations:
+    def test_passes_on_real_model(self):
+        assert_pass("joint-monotone-iterations", make_config())
+
+    def test_fails_when_initialization_disagrees(self):
+        # Same sabotage: the check's distance optimum (scalar, skewed)
+        # no longer matches the iteration's true starting cost.
+        assert_fail(
+            "joint-monotone-iterations",
+            make_config(
+                model_factory=SkewedSteadyModel, plan_factory=sdf_scalar_path
+            ),
+        )
+
+
+class TestJointDegenerateRecovery:
+    def test_passes_on_real_model(self):
+        assert_pass("joint-degenerate-recovery", make_config())
+
+    def test_probes_blanket_bound_regardless_of_config_m(self):
+        assert_pass("joint-degenerate-recovery", make_config(m=math.inf))
+
+    def test_fails_when_distance_costs_are_poisoned(self):
+        assert_fail(
+            "joint-degenerate-recovery",
+            make_config(
+                model_factory=SkewedSteadyModel, plan_factory=sdf_scalar_path
+            ),
         )
 
 

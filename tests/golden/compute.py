@@ -17,6 +17,7 @@ import math
 from pathlib import Path
 from typing import Dict
 
+from repro.analysis.compare import run_tournament
 from repro.analysis.figures import compute_figure4, compute_figure5
 from repro.analysis.sweep import MODEL_CLASSES
 from repro.analysis.tables import compute_table1, compute_table2
@@ -108,6 +109,25 @@ def golden_cost_points() -> dict:
     return out
 
 
+def golden_tournament() -> dict:
+    """Cross-scheme winner map over a small (q, U, m) grid.
+
+    Pins the full tournament payload -- per-scheme optimized costs,
+    tuned parameters, and the crowned winner at every grid point -- so
+    scheme-comparison claims are regression-tested artifacts.  The hex
+    grid at a fast-walker corner is where the schemes actually trade
+    places, making the winner map informative rather than constant.
+    """
+    result = run_tournament(
+        "2d-exact",
+        {"q": [0.05, 0.3], "U": [20.0, 100.0], "m": [1, 3]},
+        c=0.02,
+        poll_cost=10.0,
+        d_max=30,
+    )
+    return result.to_payload()
+
+
 #: filename stem -> zero-argument producer of the payload.
 GOLDEN_PRODUCERS = {
     "table1": golden_table1,
@@ -117,4 +137,5 @@ GOLDEN_PRODUCERS = {
     "figure5a": lambda: _golden_figure(compute_figure5(1, points=FIGURE_POINTS)),
     "figure5b": lambda: _golden_figure(compute_figure5(2, points=FIGURE_POINTS)),
     "cost_points": golden_cost_points,
+    "tournament": golden_tournament,
 }

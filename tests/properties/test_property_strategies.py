@@ -1,0 +1,173 @@
+"""Property-based tests across the registered location-update schemes.
+
+Three families of properties over random operating points:
+
+* every scheme's analytic steady-state cost is non-negative and finite
+  wherever its parameters are valid;
+* scale invariances: the timer scheme's cost depends only on ``U / T``
+  when calls are off (rescaling the period with the update cost is a
+  no-op), and every scheme's cost is linear in ``(U, V)`` jointly;
+* scheme identifications: a movement threshold of 1 (report after
+  every move) fires exactly when a distance threshold of 0 does, so
+  the two costs coincide under the physical boundary convention --
+  the regime where the two schemes' definitions coincide.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import CostParams, MobilityParams
+from repro.core.baselines import (
+    location_area_costs,
+    movement_based_costs,
+    time_based_costs,
+)
+from repro.core.costs import CostEvaluator
+from repro.core.models import (
+    OneDimensionalModel,
+    SquareGridModel,
+    TwoDimensionalModel,
+)
+from repro.geometry import HexTopology, LineTopology, SquareTopology
+from repro.strategies import optimize_joint_policy, strategy_names
+
+pytestmark = pytest.mark.slow
+
+TOPOLOGIES = (LineTopology(), HexTopology(), SquareTopology())
+EXACT_MODELS = {
+    LineTopology: OneDimensionalModel,
+    HexTopology: TwoDimensionalModel,
+    SquareTopology: SquareGridModel,
+}
+
+mobility_params = st.builds(
+    MobilityParams,
+    move_probability=st.floats(min_value=0.01, max_value=0.7),
+    call_probability=st.floats(min_value=0.0, max_value=0.1),
+)
+cost_params = st.builds(
+    CostParams,
+    update_cost=st.floats(min_value=0.1, max_value=500.0),
+    poll_cost=st.floats(min_value=0.1, max_value=50.0),
+)
+delays = st.one_of(st.integers(min_value=1, max_value=5), st.just(math.inf))
+
+
+def _baseline_costs(topology, mob, costs):
+    """One representative cost per blanket-paging baseline scheme."""
+    return (
+        movement_based_costs(topology, mob, costs, movement_threshold=3),
+        time_based_costs(topology, mob, costs, period=4),
+        location_area_costs(topology, mob, costs, radius=2),
+    )
+
+
+class TestCostsWellFormed:
+    def test_every_scheme_is_registered(self):
+        names = strategy_names()
+        for scheme in (
+            "distance",
+            "movement",
+            "timer",
+            "location-area",
+            "jointly-optimal",
+        ):
+            assert scheme in names
+
+    @given(mob=mobility_params, costs=cost_params)
+    @settings(max_examples=40, deadline=None)
+    def test_baseline_costs_nonnegative_finite(self, mob, costs):
+        for topology in TOPOLOGIES:
+            for outcome in _baseline_costs(topology, mob, costs):
+                assert outcome.update_cost >= 0
+                assert outcome.paging_cost >= 0
+                assert math.isfinite(outcome.total_cost)
+
+    @given(mob=mobility_params, costs=cost_params, m=delays)
+    @settings(max_examples=20, deadline=None)
+    def test_joint_policy_cost_nonnegative_finite_and_dominant(
+        self, mob, costs, m
+    ):
+        model = OneDimensionalModel(mob)
+        policy = optimize_joint_policy(model, costs, m, d_max=12)
+        assert policy.update_cost >= 0
+        assert policy.paging_cost >= 0
+        assert math.isfinite(policy.total_cost)
+        assert policy.total_cost <= policy.baseline_cost + 1e-9
+        history = policy.cost_history()
+        assert all(b <= a + 1e-12 for a, b in zip(history, history[1:]))
+
+
+class TestScaleInvariances:
+    @given(
+        mob=st.builds(
+            MobilityParams,
+            move_probability=st.floats(min_value=0.01, max_value=0.9),
+            call_probability=st.just(0.0),
+        ),
+        update_cost=st.floats(min_value=0.1, max_value=500.0),
+        period=st.integers(min_value=1, max_value=20),
+        k=st.integers(min_value=2, max_value=5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_timer_cost_invariant_under_period_and_rate_rescaling(
+        self, mob, update_cost, period, k
+    ):
+        # With calls off the timer cost is the pure update rate U / T,
+        # so rescaling the period with the update cost is a no-op.
+        for topology in TOPOLOGIES:
+            base = time_based_costs(
+                topology, mob, CostParams(update_cost, 1.0), period
+            )
+            scaled = time_based_costs(
+                topology, mob, CostParams(k * update_cost, 1.0), k * period
+            )
+            assert base.paging_cost == 0.0
+            assert scaled.total_cost == pytest.approx(
+                base.total_cost, rel=1e-12
+            )
+
+    @given(mob=mobility_params, costs=cost_params, k=st.floats(2.0, 10.0))
+    @settings(max_examples=40, deadline=None)
+    def test_all_scheme_costs_linear_in_cost_weights(self, mob, costs, k):
+        scaled_params = CostParams(k * costs.update_cost, k * costs.poll_cost)
+        for topology in TOPOLOGIES:
+            for base, scaled in zip(
+                _baseline_costs(topology, mob, costs),
+                _baseline_costs(topology, mob, scaled_params),
+            ):
+                assert scaled.total_cost == pytest.approx(
+                    k * base.total_cost, rel=1e-12
+                )
+            model = EXACT_MODELS[type(topology)](mob)
+            evaluator = CostEvaluator(model, costs)
+            scaled_evaluator = CostEvaluator(model, scaled_params)
+            assert scaled_evaluator.total_cost(3, 2) == pytest.approx(
+                k * evaluator.total_cost(3, 2), rel=1e-12
+            )
+
+
+class TestSchemeIdentifications:
+    @given(mob=mobility_params, costs=cost_params)
+    @settings(max_examples=40, deadline=None)
+    def test_movement_one_equals_distance_zero(self, mob, costs):
+        # A movement threshold of 1 reports after every move; so does a
+        # distance threshold of 0 (any move leaves ring 0).  Under the
+        # physical boundary convention (update rate q at d = 0) the two
+        # schemes are therefore the same policy with blanket paging.
+        for topology in TOPOLOGIES:
+            movement = movement_based_costs(
+                topology, mob, costs, movement_threshold=1
+            )
+            model = EXACT_MODELS[type(topology)](mob)
+            evaluator = CostEvaluator(model, costs, convention="physical")
+            breakdown = evaluator.breakdown(0, 1)
+            assert movement.update_cost == pytest.approx(
+                breakdown.update_cost, rel=1e-12
+            )
+            assert movement.paging_cost == pytest.approx(
+                breakdown.paging_cost, rel=1e-12
+            )

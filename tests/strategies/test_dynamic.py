@@ -1,13 +1,56 @@
-"""Unit tests for the dynamic (online-adaptive) strategy."""
+"""Unit tests for the dynamic (online-adaptive) strategy, plus edge
+cases shared by every registered scheme: a degenerate single-cell
+topology, unbounded delay (``m = inf``), and the mobility extremes
+(always-moving ``q = 1`` and the near-zero-mobility limit)."""
+
+import math
 
 import pytest
 
 from repro import CostParams, MobilityParams, ParameterError
+from repro.core.baselines import (
+    location_area_costs,
+    movement_based_costs,
+    time_based_costs,
+)
 from repro.geometry import HexTopology, LineTopology
+from repro.geometry.topology import CellTopology
 from repro.simulation import SimulationEngine
-from repro.strategies import DynamicStrategy
+from repro.strategies import (
+    DistanceStrategy,
+    DynamicStrategy,
+    JointlyOptimalStrategy,
+    LocationAreaStrategy,
+    MovementStrategy,
+    TimerStrategy,
+    exact_model_for_topology,
+    optimize_joint_policy,
+)
 
 COSTS = CostParams(update_cost=50.0, poll_cost=10.0)
+
+
+class SingleCellTopology(CellTopology):
+    """One isolated cell: no neighbors, every distance is zero."""
+
+    degree = 0
+    dimensions = 1
+
+    @property
+    def origin(self):
+        return 0
+
+    def neighbors(self, cell):
+        return []
+
+    def distance(self, a, b):
+        return 0
+
+    def ring(self, center, radius):
+        return [center] if radius == 0 else []
+
+    def ring_size(self, radius):
+        return 1 if radius == 0 else 0
 
 
 class TestConstruction:
@@ -85,3 +128,137 @@ class TestConvergence:
         # attach() reset last_known but keeps the learned estimates; run on.
         engine2.run(30_000)
         assert strategy.threshold >= threshold_slow
+
+
+class TestSingleCellTopology:
+    """A terminal that can never move: no scheme should ever update
+    except the timer, which fires on wall-clock alone."""
+
+    @pytest.mark.parametrize(
+        "strategy",
+        [
+            DistanceStrategy(threshold=2, max_delay=2),
+            MovementStrategy(movement_threshold=2),
+            DynamicStrategy(COSTS, initial_threshold=2),
+        ],
+    )
+    def test_motion_triggered_schemes_never_update(self, strategy):
+        topo = SingleCellTopology()
+        strategy.attach(topo, topo.origin)
+        updates = sum(
+            strategy.on_slot(topo.origin, slot) for slot in range(50)
+        )
+        assert updates == 0
+        assert not strategy.on_move(topo.origin)
+
+    def test_timer_still_fires_on_schedule(self):
+        topo = SingleCellTopology()
+        strategy = TimerStrategy(period=3)
+        strategy.attach(topo, topo.origin)
+        updates = 0
+        for slot in range(9):
+            if strategy.on_slot(topo.origin, slot):
+                updates += 1
+                # The engine acknowledges an update by pinpointing the
+                # terminal, which restarts the timer.
+                strategy.on_location_known(topo.origin)
+        assert updates == 3
+
+    def test_paging_covers_the_only_cell(self):
+        topo = SingleCellTopology()
+        strategy = DistanceStrategy(threshold=2, max_delay=2)
+        strategy.attach(topo, topo.origin)
+        polled = [cell for group in strategy.polling_groups() for cell in group]
+        assert topo.origin in polled
+
+    def test_geometry_bound_schemes_reject_it(self):
+        topo = SingleCellTopology()
+        with pytest.raises(ParameterError):
+            LocationAreaStrategy(radius=1).attach(topo, topo.origin)
+        with pytest.raises(ParameterError):
+            JointlyOptimalStrategy(
+                MobilityParams(0.2, 0.02), COSTS
+            ).attach(topo, topo.origin)
+        with pytest.raises(ParameterError):
+            exact_model_for_topology(topo, MobilityParams(0.2, 0.02))
+
+
+class TestUnboundedDelay:
+    """``m = inf`` lifts the delay constraint: per-ring paging."""
+
+    def test_distance_strategy_runs(self, line):
+        mobility = MobilityParams(0.2, 0.05)
+        strategy = DistanceStrategy(threshold=3, max_delay=math.inf)
+        snapshot = SimulationEngine(
+            line, strategy, mobility, COSTS, seed=11
+        ).run(5_000)
+        assert snapshot.slots == 5_000
+        assert math.isfinite(snapshot.total_cost)
+        # Per-ring paging: one group per ring of the residence disk.
+        assert len(list(strategy.polling_groups())) == strategy.threshold + 1
+
+    def test_timer_strategy_accepts_inf(self, hexgrid):
+        mobility = MobilityParams(0.2, 0.05)
+        strategy = TimerStrategy(period=5, max_delay=math.inf)
+        snapshot = SimulationEngine(
+            hexgrid, strategy, mobility, COSTS, seed=12
+        ).run(3_000)
+        assert snapshot.slots == 3_000
+        assert strategy.worst_case_delay() == strategy.period + 1
+
+    def test_jointly_optimal_runs_at_inf(self, hexgrid):
+        mobility = MobilityParams(0.2, 0.05)
+        strategy = JointlyOptimalStrategy(
+            mobility, COSTS, max_delay=math.inf, d_max=15
+        )
+        snapshot = SimulationEngine(
+            hexgrid, strategy, mobility, COSTS, seed=13
+        ).run(2_000)
+        assert snapshot.slots == 2_000
+        assert strategy.policy is not None
+        # Unconstrained paging polls ring by ring.
+        assert len(strategy.plan.subareas) == strategy.threshold + 1
+
+
+class TestMobilityLimits:
+    """The q = 1 (always moving, never called) and q -> 0 extremes."""
+
+    def test_always_moving_timer_cost_is_update_rate(self, line):
+        mob = MobilityParams(1.0, 0.0)
+        for period in (1, 4, 10):
+            outcome = time_based_costs(line, mob, COSTS, period)
+            assert outcome.paging_cost == 0.0
+            assert outcome.total_cost == pytest.approx(
+                COSTS.update_cost / period
+            )
+
+    def test_always_moving_movement_cost_is_uniform(self, hexgrid):
+        mob = MobilityParams(1.0, 0.0)
+        for M in (1, 3, 7):
+            outcome = movement_based_costs(hexgrid, mob, COSTS, M)
+            assert outcome.paging_cost == 0.0
+            assert outcome.total_cost == pytest.approx(COSTS.update_cost / M)
+
+    def test_always_moving_joint_policy_pays_no_paging(self):
+        from repro import OneDimensionalModel
+
+        mob = MobilityParams(1.0, 0.0)
+        policy = optimize_joint_policy(
+            OneDimensionalModel(mob), COSTS, 2, d_max=12
+        )
+        assert policy.paging_cost == 0.0
+        assert policy.update_cost > 0
+        assert policy.total_cost <= policy.baseline_cost + 1e-12
+
+    def test_near_zero_mobility_update_costs_vanish(self, line, hexgrid):
+        from repro import OneDimensionalModel
+
+        mob = MobilityParams(1e-6, 0.02)
+        assert movement_based_costs(line, mob, COSTS, 2).update_cost < 1e-4
+        assert location_area_costs(hexgrid, mob, COSTS, 2).update_cost < 1e-4
+        policy = optimize_joint_policy(
+            OneDimensionalModel(mob), COSTS, 1, d_max=12
+        )
+        assert policy.update_cost < 1e-3
+        # A near-static terminal is best paged where it registered.
+        assert policy.threshold == 0

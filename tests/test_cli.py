@@ -265,22 +265,63 @@ class TestSoftDelayCommand:
 
 
 class TestCompareCommand:
-    def test_2d_comparison(self, capsys):
+    def test_single_point_tournament(self, capsys):
         code = main(
-            ["compare", "--dimensions", "2", "--q", "0.05", "--c", "0.01",
-             "--update-cost", "50", "--poll-cost", "2"]
+            ["compare", "--model", "2d-exact", "--q", "0.05", "--c", "0.01",
+             "--update-cost", "50", "--poll-cost", "2", "--d-max", "25",
+             "--no-cache"]
         )
         out = capsys.readouterr().out
         assert code == 0
-        assert "distance (paper)" in out
-        assert "location-area [8]" in out
+        assert "Scheme tournament" in out
+        for scheme in ("distance", "movement", "timer", "location-area",
+                       "jointly-optimal"):
+            assert scheme in out
+        assert "wins:" in out
 
-    def test_1d_comparison(self, capsys):
+    def test_grid_with_json_and_csv(self, capsys, tmp_path):
+        json_path = tmp_path / "tournament.json"
+        csv_path = tmp_path / "tournament.csv"
         code = main(
-            ["compare", "--dimensions", "1", "--q", "0.2", "--c", "0.02",
-             "--update-cost", "30", "--poll-cost", "2"]
+            ["compare", "--model", "1d", "--vary", "U=20,100",
+             "--vary", "m=1,2", "--q", "0.2", "--c", "0.02", "--d-max", "25",
+             "--no-cache", "--json", str(json_path), "--csv", str(csv_path)]
         )
+        out = capsys.readouterr().out
         assert code == 0
+        assert "2 x 2 = 4 points" in out
+        import json as json_module
+
+        payload = json_module.loads(json_path.read_text())
+        assert len(payload["points"]) == 4
+        assert sum(payload["winner_counts"].values()) == 4
+        header = csv_path.read_text().splitlines()[0]
+        assert "winner" in header
+
+    def test_scheme_subset(self, capsys):
+        code = main(
+            ["compare", "--model", "1d", "--q", "0.2", "--c", "0.02",
+             "--d-max", "20", "--no-cache", "--schemes", "timer,movement"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "location-area" not in out
+        assert "timer" in out
+
+    def test_bad_vary_spec_is_an_error(self, capsys):
+        code = main(
+            ["compare", "--model", "1d", "--vary", "bogus",
+             "--q", "0.2", "--c", "0.02", "--no-cache"]
+        )
+        assert code == 2
+
+    def test_non_numeric_axis_value_is_an_error(self, capsys):
+        code = main(
+            ["compare", "--model", "1d", "--vary", "U=20,nope",
+             "--q", "0.2", "--c", "0.02", "--no-cache"]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
 
 
 class TestShowCommand:
