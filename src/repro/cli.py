@@ -46,6 +46,7 @@ from .analysis import (
 from .analysis.sweep import MODEL_CLASSES
 from .conformance.sampling import ALL_MODELS, SUITES
 from .core.parameters import CostParams, MobilityParams
+from .mobility.ctrw import MOBILITY_PRESETS, mobility_preset
 from .core.threshold import find_optimal_threshold
 from .exceptions import ReproError
 from .simulation.runner import run_replicated
@@ -172,8 +173,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for replications (1 = serial; results are "
         "bit-identical either way)",
     )
+    p.add_argument(
+        "--mobility", choices=MOBILITY_PRESETS, default="uniform",
+        help="mobility process: 'uniform' (the paper's walk, default) or a "
+        "CTRW preset -- 'ctrw-exp' (geometric residence, degenerate with "
+        "uniform), 'ctrw-fixed' (deterministic), 'ctrw-hyper' "
+        "(hyperexponential), 'ctrw-pareto' (truncated-Pareto heavy tail), "
+        "'ctrw-drift' (directional drift)",
+    )
+    p.add_argument(
+        "--drift", type=float, default=0.4,
+        help="drift weight for --mobility ctrw-drift (default 0.4)",
+    )
     _add_backend_flag(p)
     _add_observability_flags(p)
+
+    p = sub.add_parser(
+        "approx",
+        help="approximation-error report: analytic model vs simulated "
+        "CTRW mobility truth",
+    )
+    p.add_argument("--q", type=float, default=0.2)
+    p.add_argument("--c", type=float, default=0.02)
+    p.add_argument("--update-cost", type=float, default=50.0)
+    p.add_argument("--poll-cost", type=float, default=10.0)
+    p.add_argument("--threshold", type=int, default=2, help="d")
+    p.add_argument("--max-delay", type=int, default=2)
+    p.add_argument("--slots", type=int, default=4000)
+    p.add_argument("--terminals", type=int, default=256)
+    p.add_argument("--warmup", type=int, default=500)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--drift", type=float, default=0.4)
+    p.add_argument(
+        "--models", default=None,
+        help="comma-separated subset of mobility models (default: all of "
+        f"{', '.join(MOBILITY_PRESETS)})",
+    )
+    p.add_argument("--csv", help="also write the rows to this CSV path")
+    p.add_argument(
+        "--report", metavar="PATH",
+        help="write the rows as a provenance-stamped JSONL artifact "
+        "(kind='approximation' records)",
+    )
 
     p = sub.add_parser("validate", help="simulation-vs-model campaign")
     p.add_argument("--slots", type=int, default=100_000)
@@ -411,6 +452,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "optimize": _cmd_optimize,
             "sweep": _cmd_sweep,
             "simulate": _cmd_simulate,
+            "approx": _cmd_approx,
             "validate": _cmd_validate,
             "speed": _cmd_speed,
             "fleet": _cmd_fleet,
@@ -645,6 +687,10 @@ def _cmd_simulate(args) -> int:
     topology = LineTopology() if args.dimensions == 1 else HexTopology()
     mobility = MobilityParams(move_probability=args.q, call_probability=args.c)
     costs = CostParams(update_cost=args.update_cost, poll_cost=args.poll_cost)
+    spec = mobility_preset(args.mobility, args.q, drift=args.drift)
+    if spec is not None and args.dimensions == 1:
+        print("CTRW mobility presets require --dimensions 2", file=sys.stderr)
+        return 2
     if args.backend != "numpy":
         from .simulation.vectorized import VectorizedDistanceEngine
 
@@ -657,6 +703,7 @@ def _cmd_simulate(args) -> int:
             terminals=args.replications,
             seed=args.seed,
             backend=args.backend,
+            walk=spec,
         )
         if args.warmup:
             engine.run(args.warmup)
@@ -678,13 +725,61 @@ def _cmd_simulate(args) -> int:
             seed=args.seed,
             warmup_slots=args.warmup,
             workers=args.workers,
+            walker_factory=None if spec is None else spec.walker_factory(),
         )
+    if spec is not None:
+        print(f"mobility:         {args.mobility} "
+              f"(q_eff={spec.effective_move_probability():.4f}, "
+              f"residence cv^2={spec.residence.cv2():.2f})")
     print(f"replications:     {result.replications} x {args.slots} slots")
     print(f"mean C_T:         {result.mean_total_cost:.6f} "
           f"(+/- {result.total_cost_ci():.6f} at 95%)")
     print(f"  mean C_u:       {result.mean_update_cost:.6f}")
     print(f"  mean C_v:       {result.mean_paging_cost:.6f}")
     print(f"mean page delay:  {result.mean_paging_delay:.3f} cycles")
+    return 0
+
+
+def _cmd_approx(args) -> int:
+    from .analysis.approximation import (
+        MOBILITY_MODELS,
+        approximation_report,
+        approximation_rows,
+        write_approximation_artifact,
+    )
+
+    if args.models:
+        models = tuple(name.strip() for name in args.models.split(",") if name.strip())
+    else:
+        models = MOBILITY_MODELS
+    report = approximation_report(
+        q=args.q,
+        c=args.c,
+        d=args.threshold,
+        m=args.max_delay,
+        update_cost=args.update_cost,
+        poll_cost=args.poll_cost,
+        slots=args.slots,
+        terminals=args.terminals,
+        warmup_slots=args.warmup,
+        seed=args.seed,
+        models=models,
+        drift=args.drift,
+    )
+    headers = [
+        "mobility", "q_eff", "cv^2", "simulated", "exact",
+        "exact err", "approx err", "deviation", "converges",
+    ]
+    rows = approximation_rows(report)
+    title = (f"analytic vs simulated cost, q={args.q} c={args.c} "
+             f"d={args.threshold} m={args.max_delay}")
+    print(render_table(headers, rows, title=title))
+    if args.csv:
+        write_csv(args.csv, headers, rows)
+        print(f"wrote {args.csv}")
+    if args.report:
+        path = write_approximation_artifact(args.report, report)
+        print(f"wrote {path}")
     return 0
 
 

@@ -12,6 +12,9 @@ agreement, and the paper's structural laws, continuously checkable:
   relations (eqn references on each registration);
 * :mod:`repro.conformance.joint` -- cross-scheme invariants pinning
   the jointly optimal policy against the distance-based scheme;
+* :mod:`repro.conformance.mobility` -- simulation-as-oracle checks
+  for the CTRW mobility extension (degeneracy to the uniform walk,
+  variance ordering, empirical paging-order optimality);
 * :mod:`repro.conformance.agreement` -- the reusable
   simulation-vs-analysis agreement criterion;
 * :mod:`repro.conformance.sampling` -- the ``quick``/``full`` suite
@@ -34,6 +37,7 @@ from .checks import (
 )
 from . import invariants as _invariants  # noqa: F401  (registers checks)
 from . import joint as _joint  # noqa: F401  (registers checks)
+from . import mobility as _mobility  # noqa: F401  (registers checks)
 from . import oracles as _oracles  # noqa: F401  (registers checks)
 from .agreement import (
     REL_LIMIT_1D,
@@ -45,6 +49,7 @@ from .agreement import (
     values_agree,
 )
 from .invariants import APPROX_TO_EXACT, EXACT_CHAIN_MODELS
+from .mobility import MOBILITY_CHECK_IDS, default_walk_spec
 from .oracles import bitwise_agreement, replicated_agreement
 from .runner import (
     ConformanceReport,
@@ -66,6 +71,7 @@ __all__ = [
     "ConformanceReport",
     "Deviation",
     "EXACT_CHAIN_MODELS",
+    "MOBILITY_CHECK_IDS",
     "REGISTRY",
     "REL_LIMIT_1D",
     "REL_LIMIT_2D",
@@ -74,6 +80,7 @@ __all__ = [
     "bitwise_agreement",
     "comparison_deviation",
     "comparison_ok",
+    "default_walk_spec",
     "read_report",
     "rel_limit_for_dimensions",
     "replicated_agreement",

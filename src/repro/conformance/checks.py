@@ -102,12 +102,15 @@ class ConformanceConfig:
     simulation-backed checks, which skip themselves when
     ``sim_slots == 0``.
 
-    ``model_factory`` and ``plan_factory`` are test-only escape
-    hatches: when set, they replace the registered model class and the
-    paper's SDF partition respectively, letting the conformance
+    ``model_factory``, ``plan_factory``, and ``walk_factory`` are
+    test-only escape hatches: when set, they replace the registered
+    model class, the paper's SDF partition, and the mobility checks'
+    CTRW specifications respectively, letting the conformance
     test-suite feed deliberately-broken implementations through real
-    checks to prove each one can fail.  Neither appears in reports or
-    fingerprints.
+    checks to prove each one can fail.  None appears in reports or
+    fingerprints.  ``walk_factory`` is called as
+    ``walk_factory(kind, config) -> CTRWSpec`` with the kind strings
+    documented in :mod:`repro.conformance.mobility`.
     """
 
     model_name: str
@@ -127,6 +130,9 @@ class ConformanceConfig:
         default=None, repr=False, compare=False
     )
     plan_factory: Optional[Callable] = field(
+        default=None, repr=False, compare=False
+    )
+    walk_factory: Optional[Callable] = field(
         default=None, repr=False, compare=False
     )
 

@@ -1,23 +1,46 @@
 """Terminal mobility and traffic processes (paper Section 2.1).
 
 Random-walk movement, Bernoulli (and bursty) call arrivals, trace
-recording/replay, and the fluid-flow crossing-rate baseline of
-reference [8].
+recording/replay, the fluid-flow crossing-rate baseline of reference
+[8], and the general-residence-time CTRW models (geometric,
+hyperexponential, truncated-Pareto, deterministic residence; optional
+directional drift) that the simulation-as-oracle conformance tier is
+built on.
 """
 
 from .arrivals import BatchedArrivals, BernoulliArrivals
+from .ctrw import CTRWSpec, CTRWWalk, MOBILITY_PRESETS, mobility_preset
 from .fluid import FluidFlowModel
 from .persistent import PersistentWalk
-from .traces import Trace, TraceStep, generate_trace
+from .residence import (
+    DeterministicResidence,
+    GeometricResidence,
+    HyperexponentialResidence,
+    ResidenceDistribution,
+    TruncatedParetoResidence,
+    residence_from_spec,
+)
+from .traces import Trace, TraceStep, generate_trace, replay_trace
 from .walk import RandomWalk
 
 __all__ = [
     "BatchedArrivals",
     "BernoulliArrivals",
+    "CTRWSpec",
+    "CTRWWalk",
+    "DeterministicResidence",
     "FluidFlowModel",
+    "GeometricResidence",
+    "HyperexponentialResidence",
+    "MOBILITY_PRESETS",
     "PersistentWalk",
     "RandomWalk",
+    "ResidenceDistribution",
     "Trace",
     "TraceStep",
+    "TruncatedParetoResidence",
     "generate_trace",
+    "mobility_preset",
+    "replay_trace",
+    "residence_from_spec",
 ]

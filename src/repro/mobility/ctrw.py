@@ -1,0 +1,342 @@
+"""CTRW mobility: general residence times plus directional drift.
+
+:class:`CTRWWalk` generalizes the paper's walk along two axes at once
+(Zhao & Liew, arXiv 0808.1062):
+
+* **when** the terminal moves is governed by a per-cell residence time
+  drawn from a pluggable :class:`~repro.mobility.residence.
+  ResidenceDistribution` -- a countdown clock replaces the per-slot
+  Bernoulli move draw;
+* **where** it moves composes the direction memory of
+  :class:`~repro.mobility.persistent.PersistentWalk` with a fixed
+  directional *drift*: with probability ``drift`` the walker takes its
+  preferred lattice direction, with probability ``persistence`` it
+  repeats its previous direction, and otherwise it draws uniformly.
+
+Slot semantics for timed walkers
+--------------------------------
+
+A walker with a residence clock exposes ``timed = True`` and
+:meth:`CTRWWalk.move_due`.  The simulation engines then run the
+*independent-within-slot* semantics: a call arrives with probability
+``c`` (processed first, so paging sees the pre-move position) and the
+residence clock ticks **every** slot, moving the terminal when it
+expires.  A call never freezes motion -- there is no competing-event
+draw, because a CTRW has no per-slot move probability to compete with.
+Consequently a CTRW with :class:`~repro.mobility.residence.
+GeometricResidence` at rate ``q`` is distributionally identical to the
+paper's uniform walk stepped in ``event_mode="independent"`` -- the
+degeneracy the conformance oracle checks.
+
+:class:`CTRWSpec` is the serializable description both engines accept:
+:class:`~repro.simulation.engine.SimulationEngine` via
+``walker_factory=spec.walker_factory()`` and
+:class:`~repro.simulation.vectorized.VectorizedDistanceEngine` via its
+``walk=spec`` argument (which runs the stateless counter-RNG path; see
+:mod:`repro.simulation.kernels`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import ParameterError
+from ..geometry.topology import Cell, CellTopology
+from .persistent import PersistentWalk
+from .residence import (
+    DeterministicResidence,
+    GeometricResidence,
+    HyperexponentialResidence,
+    ResidenceDistribution,
+    TruncatedParetoResidence,
+    residence_from_spec,
+)
+
+__all__ = [
+    "CTRWSpec",
+    "CTRWWalk",
+    "MOBILITY_PRESETS",
+    "mobility_preset",
+]
+
+
+class CTRWWalk(PersistentWalk):
+    """Random walk with a residence clock and optional drift.
+
+    Parameters
+    ----------
+    topology:
+        Cell geometry to walk on.
+    residence:
+        Distribution of whole slots spent in each cell.
+    rng:
+        Seeded generator (a fresh default one if omitted).
+    start:
+        Initial cell; defaults to the topology origin.
+    drift:
+        Probability of taking the preferred ``drift_direction`` on a
+        move, in ``[0, 1)``.
+    persistence:
+        Probability of repeating the previous direction (evaluated
+        after the drift draw misses), in ``[0, 1)``; ``drift +
+        persistence`` must stay below 1 so uniform exploration keeps
+        positive mass.
+    drift_direction:
+        Index into the topology's neighbor list naming the preferred
+        direction (lattice neighbor order is position-independent).
+    """
+
+    #: Engines route timed walkers through the residence-clock slot
+    #: path (see module docstring) instead of the Bernoulli move draw.
+    timed = True
+
+    def __init__(
+        self,
+        topology: CellTopology,
+        residence: ResidenceDistribution,
+        rng: Optional[np.random.Generator] = None,
+        start: Optional[Cell] = None,
+        drift: float = 0.0,
+        persistence: float = 0.0,
+        drift_direction: int = 0,
+    ) -> None:
+        if not isinstance(residence, ResidenceDistribution):
+            raise ParameterError(
+                f"residence must be a ResidenceDistribution, got {residence!r}"
+            )
+        if not 0.0 <= drift < 1.0:
+            raise ParameterError(f"drift must be in [0, 1), got {drift}")
+        if drift + persistence >= 1.0:
+            raise ParameterError(
+                f"drift + persistence must be < 1, got {drift} + {persistence}"
+            )
+        # The nominal move_probability is the long-run move rate; the
+        # residence clock, not this number, decides when moves happen.
+        super().__init__(
+            topology,
+            min(1.0, 1.0 / residence.mean()),
+            persistence,
+            rng=rng,
+            start=start,
+        )
+        degree = len(topology.neighbors(self.position))
+        if not 0 <= int(drift_direction) < degree:
+            raise ParameterError(
+                f"drift_direction must index a neighbor (0..{degree - 1}), "
+                f"got {drift_direction}"
+            )
+        self.residence = residence
+        self.drift = float(drift)
+        self.drift_direction = int(drift_direction)
+        self._remaining = residence.sample(self.rng)
+
+    def move_due(self) -> bool:
+        """Tick the residence clock one slot; True when a move is due.
+
+        On expiry the clock is re-armed with a fresh residence draw for
+        the next cell.  Engines call this exactly once per slot.
+        """
+        self._remaining -= 1
+        if self._remaining > 0:
+            return False
+        self._remaining = self.residence.sample(self.rng)
+        return True
+
+    def move(self) -> Cell:
+        """Move composing drift, persistence, and uniform exploration."""
+        options = self.topology.neighbors(self.position)
+        u = self.rng.random()
+        if u < self.drift:
+            index = self.drift_direction
+        elif u < self.drift + self.persistence and self._last_direction is not None:
+            index = self._last_direction
+        else:
+            index = int(self.rng.integers(len(options)))
+        self._last_direction = index
+        self.position = options[index]
+        self.moves += 1
+        return self.position
+
+    def step(self) -> Cell:
+        """Advance one slot: tick the clock, move if it expired."""
+        self.slots += 1
+        if self.move_due():
+            return self.move()
+        return self.position
+
+    def __repr__(self) -> str:
+        return (
+            f"CTRWWalk(topology={self.topology!r}, residence={self.residence!r}, "
+            f"drift={self.drift}, persistence={self.persistence}, "
+            f"position={self.position!r})"
+        )
+
+
+@dataclass(frozen=True)
+class CTRWSpec:
+    """Serializable description of a CTRW mobility model.
+
+    One spec drives both engines (see module docstring), traces, and
+    the conformance tier; it is picklable, so pooled
+    :func:`~repro.simulation.runner.run_replicated` campaigns can ship
+    it to worker processes.
+    """
+
+    residence: ResidenceDistribution
+    drift: float = 0.0
+    persistence: float = 0.0
+    drift_direction: int = 0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.residence, ResidenceDistribution):
+            raise ParameterError(
+                f"residence must be a ResidenceDistribution, got {self.residence!r}"
+            )
+        if not 0.0 <= self.drift < 1.0:
+            raise ParameterError(f"drift must be in [0, 1), got {self.drift}")
+        if not 0.0 <= self.persistence < 1.0:
+            raise ParameterError(
+                f"persistence must be in [0, 1), got {self.persistence}"
+            )
+        if self.drift + self.persistence >= 1.0:
+            raise ParameterError(
+                "drift + persistence must be < 1, got "
+                f"{self.drift} + {self.persistence}"
+            )
+        if self.drift_direction < 0:
+            raise ParameterError(
+                f"drift_direction must be >= 0, got {self.drift_direction}"
+            )
+
+    def effective_move_probability(self) -> float:
+        """Long-run moves per slot: ``1 / E[residence]``.
+
+        The rate an analytic chain should use when standing in for this
+        mobility model (exact for geometric residence, a mean-matched
+        baseline otherwise -- whose error
+        :func:`repro.analysis.approximation.approximation_report`
+        measures).
+        """
+        return min(1.0, 1.0 / self.residence.mean())
+
+    def build_walker(
+        self,
+        topology: CellTopology,
+        rng: Optional[np.random.Generator] = None,
+        start: Optional[Cell] = None,
+    ) -> CTRWWalk:
+        """Instantiate the per-cell walker this spec describes."""
+        return CTRWWalk(
+            topology,
+            self.residence,
+            rng=rng,
+            start=start,
+            drift=self.drift,
+            persistence=self.persistence,
+            drift_direction=self.drift_direction,
+        )
+
+    def walker_factory(self) -> "_SpecWalkerFactory":
+        """A picklable ``walker_factory`` for :class:`SimulationEngine`."""
+        return _SpecWalkerFactory(self)
+
+    # -- serialization ---------------------------------------------------
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "residence": self.residence.spec(),
+            "drift": self.drift,
+            "persistence": self.persistence,
+            "drift_direction": self.drift_direction,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "CTRWSpec":
+        if not isinstance(payload, dict) or "residence" not in payload:
+            raise ParameterError(
+                f"CTRW spec payload must be a dict with 'residence': {payload!r}"
+            )
+        return cls(
+            residence=residence_from_spec(payload["residence"]),
+            drift=float(payload.get("drift", 0.0)),
+            persistence=float(payload.get("persistence", 0.0)),
+            drift_direction=int(payload.get("drift_direction", 0)),
+        )
+
+
+@dataclass(frozen=True)
+class _SpecWalkerFactory:
+    """Module-level (picklable) walker factory closing over a spec.
+
+    Matches the ``walker_factory(topology, q, rng, start)`` signature of
+    :class:`~repro.simulation.engine.SimulationEngine`; the engine's
+    ``q`` is ignored -- the spec's residence distribution owns the move
+    timing.
+    """
+
+    spec: CTRWSpec
+
+    def __call__(
+        self,
+        topology: CellTopology,
+        move_probability: float,
+        rng: np.random.Generator,
+        start: Optional[Cell],
+    ) -> CTRWWalk:
+        return self.spec.build_walker(topology, rng=rng, start=start)
+
+
+#: Mobility presets accepted by ``repro-lm simulate --mobility`` and the
+#: approximation report; "uniform" is the paper's walk (no CTRW spec).
+MOBILITY_PRESETS: Tuple[str, ...] = (
+    "uniform",
+    "ctrw-exp",
+    "ctrw-fixed",
+    "ctrw-hyper",
+    "ctrw-pareto",
+    "ctrw-drift",
+)
+
+
+def mobility_preset(
+    name: str,
+    q: float,
+    drift: float = 0.4,
+    cv2: float = 8.0,
+) -> Optional[CTRWSpec]:
+    """Build the named mobility model around a nominal move rate ``q``.
+
+    Returns None for ``"uniform"`` (the engines' built-in walk).  The
+    CTRW presets match the paper's mean move rate where the family
+    allows it exactly: ``ctrw-exp`` and ``ctrw-drift`` use geometric
+    residence at rate ``q``; ``ctrw-fixed`` rounds ``1/q`` to whole
+    slots; ``ctrw-hyper`` fits a two-phase hyperexponential of mean
+    ``1/q`` and squared coefficient of variation ``cv2``; the
+    heavy-tailed ``ctrw-pareto`` is *not* rate-matched (its mean is a
+    property of the tail) -- which is exactly why the simulation, not
+    the chain, is the oracle for it.
+    """
+    if not 0.0 < q <= 1.0:
+        raise ParameterError(f"q must be in (0, 1], got {q}")
+    if name == "uniform":
+        return None
+    if name == "ctrw-exp":
+        return CTRWSpec(GeometricResidence(q))
+    if name == "ctrw-fixed":
+        return CTRWSpec(DeterministicResidence(max(1, round(1.0 / q))))
+    if name == "ctrw-hyper":
+        return CTRWSpec(HyperexponentialResidence.fit(max(2.0, 1.0 / q), cv2))
+    if name == "ctrw-pareto":
+        return CTRWSpec(
+            TruncatedParetoResidence(
+                alpha=1.1, minimum=1.0, maximum=max(10.0, round(50.0 / q))
+            )
+        )
+    if name == "ctrw-drift":
+        return CTRWSpec(GeometricResidence(q), drift=drift)
+    raise ParameterError(
+        f"unknown mobility preset {name!r}; expected one of {MOBILITY_PRESETS}"
+    )

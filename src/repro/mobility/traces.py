@@ -9,6 +9,12 @@ alone, not to sampling noise.
 
 Traces serialize to a compact JSON format for archiving experiment
 inputs alongside results.
+
+:func:`replay_trace` closes the loop: it feeds a recorded trace back
+through either simulation engine (per-cell or vectorized) and returns
+the cost meter, so a recorded workload can be re-costed under any
+distance threshold -- and the two engines can be checked against each
+other on the *identical* event sequence.
 """
 
 from __future__ import annotations
@@ -24,9 +30,10 @@ from ..exceptions import ParameterError, SimulationError
 from ..geometry import HexTopology, LineTopology, SquareTopology
 from ..geometry.topology import Cell, CellTopology
 from .arrivals import BernoulliArrivals
+from .ctrw import CTRWSpec
 from .walk import RandomWalk
 
-__all__ = ["Trace", "TraceStep", "generate_trace"]
+__all__ = ["Trace", "TraceStep", "generate_trace", "replay_trace"]
 
 #: One slot of a trace: (cell, call_arrived).
 TraceStep = Tuple[Cell, bool]
@@ -140,6 +147,7 @@ def generate_trace(
     slots: int,
     seed: Optional[int] = None,
     start: Optional[Cell] = None,
+    walk: Optional[CTRWSpec] = None,
 ) -> Trace:
     """Generate a random trace under the paper's mobility/traffic model.
 
@@ -148,17 +156,138 @@ def generate_trace(
     slot is a call (no movement), otherwise with probability ``q`` the
     terminal moves.  See :mod:`repro.simulation.engine` for the
     rationale.
+
+    With ``walk`` set to a :class:`CTRWSpec`, the terminal instead
+    follows that residence-clock process under the timed slot semantics
+    (the call draw is independent of movement; the clock ticks every
+    slot; the call is recorded against the slot whose *pre-move*
+    position it pages -- the same order both engines use).
+    ``move_probability`` is ignored in that case: the spec's residence
+    distribution sets the movement rate.
     """
     if slots < 0:
         raise ParameterError(f"slots must be >= 0, got {slots}")
     rng = np.random.default_rng(seed)
-    walk = RandomWalk(topology, move_probability, rng=rng, start=start)
     arrivals = BernoulliArrivals(call_probability, rng=rng)
-    origin = walk.position
     steps: List[TraceStep] = []
+    if walk is not None:
+        if not isinstance(walk, CTRWSpec):
+            raise ParameterError(f"walk must be a CTRWSpec, got {walk!r}")
+        walker = walk.build_walker(topology, rng, start)
+        origin = walker.position
+        for _ in range(slots):
+            call = arrivals.step()
+            if walker.move_due():
+                walker.move()
+            steps.append((walker.position, call))
+        return Trace(topology=topology, start=origin, steps=tuple(steps))
+    walker = RandomWalk(topology, move_probability, rng=rng, start=start)
+    origin = walker.position
     for _ in range(slots):
         call = arrivals.step()
         if not call and rng.random() < move_probability:
-            walk.move()
-        steps.append((walk.position, call))
+            walker.move()
+        steps.append((walker.position, call))
     return Trace(topology=topology, start=origin, steps=tuple(steps))
+
+
+class _TraceArrivals:
+    """Call-arrival process replaying a trace's recorded call flags."""
+
+    def __init__(self, steps: Sequence[TraceStep]) -> None:
+        self._calls = [bool(call) for _, call in steps]
+        self._index = 0
+
+    def step(self) -> bool:
+        if self._index >= len(self._calls):
+            raise SimulationError("trace replay ran past the recorded slots")
+        call = self._calls[self._index]
+        self._index += 1
+        return call
+
+
+class _TraceWalker(RandomWalk):
+    """Walker replaying a trace's recorded positions slot by slot.
+
+    ``timed`` routes the engine through the timed slot semantics (call
+    drawn first, ``move_due`` asked every slot), matching the order the
+    trace was recorded in.  ``move_due`` peeks at the slot's recorded
+    position and reports a move only when the cell actually changes, so
+    the move meter matches the trace's :attr:`Trace.move_count`.
+    """
+
+    timed = True
+
+    def __init__(self, trace: Trace) -> None:
+        # move_probability is never drawn against: moves are scripted.
+        super().__init__(trace.topology, 1.0, start=trace.start)
+        self._positions = [cell for cell, _ in trace.steps]
+        self._index = 0
+        self._pending: Optional[Cell] = None
+
+    def move_due(self) -> bool:
+        if self._index >= len(self._positions):
+            raise SimulationError("trace replay ran past the recorded slots")
+        target = self._positions[self._index]
+        self._index += 1
+        if target == self.position:
+            return False
+        self._pending = target
+        return True
+
+    def move(self) -> Cell:
+        if self._pending is None:
+            raise SimulationError("move() called with no recorded move pending")
+        self.position = self._pending
+        self._pending = None
+        self.slots += 1
+        self.moves += 1
+        return self.position
+
+
+def replay_trace(
+    trace: Trace,
+    threshold: int,
+    costs,
+    max_delay: int = 1,
+    plan=None,
+    engine: str = "per-cell",
+):
+    """Re-cost a recorded trace under a distance strategy.
+
+    Replays ``trace`` through the chosen engine -- ``"per-cell"``
+    (:class:`~repro.simulation.engine.SimulationEngine` with a scripted
+    walker) or ``"vectorized"``
+    (:func:`~repro.simulation.vectorized.replay_trace_meters`) -- and
+    returns the resulting meter snapshot.  Both engines see the
+    identical event sequence, so their meters must agree; the
+    conformance tier pins exactly that.
+    """
+    if engine == "vectorized":
+        from ..simulation.vectorized import replay_trace_meters  # local: cycle
+
+        return replay_trace_meters(
+            trace, threshold, costs, max_delay=max_delay, plan=plan
+        )
+    if engine != "per-cell":
+        raise ParameterError(
+            f"engine must be 'per-cell' or 'vectorized', got {engine!r}"
+        )
+    from ..core.parameters import MobilityParams  # local: avoid cycle
+    from ..simulation.engine import SimulationEngine  # local: avoid cycle
+    from ..strategies.distance import DistanceStrategy  # local: avoid cycle
+
+    walker = _TraceWalker(trace)
+    sim = SimulationEngine(
+        topology=trace.topology,
+        strategy=DistanceStrategy(threshold, max_delay=max_delay, plan=plan),
+        # Placeholder rates: a scripted walker and scripted arrivals
+        # never consult (q, c).
+        mobility=MobilityParams(move_probability=0.5, call_probability=0.25),
+        costs=costs,
+        seed=0,
+        start=trace.start,
+        arrivals=_TraceArrivals(trace.steps),
+        walker_factory=lambda topology, q, rng, start: walker,
+    )
+    return sim.run(len(trace))

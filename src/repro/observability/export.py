@@ -112,6 +112,7 @@ def write_artifact(
     obs: Observability,
     provenance: dict,
     checks: Optional[List[dict]] = None,
+    extra_records: Optional[List[dict]] = None,
 ) -> Path:
     """Write one observability artifact as JSON lines.
 
@@ -119,7 +120,10 @@ def write_artifact(
     follows as its own line, so artifacts stream and concatenate
     cleanly.  ``checks`` appends ``kind="check"`` records -- one per
     conformance check result -- which is how ``repro-lm conformance
-    --report`` shares this format.
+    --report`` shares this format.  ``extra_records`` appends
+    domain-specific records verbatim; each must carry its own ``kind``
+    that :func:`read_artifact` knows (currently ``"approximation"``,
+    written by ``repro-lm approx --report``).
     """
     path = Path(path)
     lines = [json.dumps({"kind": "provenance", **provenance}, sort_keys=True)]
@@ -129,6 +133,12 @@ def write_artifact(
         lines.append(json.dumps({"kind": "span", **span.to_dict()}, sort_keys=True))
     for record in checks or ():
         lines.append(json.dumps({"kind": "check", **record}, sort_keys=True))
+    for record in extra_records or ():
+        if "kind" not in record:
+            raise ParameterError(
+                f"extra_records entries must carry a 'kind' field, got {record!r}"
+            )
+        lines.append(json.dumps(record, sort_keys=True))
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text("\n".join(lines) + "\n")
     return path
@@ -149,6 +159,7 @@ def read_artifact(path: Union[str, Path]) -> dict:
     metrics: List[dict] = []
     spans: List[SpanRecord] = []
     checks: List[dict] = []
+    approximations: List[dict] = []
     for lineno, line in enumerate(text.splitlines(), start=1):
         line = line.strip()
         if not line:
@@ -168,6 +179,8 @@ def read_artifact(path: Union[str, Path]) -> dict:
             spans.append(SpanRecord.from_dict(record))
         elif kind == "check":
             checks.append(record)
+        elif kind == "approximation":
+            approximations.append(record)
         else:
             raise ParameterError(
                 f"metrics artifact {path} line {lineno} has unknown kind {kind!r}"
@@ -189,6 +202,7 @@ def read_artifact(path: Union[str, Path]) -> dict:
         "metrics": metrics,
         "spans": spans,
         "checks": checks,
+        "approximations": approximations,
     }
 
 

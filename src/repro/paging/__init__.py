@@ -3,9 +3,17 @@
 Implements the paper's shortest-distance-first subarea scheme
 (Section 2.2) plus blanket and per-ring variants, and -- as the paper's
 future-work extension -- the optimal contiguous partition by dynamic
-programming.
+programming, fed either by the chain's steady state or by a
+*simulated* at-call ring distribution (:mod:`repro.paging.empirical`),
+which is what makes the optimization meaningful for mobility processes
+the chain cannot describe.
 """
 
+from .empirical import (
+    EmpiricalPagingReport,
+    empirical_paging_report,
+    empirical_ring_distribution,
+)
 from .optimal import brute_force_partition, optimal_contiguous_partition
 from .ordered import (
     density_order,
@@ -23,9 +31,12 @@ from .plan import (
 )
 
 __all__ = [
+    "EmpiricalPagingReport",
     "PagingPlan",
     "blanket_partition",
     "brute_force_partition",
+    "empirical_paging_report",
+    "empirical_ring_distribution",
     "density_order",
     "density_ordered_partition",
     "expected_cells_for_order",

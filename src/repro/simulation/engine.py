@@ -21,6 +21,14 @@ paging sees the position the elapsed-slot-derived radius covers) --
 the physically plausible variant, used by the robustness bench to show
 the model's predictions survive the relaxation for small ``q c``.
 
+*Timed* walkers (``walk.timed`` is True, e.g.
+:class:`~repro.mobility.ctrw.CTRWWalk`) carry their own residence
+clock: the engine draws only the call arrival and asks the walker
+``move_due()`` every slot -- there is no per-slot move probability to
+compete with, so timed walkers always run the independent-within-slot
+semantics (call processed first, then the move) regardless of
+``event_mode``.
+
 Per-slot sequence
 -----------------
 
@@ -159,7 +167,9 @@ class SimulationEngine:
         Optional factory ``(topology, q, rng, start) -> RandomWalk``
         overriding the default uniform random walk -- e.g.
         :class:`~repro.mobility.persistent.PersistentWalk` for the
-        direction-memory robustness study.
+        direction-memory robustness study, or
+        ``CTRWSpec.walker_factory()`` for residence-clock (timed)
+        mobility (see the module docstring for timed slot semantics).
     """
 
     def __init__(
@@ -197,6 +207,7 @@ class SimulationEngine:
                 raise ParameterError(
                     f"walker_factory must build a RandomWalk, got {self.walk!r}"
                 )
+        self._timed = bool(getattr(self.walk, "timed", False))
         strategy.attach(topology, self.walk.position)
         self.meter = CostMeter(costs.update_cost, costs.poll_cost)
         self.log = event_log
@@ -262,7 +273,19 @@ class SimulationEngine:
         if self.strategy.on_slot(self.walk.position, self.slot):
             self._perform_update(timer=True)
 
-        if self.arrivals is not None:
+        if self._timed:
+            # Timed walkers (residence clocks): the call is the only
+            # per-slot draw, processed before the move so paging sees
+            # the pre-move position; the clock ticks every slot.
+            if self.arrivals is not None:
+                called = self.arrivals.step()
+            else:
+                called = self.rng.random() < c
+            if called:
+                self._handle_call()
+            if self.walk.move_due():
+                self._handle_move()
+        elif self.arrivals is not None:
             if self.arrivals.step():
                 self._handle_call()
             elif self.rng.random() < q:

@@ -55,8 +55,11 @@ __all__ = [
     "STREAM_CALL",
     "STREAM_DIRECTION",
     "STREAM_EVENT",
+    "STREAM_RESIDENCE",
+    "STREAM_RESIDENCE_BRANCH",
     "compiled_kernels",
     "counter_uniforms",
+    "drifted_directions",
     "kernel_compile_info",
     "mix64",
     "slot_key",
@@ -81,6 +84,11 @@ _INV53 = 2.0**-53
 #: Independent hash streams: slot-event classification, movement
 #: direction, and the independent-mode call draw.
 STREAM_EVENT, STREAM_DIRECTION, STREAM_CALL = 0, 1, 2
+
+#: CTRW streams: residence-time inverse-CDF draw and the mixture-branch
+#: pick (hyperexponential components).  Initial residences hash slot -1
+#: on the same streams, which no in-run slot index ever reuses.
+STREAM_RESIDENCE, STREAM_RESIDENCE_BRANCH = 3, 4
 
 
 def mix64(x: np.ndarray) -> np.ndarray:
@@ -120,6 +128,47 @@ def counter_uniforms(
     """One U(0,1) per terminal for ``(stream, slot)``, layout-free."""
     h = mix64(idx_keys ^ slot_key(seed, stream, slot))
     return (h >> _S11).astype(np.float64) * _INV53
+
+
+def drifted_directions(
+    u: np.ndarray,
+    degree: int,
+    drift: float,
+    drift_direction: int,
+    persistence: float,
+    last_directions: np.ndarray,
+) -> np.ndarray:
+    """Direction indices composing drift, persistence, and uniform choice.
+
+    One uniform per mover decides the whole composition: ``u < drift``
+    takes the preferred lattice direction, the next ``persistence``
+    band repeats the mover's previous direction (movers without one --
+    ``last_directions < 0`` -- fall back to a uniform pick over their
+    band), and the remaining mass is rescaled to a uniform direction.
+    Rescaling a conditioned uniform is again uniform, so the
+    distribution matches the per-cell walker's two-draw composition in
+    :meth:`repro.mobility.ctrw.CTRWWalk.move` exactly.
+    """
+    u = np.asarray(u, dtype=np.float64)
+    explore = drift + persistence
+    scaled = (u - explore) / (1.0 - explore)
+    out = np.minimum(
+        (scaled * degree).astype(np.int64), degree - 1
+    )
+    if persistence > 0.0:
+        in_persist = (u >= drift) & (u < explore)
+        has_last = last_directions >= 0
+        repeat = in_persist & has_last
+        out[repeat] = last_directions[repeat]
+        fresh = in_persist & ~has_last
+        if fresh.any():
+            band = (u[fresh] - drift) / persistence
+            out[fresh] = np.minimum(
+                (band * degree).astype(np.int64), degree - 1
+            )
+    if drift > 0.0:
+        out[u < drift] = drift_direction
+    return out
 
 
 def topology_code(topology: CellTopology) -> int:

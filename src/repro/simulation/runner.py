@@ -165,6 +165,7 @@ def _campaign_fingerprint(
     seed: int,
     event_mode: str,
     warmup_slots: int,
+    walker_repr: Optional[str] = None,
 ) -> dict:
     """The configuration identity a checkpoint must match to be resumed.
 
@@ -175,7 +176,7 @@ def _campaign_fingerprint(
     ``workers`` and ``replication_deadline`` are deliberately absent --
     neither changes what a completed replication computes.
     """
-    return {
+    fingerprint = {
         "version": _CHECKPOINT_VERSION,
         "topology": repr(topology),
         "strategy": strategy_repr,
@@ -190,6 +191,11 @@ def _campaign_fingerprint(
         "event_mode": event_mode,
         "warmup_slots": warmup_slots,
     }
+    # Only non-default walkers enter the identity, so checkpoints from
+    # earlier library versions (no walker key) keep resuming unchanged.
+    if walker_repr is not None:
+        fingerprint["walker"] = walker_repr
+    return fingerprint
 
 
 def _load_checkpoint(
@@ -293,6 +299,7 @@ def _execute_replication(
     warmup_slots: int,
     replication_deadline: Optional[float],
     observe: bool = False,
+    walker_factory=None,
 ) -> Tuple[int, MeterSnapshot, int, Optional[dict]]:
     """Run one replication to completion (or to its deadline).
 
@@ -315,6 +322,7 @@ def _execute_replication(
         return _run_one_replication(
             index, seed, topology, strategy_factory, mobility, costs, slots,
             start, event_mode, warmup_slots, replication_deadline,
+            walker_factory,
         ) + (None,)
     with _obs_context.session() as obs:
         with obs.tracer.span(
@@ -323,6 +331,7 @@ def _execute_replication(
             result = _run_one_replication(
                 index, seed, topology, strategy_factory, mobility, costs, slots,
                 start, event_mode, warmup_slots, replication_deadline,
+                walker_factory,
             )
         return result + (obs.collect_payload(),)
 
@@ -339,6 +348,7 @@ def _run_one_replication(
     event_mode: str,
     warmup_slots: int,
     replication_deadline: Optional[float],
+    walker_factory=None,
 ) -> Tuple[int, MeterSnapshot, int]:
     engine = SimulationEngine(
         topology=topology,
@@ -348,6 +358,7 @@ def _run_one_replication(
         seed=seed,
         start=start,
         event_mode=event_mode,
+        walker_factory=walker_factory,
     )
     if warmup_slots:
         engine.run(warmup_slots)
@@ -377,6 +388,7 @@ def run_replicated(
     checkpoint: Optional[Union[str, Path]] = None,
     replication_deadline: Optional[float] = None,
     workers: Optional[Union[int, str]] = None,
+    walker_factory=None,
 ) -> ReplicatedResult:
     """Run ``replications`` independent engines and pool their snapshots.
 
@@ -401,6 +413,12 @@ def run_replicated(
     replication at that many wall-clock seconds; overruns become
     :class:`PartialReplication` entries in the result, and are retried
     on a later resume.
+
+    ``walker_factory`` overrides each engine's mobility process (see
+    :class:`~repro.simulation.engine.SimulationEngine`); use a picklable
+    factory such as ``CTRWSpec.walker_factory()`` under a worker pool.
+    It enters the checkpoint fingerprint, so a checkpoint written with a
+    different walker is refused.
     """
     if replications < 1:
         raise ParameterError(f"replications must be >= 1, got {replications}")
@@ -421,6 +439,7 @@ def run_replicated(
     fingerprint = _campaign_fingerprint(
         topology, strategy_repr, start, mobility, costs, slots, replications,
         seed, event_mode, warmup_slots,
+        walker_repr=None if walker_factory is None else repr(walker_factory),
     )
     checkpoint_path = Path(checkpoint) if checkpoint is not None else None
     completed: Dict[int, MeterSnapshot] = {}
@@ -461,7 +480,7 @@ def run_replicated(
         return (
             index, children[index], topology, strategy_factory, mobility,
             costs, slots, start, event_mode, warmup_slots, replication_deadline,
-            observe,
+            observe, walker_factory,
         )
 
     with parent_obs.tracer.span(
@@ -476,7 +495,10 @@ def run_replicated(
                 record(*_execute_replication(*job_args(index)))
         elif pending:
             try:
-                pickle.dumps((topology, strategy_factory, mobility, costs, start))
+                pickle.dumps(
+                    (topology, strategy_factory, mobility, costs, start,
+                     walker_factory)
+                )
             except Exception as exc:
                 raise ParameterError(
                     f"workers={workers!r} runs replications in worker processes, "

@@ -19,10 +19,14 @@ so ring distances, update triggers, and paging costs are computed from
 the same geometry the cell-level engine walks.  In particular it does
 NOT use the paper's ring-aggregated transition probabilities
 ``p+(i)/p-(i)`` -- corner/edge cell effects on the hex and square grids
-are reproduced faithfully.  What the vectorized engine *cannot* do is
-everything that needs per-event hooks: event logs, fault models,
-custom walkers or arrival processes, and non-distance strategies all
-require :class:`~repro.simulation.engine.SimulationEngine`.
+are reproduced faithfully.  Beyond the uniform walk, the engine runs
+CTRW mobility (``walk=CTRWSpec(...)``): per-terminal residence clocks
+on dedicated counter-RNG streams, with drift/persistence direction
+composition (see :mod:`repro.mobility.ctrw` for the timed slot
+semantics).  What the vectorized engine *cannot* do is everything that
+needs per-event hooks: event logs, fault models, arbitrary walker
+classes or arrival processes, and non-distance strategies all require
+:class:`~repro.simulation.engine.SimulationEngine`.
 
 Because only relative coordinates are tracked, the absolute start cell
 is irrelevant (both supported geometries are vertex-transitive), and a
@@ -64,12 +68,16 @@ from ..geometry.topology import CellTopology
 from ..observability.context import current as _observability
 from ..paging import PagingPlan, sdf_partition
 from ..core.parameters import validate_delay, validate_threshold
+from ..mobility.ctrw import CTRWSpec
 from .kernels import (
     STREAM_CALL,
     STREAM_DIRECTION,
     STREAM_EVENT,
+    STREAM_RESIDENCE,
+    STREAM_RESIDENCE_BRANCH,
     compiled_kernels,
     counter_uniforms,
+    drifted_directions,
     mix64,
     slot_key,
     terminal_keys,
@@ -81,6 +89,7 @@ from .runner import ReplicatedResult
 __all__ = [
     "VectorizedDistanceEngine",
     "compare_backends_report",
+    "replay_trace_meters",
     "throughput_report",
 ]
 
@@ -168,6 +177,8 @@ class VectorizedDistanceEngine:
         seed=None,
         event_mode: str = "exclusive",
         backend: str = "numpy",
+        walk: Optional[CTRWSpec] = None,
+        record_ring_hits: bool = False,
     ) -> None:
         if event_mode not in _EVENT_MODES:
             raise ParameterError(
@@ -175,6 +186,11 @@ class VectorizedDistanceEngine:
             )
         if terminals < 1:
             raise ParameterError(f"terminals must be >= 1, got {terminals}")
+        if walk is not None and not isinstance(walk, CTRWSpec):
+            raise ParameterError(
+                f"walk must be a CTRWSpec (or None for the paper's uniform "
+                f"walk), got {walk!r}"
+            )
         self.topology = topology
         self.threshold = validate_threshold(threshold)
         validate_delay(max_delay)
@@ -182,18 +198,28 @@ class VectorizedDistanceEngine:
         self.costs = costs
         self.event_mode = event_mode
         self.terminals = int(terminals)
+        self.walk_spec = walk
         self.backend = validate_backend(backend)
-        self._counter_mode = self.backend != "numpy"
-        self.backend_resolved = (
-            resolve_backend(self.backend) if self._counter_mode else "numpy"
-        )
+        # Timed (CTRW) mobility always runs the stateless counter RNG:
+        # per-terminal residence clocks need layout-free per-slot
+        # streams.  The compiled homogeneous kernel does not implement
+        # residence clocks yet, so the NumPy port of the counter step
+        # is the resolved backend whatever was requested.
+        self._counter_mode = walk is not None or self.backend != "numpy"
+        if walk is not None:
+            self.backend_resolved = "numpy"
+        else:
+            self.backend_resolved = (
+                resolve_backend(self.backend) if self._counter_mode else "numpy"
+            )
         if self._counter_mode:
             if seed is None:
                 seed = 0
             if not isinstance(seed, (int, np.integer)):
                 raise ParameterError(
-                    f"backend={self.backend!r} uses the counter RNG, which "
-                    f"needs an integer seed; got {seed!r}"
+                    f"the counter RNG (backend={self.backend!r}, "
+                    f"walk={'set' if walk is not None else 'None'}) needs an "
+                    f"integer seed; got {seed!r}"
                 )
             self._seed = int(seed)
             self._idx_keys = terminal_keys(0, self.terminals)
@@ -218,6 +244,23 @@ class VectorizedDistanceEngine:
         # Center-relative positions: the whole batch starts freshly
         # fixed at its (arbitrary) start cells.
         self._pos = np.zeros((self.terminals, self._dirs.shape[1]), dtype=np.int64)
+        if walk is not None:
+            degree = self._dirs.shape[0]
+            if walk.drift_direction >= degree:
+                raise ParameterError(
+                    f"drift_direction {walk.drift_direction} out of range for "
+                    f"{topology!r} (degree {degree})"
+                )
+            # Initial residences hash slot -1: in-run resamples use the
+            # current slot index, which is always >= 0.
+            self._residence = walk.residence.from_uniforms(
+                counter_uniforms(
+                    self._idx_keys, self._seed, STREAM_RESIDENCE_BRANCH, -1
+                ),
+                counter_uniforms(self._idx_keys, self._seed, STREAM_RESIDENCE, -1),
+            )
+            self._last_dir = np.full(self.terminals, -1, dtype=np.int64)
+        self._record_ring_hits = bool(record_ring_hits)
         self.slot = 0
         # Metric handles, resolved once at construction (None when no
         # observability session is installed).  The vectorized engine
@@ -272,6 +315,33 @@ class VectorizedDistanceEngine:
         self._cost_sum = np.zeros(K, dtype=np.float64)
         self._cost_sq_sum = np.zeros(K, dtype=np.float64)
         self._delay_counts = np.zeros((K, cycles), dtype=np.int64)
+        self._ring_hits = (
+            np.zeros(self.threshold + 1, dtype=np.int64)
+            if self._record_ring_hits
+            else None
+        )
+
+    def ring_hit_distribution(self) -> np.ndarray:
+        """Empirical ring occupancy at call times (sums to 1).
+
+        Requires the engine to have been built with
+        ``record_ring_hits=True`` and to have metered at least one
+        call.  This is the simulated location distribution the
+        empirical paging optimizer feeds into
+        :func:`repro.paging.optimal_contiguous_partition`.
+        """
+        if self._ring_hits is None:
+            raise ParameterError(
+                "ring hits are not recorded; build the engine with "
+                "record_ring_hits=True"
+            )
+        total = int(self._ring_hits.sum())
+        if total == 0:
+            raise ParameterError(
+                "no calls metered yet; run more slots before asking for the "
+                "ring-hit distribution"
+            )
+        return self._ring_hits.astype(np.float64) / total
 
     def run(self, slots: int) -> ReplicatedResult:
         """Advance every terminal ``slots`` slots; return pooled results."""
@@ -301,7 +371,10 @@ class VectorizedDistanceEngine:
         """Run ``slots`` steps on whichever backend resolution picked."""
         if slots == 0:
             return
-        if self._counter_mode and self.backend_resolved == "numba":
+        if self.walk_spec is not None:
+            for _ in range(slots):
+                self._step_ctrw()
+        elif self._counter_mode and self.backend_resolved == "numba":
             self._run_compiled(slots)
         elif self._counter_mode:
             for _ in range(slots):
@@ -443,6 +516,8 @@ class VectorizedDistanceEngine:
 
     def _handle_calls(self, called: np.ndarray, slot_cost: np.ndarray) -> None:
         rings = self._distance(self._pos[called])
+        if self._ring_hits is not None:
+            np.add.at(self._ring_hits, rings, 1)
         cycles = self._ring_to_cycle[rings]
         polled = self._cumulative_polled[cycles]
         self._calls[called] += 1
@@ -518,6 +593,164 @@ class VectorizedDistanceEngine:
             self._updates[updating] += 1
             slot_cost[updating] += self.costs.update_cost
             self._pos[updating] = 0
+
+    # -- timed (CTRW) mobility on the counter RNG -------------------------
+
+    def _step_ctrw(self) -> None:
+        """One slot of residence-clock mobility.
+
+        Timed slot semantics (the same as SimulationEngine's timed
+        path): the call is the only probabilistic per-slot event,
+        processed before the move; every terminal's residence clock
+        then ticks, and expired clocks move.  ``event_mode`` plays no
+        role -- a CTRW has no per-slot move probability to compete
+        with the call draw.
+        """
+        c = self.mobility.call_probability
+        called = (
+            counter_uniforms(self._idx_keys, self._seed, STREAM_CALL, self.slot)
+            < c
+        )
+        slot_cost = np.zeros(self.terminals, dtype=np.float64)
+        if called.any():
+            self._handle_calls(called, slot_cost)
+        self._residence -= 1
+        moved = self._residence <= 0
+        if moved.any():
+            self._handle_moves_ctrw(moved, slot_cost)
+        self._cost_sum += slot_cost
+        self._cost_sq_sum += slot_cost * slot_cost
+        self._metered_slots += 1
+        self.slot += 1
+
+    def _handle_moves_ctrw(self, moved: np.ndarray, slot_cost: np.ndarray) -> None:
+        movers = np.nonzero(moved)[0]
+        spec = self.walk_spec
+        keys = self._idx_keys[movers]
+        u_dir = counter_uniforms(keys, self._seed, STREAM_DIRECTION, self.slot)
+        directions = drifted_directions(
+            u_dir,
+            self._dirs.shape[0],
+            spec.drift,
+            spec.drift_direction,
+            spec.persistence,
+            self._last_dir[movers],
+        )
+        self._last_dir[movers] = directions
+        self._pos[movers] += self._dirs[directions]
+        self._moves[movers] += 1
+        # Re-arm the movers' clocks for their new cells.
+        self._residence[movers] = spec.residence.from_uniforms(
+            counter_uniforms(keys, self._seed, STREAM_RESIDENCE_BRANCH, self.slot),
+            counter_uniforms(keys, self._seed, STREAM_RESIDENCE, self.slot),
+        )
+        updating = movers[self._distance(self._pos[movers]) > self.threshold]
+        if updating.size:
+            self._updates[updating] += 1
+            slot_cost[updating] += self.costs.update_cost
+            self._pos[updating] = 0
+
+
+def replay_trace_meters(
+    trace,
+    threshold: int,
+    costs: CostParams,
+    max_delay=1,
+    plan: Optional[PagingPlan] = None,
+) -> MeterSnapshot:
+    """Replay a recorded :class:`~repro.mobility.traces.Trace` vectorized.
+
+    Drives the distance strategy over the trace's recorded positions
+    and call slots using the vectorized engine's relative-coordinate
+    bookkeeping (same lattice kernel, same paging tables, same
+    within-slot order: call before move).  Returns one
+    :class:`MeterSnapshot` with CostMeter accounting -- the regression
+    contract is that this snapshot matches a replay of the same trace
+    through :class:`~repro.simulation.engine.SimulationEngine` meter
+    for meter (see :func:`repro.mobility.traces.replay_trace`).
+    """
+    threshold = validate_threshold(threshold)
+    if plan is not None and plan.threshold != threshold:
+        raise ParameterError(
+            f"plan is for threshold {plan.threshold}, replay uses {threshold}"
+        )
+    plan = plan if plan is not None else sdf_partition(threshold, max_delay)
+    dirs, distance = _lattice_kernel(trace.topology)
+    ring_to_cycle = np.empty(threshold + 1, dtype=np.int64)
+    for cycle, group in enumerate(plan.subareas):
+        for ring in group:
+            ring_to_cycle[ring] = cycle
+    cumulative_polled = np.asarray(
+        plan.cumulative_polled(trace.topology), dtype=np.int64
+    )
+
+    def coords(cell) -> np.ndarray:
+        raw = cell if isinstance(cell, tuple) else (cell,)
+        return np.asarray(raw, dtype=np.int64)
+
+    pos = np.zeros((1, dirs.shape[1]), dtype=np.int64)
+    prev = coords(trace.start)
+    moves = updates = calls = polled_cells = 0
+    cost_sum = cost_sq_sum = 0.0
+    delay_counts = np.zeros(plan.delay_bound, dtype=np.int64)
+    U, V = costs.update_cost, costs.poll_cost
+    for cell, call in trace.steps:
+        slot_cost = 0.0
+        if call:
+            ring = int(distance(pos)[0])
+            if ring > threshold:
+                raise ParameterError(
+                    f"trace is inconsistent with threshold {threshold}: a call "
+                    f"found the terminal at ring {ring}"
+                )
+            cycle = int(ring_to_cycle[ring])
+            polled = int(cumulative_polled[cycle])
+            calls += 1
+            polled_cells += polled
+            delay_counts[cycle] += 1
+            slot_cost += V * polled
+            pos[:] = 0
+        here = coords(cell)
+        if not np.array_equal(here, prev):
+            pos[0] += here - prev
+            moves += 1
+            if int(distance(pos)[0]) > threshold:
+                updates += 1
+                slot_cost += U
+                pos[:] = 0
+        prev = here
+        cost_sum += slot_cost
+        cost_sq_sum += slot_cost * slot_cost
+    slots = len(trace.steps)
+    mean = cost_sum / slots if slots else 0.0
+    if slots >= 2:
+        var = max(cost_sq_sum / slots - mean * mean, 0.0)
+        half = _Z95 * math.sqrt(var / slots)
+    else:
+        half = math.inf
+    if calls:
+        delay = float(
+            np.arange(1, delay_counts.size + 1, dtype=np.float64) @ delay_counts
+        ) / calls
+    else:
+        delay = 0.0
+    return MeterSnapshot(
+        slots=slots,
+        moves=moves,
+        updates=updates,
+        calls=calls,
+        polled_cells=polled_cells,
+        update_cost=updates * U,
+        paging_cost=polled_cells * V,
+        mean_total_cost=float(mean),
+        total_cost_half_width_95=float(half),
+        mean_paging_delay=delay,
+        delay_histogram={
+            cycle + 1: int(count)
+            for cycle, count in enumerate(delay_counts)
+            if count
+        },
+    )
 
 
 def throughput_report(

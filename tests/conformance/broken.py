@@ -15,6 +15,8 @@ from repro import (
     TwoDimensionalApproximateModel,
 )
 from repro.conformance import ConformanceConfig
+from repro.mobility.ctrw import CTRWSpec as _CTRWSpecBase
+from repro.mobility.residence import ResidenceDistribution as _ResidenceBase
 from repro.paging import blanket_partition, per_ring_partition
 
 
@@ -140,6 +142,190 @@ def sdf_scalar_path(model, d, m):
     from repro.paging import sdf_partition
 
     return sdf_partition(d, m)
+
+
+# -- sabotaged mobility walk factories ---------------------------------
+
+
+def make_mobility_config(**overrides):
+    """A cheap 2-D operating point for the mobility-tier checks."""
+    base = dict(
+        model_name="2d-exact",
+        q=0.2,
+        c=0.02,
+        update_cost=50.0,
+        poll_cost=10.0,
+        d=2,
+        m=2,
+        d_max=6,
+        sim_slots=4000,
+        sim_replications=3,
+    )
+    base.update(overrides)
+    return ConformanceConfig(**base)
+
+
+def _spec(kind, config):
+    from repro.conformance import default_walk_spec
+
+    return default_walk_spec(kind, config)
+
+
+def wrong_rate_exp(kind, config):
+    """The ``exp`` spec moves at a third of the config's rate: the
+    degeneracy and approximation-convergence oracles compare against
+    the uniform walk / analytic chain at the *full* rate and must go
+    red."""
+    from repro.mobility.ctrw import CTRWSpec
+    from repro.mobility.residence import GeometricResidence
+
+    if kind == "exp":
+        return CTRWSpec(residence=GeometricResidence(config.q / 3.0))
+    return _spec(kind, config)
+
+
+class LyingSpec(_CTRWSpecBase):
+    """A spec whose per-cell walker factory realises a *different*
+    residence distribution than its vectorized fields declare -- the
+    precise bug shape ``ctrw-engine-vs-vectorized`` exists to catch."""
+
+    def __init__(self, vectorized_spec, per_cell_spec):
+        super().__init__(
+            residence=vectorized_spec.residence,
+            drift=vectorized_spec.drift,
+            persistence=vectorized_spec.persistence,
+            drift_direction=vectorized_spec.drift_direction,
+        )
+        object.__setattr__(self, "_per_cell", per_cell_spec)
+
+    def walker_factory(self):
+        return self._per_cell.walker_factory()
+
+
+def engine_mismatch(kind, config):
+    """``hyper`` lies: vectorized hyperexponential, per-cell fast
+    deterministic residence."""
+    from repro.mobility.ctrw import CTRWSpec
+    from repro.mobility.residence import DeterministicResidence
+
+    spec = _spec(kind, config)
+    if kind == "hyper":
+        return LyingSpec(spec, CTRWSpec(residence=DeterministicResidence(1)))
+    return spec
+
+
+def swapped_variance(kind, config):
+    """The variance ladder is inverted: low-variance residence where
+    the high-variance one belongs and vice versa, so the measured cost
+    ordering reverses."""
+    if kind == "var-low":
+        return _spec("var-high", config)
+    if kind == "var-high":
+        return _spec("var-low", config)
+    return _spec(kind, config)
+
+
+def driftless_drift(kind, config):
+    """The ``drift`` pinned point silently loses its drift: the DP then
+    recovers (or nearly recovers) SDF and the strict-improvement check
+    must fail."""
+    if kind == "drift":
+        return _spec("drift0", config)
+    return _spec(kind, config)
+
+
+def drifting_drift0(kind, config):
+    """The ``drift0`` pinned point gains a heavy drift: the DP finds a
+    strictly better plan than SDF where the check demands recovery."""
+    if kind == "drift0":
+        return _spec("drift", config)
+    return _spec(kind, config)
+
+
+class LyingMomentsResidence(_ResidenceBase):
+    """Draws from one distribution, reports the moments of another.
+
+    ``effective_move_probability`` (and hence the analytic chain the
+    approximation report compares against) is computed from the
+    *claimed* mean, while the walk actually moves at the real one --
+    the convergence oracle must see the simulated truth pull away from
+    the analytic prediction."""
+
+    kind = "lying-moments"
+
+    def __init__(self, actual, claimed_mean):
+        self._actual = actual
+        self._claimed_mean = claimed_mean
+
+    def from_uniforms(self, u_branch, u_value):
+        return self._actual.from_uniforms(u_branch, u_value)
+
+    def mean(self):
+        return self._claimed_mean
+
+    def variance(self):
+        return self._actual.variance()
+
+    def spec(self):
+        return {"kind": self.kind, **self._actual.spec()}
+
+
+def lying_moments_exp(kind, config):
+    """The ``exp`` spec claims geometric(q) moments but actually draws
+    residences three times longer."""
+    from repro.mobility.ctrw import CTRWSpec
+    from repro.mobility.residence import HyperexponentialResidence
+
+    if kind == "exp":
+        actual = HyperexponentialResidence.fit(3.0 / config.q, 4.0)
+        return CTRWSpec(
+            residence=LyingMomentsResidence(actual, claimed_mean=1.0 / config.q)
+        )
+    return _spec(kind, config)
+
+
+class NondeterministicResidence(_ResidenceBase):
+    """Wraps a residence distribution with a mutating call counter so
+    repeated runs from the same seed diverge -- hidden global state,
+    the failure mode the bitwise determinism oracle guards against."""
+
+    kind = "nondeterministic"
+
+    def __init__(self, inner):
+        self._inner = inner
+        self._calls = 0
+
+    def from_uniforms(self, u_branch, u_value):
+        self._calls += 1
+        return self._inner.from_uniforms(u_branch, u_value) + (self._calls % 7)
+
+    def mean(self):
+        return self._inner.mean()
+
+    def variance(self):
+        return self._inner.variance()
+
+    def spec(self):
+        return {"kind": self.kind, **self._inner.spec()}
+
+
+class NondeterministicWalkFactory:
+    """All ``hyper`` specs this factory hands out share one stateful
+    residence object, so rebuilding the spec does not reset the hidden
+    state -- two runs from the same seed draw different residences."""
+
+    def __init__(self):
+        self._shared = None
+
+    def __call__(self, kind, config):
+        spec = _spec(kind, config)
+        if kind == "hyper":
+            from repro.mobility.ctrw import CTRWSpec
+
+            if self._shared is None:
+                self._shared = NondeterministicResidence(spec.residence)
+            return CTRWSpec(residence=self._shared)
+        return spec
 
 
 def delay_regressive_plan(model, d, m):

@@ -1,0 +1,117 @@
+"""Mobility-tier conformance checks: green on healthy code, red on sabotage.
+
+Every mobility check runs twice here: once against the shipped CTRW
+implementation (must pass) and once with a sabotaged walk factory fed
+through the ``walk_factory`` escape hatch of
+:class:`repro.conformance.ConformanceConfig` (must fail) -- proving
+each check is capable of catching the bug class it guards.
+"""
+
+import pytest
+
+from repro.conformance import MOBILITY_CHECK_IDS, REGISTRY, default_walk_spec
+
+from .broken import (
+    NondeterministicWalkFactory,
+    drifting_drift0,
+    driftless_drift,
+    engine_mismatch,
+    lying_moments_exp,
+    make_mobility_config,
+    swapped_variance,
+    wrong_rate_exp,
+)
+
+
+def run(check_id, config):
+    return REGISTRY.get(check_id).run(config)
+
+
+class TestRegistration:
+    def test_all_mobility_checks_registered(self):
+        for check_id in MOBILITY_CHECK_IDS:
+            check = REGISTRY.get(check_id)
+            assert check.check_id == check_id
+            assert check.paper_ref
+
+    def test_quick_suite_grows_by_at_least_five(self):
+        # The issue's acceptance bar: the quick conformance suite gains
+        # at least five new mobility checks.
+        assert len(MOBILITY_CHECK_IDS) >= 5
+
+    def test_checks_skip_without_simulation_budget(self):
+        config = make_mobility_config(sim_slots=0)
+        for check_id in MOBILITY_CHECK_IDS:
+            assert run(check_id, config).status == "skip", check_id
+
+    def test_pinned_point_checks_skip_on_line_topology(self):
+        config = make_mobility_config(model_name="1d")
+        for check_id in (
+            "ctrw-variance-orders-cost",
+            "ctrw-drift-breaks-sdf",
+            "ctrw-no-drift-recovers-sdf",
+            "ctrw-exp-approximation-converges",
+        ):
+            assert run(check_id, config).status == "skip", check_id
+
+    def test_default_walk_spec_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            default_walk_spec("levy", make_mobility_config())
+
+
+class TestChecksPassOnHealthyCode:
+    @pytest.mark.parametrize("check_id", MOBILITY_CHECK_IDS)
+    def test_passes(self, check_id):
+        result = run(check_id, make_mobility_config())
+        assert result.status == "pass", (check_id, result.detail)
+
+
+class TestChecksFailOnSabotage:
+    def test_degeneracy_catches_wrong_rate(self):
+        result = run(
+            "ctrw-exp-degenerates-to-uniform",
+            make_mobility_config(walk_factory=wrong_rate_exp),
+        )
+        assert result.status == "fail", result.detail
+
+    def test_convergence_catches_lying_moments(self):
+        result = run(
+            "ctrw-exp-approximation-converges",
+            make_mobility_config(walk_factory=lying_moments_exp),
+        )
+        assert result.status == "fail", result.detail
+
+    def test_engine_equivalence_catches_lying_spec(self):
+        result = run(
+            "ctrw-engine-vs-vectorized",
+            make_mobility_config(walk_factory=engine_mismatch),
+        )
+        assert result.status == "fail", result.detail
+
+    def test_variance_ordering_catches_swapped_ladder(self):
+        result = run(
+            "ctrw-variance-orders-cost",
+            make_mobility_config(walk_factory=swapped_variance),
+        )
+        assert result.status == "fail", result.detail
+
+    def test_drift_check_catches_missing_drift(self):
+        result = run(
+            "ctrw-drift-breaks-sdf",
+            make_mobility_config(walk_factory=driftless_drift),
+        )
+        assert result.status == "fail", result.detail
+
+    def test_no_drift_check_catches_injected_drift(self):
+        result = run(
+            "ctrw-no-drift-recovers-sdf",
+            make_mobility_config(walk_factory=drifting_drift0),
+        )
+        assert result.status == "fail", result.detail
+
+    def test_determinism_catches_hidden_state(self):
+        result = run(
+            "ctrw-seed-determinism",
+            make_mobility_config(walk_factory=NondeterministicWalkFactory()),
+        )
+        assert result.status == "fail", result.detail

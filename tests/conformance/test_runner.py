@@ -176,7 +176,9 @@ class TestReportArtifacts:
         path = tmp_path / "conformance.jsonl"
         write_report(self.make_report(), path)
         artifact = read_artifact(path)
-        assert set(artifact) == {"provenance", "metrics", "spans", "checks"}
+        assert set(artifact) == {
+            "provenance", "metrics", "spans", "checks", "approximations"
+        }
 
     def test_infinite_delay_survives_serialization(self, tmp_path):
         report = run_conformance(

@@ -128,6 +128,45 @@ def golden_tournament() -> dict:
     return result.to_payload()
 
 
+def golden_approximation() -> dict:
+    """Approximation-error table: analytic chains vs simulated mobility.
+
+    Pins the full :func:`repro.analysis.approximation.approximation_report`
+    row set -- simulated cost, analytic exact/approximate predictions,
+    relative errors, and the convergence verdict per mobility preset --
+    at a small fixed simulation budget.  The simulation is seeded and
+    bit-deterministic, so these are exact goldens like every other
+    payload, and they freeze the *finding*: the memoryless presets
+    converge, heavy tails and drift are where the paper's model drifts.
+    """
+    from dataclasses import asdict
+
+    from repro.analysis.approximation import approximation_report
+
+    report = approximation_report(
+        q=0.2,
+        c=0.02,
+        d=2,
+        m=2,
+        slots=2000,
+        terminals=128,
+        warmup_slots=300,
+        seed=7,
+    )
+    return {
+        "params": {
+            "q": report.q,
+            "c": report.c,
+            "d": report.d,
+            "m": report.m,
+            "slots": report.slots,
+            "terminals": report.terminals,
+            "seed": report.seed,
+        },
+        "rows": [asdict(row) for row in report.rows],
+    }
+
+
 #: filename stem -> zero-argument producer of the payload.
 GOLDEN_PRODUCERS = {
     "table1": golden_table1,
@@ -138,4 +177,5 @@ GOLDEN_PRODUCERS = {
     "figure5b": lambda: _golden_figure(compute_figure5(2, points=FIGURE_POINTS)),
     "cost_points": golden_cost_points,
     "tournament": golden_tournament,
+    "approximation": golden_approximation,
 }

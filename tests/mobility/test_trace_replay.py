@@ -1,0 +1,109 @@
+"""Trace round-trips and cross-engine replay regressions.
+
+The trace layer closes the loop: a trajectory recorded once (from the
+uniform walk or any CTRW spec) must persist bit-identically, and
+replaying it through the per-cell and the vectorized engine must
+produce *identical* cost meters -- same updates, same polled cells,
+same delay histogram.  Any divergence means one engine's within-slot
+event order drifted.
+"""
+
+import pytest
+
+from repro.core.parameters import CostParams
+from repro.mobility import (
+    CTRWSpec,
+    GeometricResidence,
+    HyperexponentialResidence,
+    Trace,
+    generate_trace,
+    mobility_preset,
+    replay_trace,
+)
+
+COSTS = CostParams(update_cost=50.0, poll_cost=10.0)
+
+
+def specs():
+    return {
+        "uniform": None,
+        "hyper": CTRWSpec(residence=HyperexponentialResidence.fit(4.0, 6.0)),
+        "drift": CTRWSpec(residence=GeometricResidence(0.3), drift=0.7),
+        "pareto": mobility_preset("ctrw-pareto", 0.2),
+    }
+
+
+class TestCTRWTraceGeneration:
+    def test_ctrw_trace_deterministic(self, hexgrid):
+        spec = specs()["hyper"]
+        a = generate_trace(hexgrid, 0.3, 0.05, slots=300, seed=5, walk=spec)
+        b = generate_trace(hexgrid, 0.3, 0.05, slots=300, seed=5, walk=spec)
+        assert a.steps == b.steps
+
+    def test_ctrw_moves_are_adjacent(self, hexgrid):
+        spec = specs()["pareto"]
+        trace = generate_trace(hexgrid, 0.3, 0.05, slots=300, seed=6, walk=spec)
+        previous = trace.start
+        for cell, _ in trace.steps:
+            assert hexgrid.distance(previous, cell) <= 1
+            previous = cell
+
+    def test_walk_type_validated(self, hexgrid):
+        with pytest.raises(Exception):
+            generate_trace(hexgrid, 0.3, 0.05, slots=10, walk="ctrw-exp")
+
+
+class TestPersistRoundTrip:
+    @pytest.mark.parametrize("name", ["uniform", "hyper", "drift", "pareto"])
+    def test_generate_persist_replay_bit_identical(self, hexgrid, tmp_path, name):
+        spec = specs()[name]
+        trace = generate_trace(
+            hexgrid, 0.25, 0.08, slots=400, seed=11, walk=spec
+        )
+        path = tmp_path / f"{name}.json"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.steps == trace.steps
+        assert loaded.start == trace.start
+        # Replaying original and reloaded must meter identically.
+        a = replay_trace(trace, 2, COSTS, max_delay=2)
+        b = replay_trace(loaded, 2, COSTS, max_delay=2)
+        assert a == b
+
+
+class TestCrossEngineReplay:
+    @pytest.mark.parametrize("name", ["uniform", "hyper", "drift", "pareto"])
+    @pytest.mark.parametrize("threshold,max_delay", [(2, 2), (3, 1)])
+    def test_meters_identical(self, hexgrid, name, threshold, max_delay):
+        trace = generate_trace(
+            hexgrid, 0.3, 0.06, slots=600, seed=23, walk=specs()[name]
+        )
+        per_cell = replay_trace(
+            trace, threshold, COSTS, max_delay=max_delay, engine="per-cell"
+        )
+        vectorized = replay_trace(
+            trace, threshold, COSTS, max_delay=max_delay, engine="vectorized"
+        )
+        assert per_cell.updates == vectorized.updates
+        assert per_cell.moves == vectorized.moves
+        assert per_cell.calls == vectorized.calls
+        assert per_cell.polled_cells == vectorized.polled_cells
+        assert per_cell.update_cost == vectorized.update_cost
+        assert per_cell.paging_cost == vectorized.paging_cost
+        assert per_cell.delay_histogram == vectorized.delay_histogram
+
+    def test_replay_counts_trace_moves(self, hexgrid):
+        trace = generate_trace(
+            hexgrid, 0.4, 0.05, slots=500, seed=31, walk=specs()["hyper"]
+        )
+        snapshot = replay_trace(trace, 2, COSTS, max_delay=2)
+        assert snapshot.moves == trace.move_count
+        assert snapshot.calls == len(trace.call_slots)
+        assert snapshot.slots == len(trace)
+
+    def test_unknown_engine_rejected(self, hexgrid):
+        from repro import ParameterError
+
+        trace = generate_trace(hexgrid, 0.3, 0.05, slots=20, seed=1)
+        with pytest.raises(ParameterError):
+            replay_trace(trace, 2, COSTS, engine="gpu")

@@ -1,0 +1,91 @@
+"""Empirical paging-order optimization fed by simulated distributions."""
+
+import pytest
+
+from repro import ParameterError
+from repro.core.parameters import MobilityParams
+from repro.geometry import HexTopology
+from repro.mobility import CTRWSpec, GeometricResidence
+from repro.paging import (
+    empirical_paging_report,
+    empirical_ring_distribution,
+    sdf_partition,
+)
+
+
+class TestEmpiricalRingDistribution:
+    def test_normalized_over_rings(self, hexgrid):
+        dist = empirical_ring_distribution(
+            hexgrid,
+            threshold=2,
+            mobility=MobilityParams(move_probability=0.2, call_probability=0.05),
+            slots=1500,
+            terminals=64,
+            warmup_slots=200,
+            seed=1,
+        )
+        assert len(dist) == 3
+        assert sum(dist) == pytest.approx(1.0)
+
+    def test_deterministic_per_seed(self, hexgrid):
+        kwargs = dict(
+            threshold=2,
+            mobility=MobilityParams(move_probability=0.3, call_probability=0.05),
+            walk=CTRWSpec(residence=GeometricResidence(0.3), drift=0.6),
+            slots=1000,
+            terminals=48,
+            warmup_slots=100,
+            seed=9,
+        )
+        a = empirical_ring_distribution(hexgrid, **kwargs)
+        b = empirical_ring_distribution(hexgrid, **kwargs)
+        assert tuple(a) == tuple(b)
+
+
+class TestEmpiricalPagingReport:
+    def test_pinned_drift_point_beats_sdf(self, hexgrid):
+        # The conformance tier's pinned operating point: strong drift
+        # re-centers the at-call mass, SDF's size-first grouping stops
+        # being optimal, and the DP must find a strictly cheaper plan.
+        dist = empirical_ring_distribution(
+            hexgrid,
+            threshold=2,
+            mobility=MobilityParams(move_probability=0.3, call_probability=0.1),
+            walk=CTRWSpec(residence=GeometricResidence(0.3), drift=0.8),
+            slots=4000,
+            terminals=256,
+            warmup_slots=500,
+            seed=0,
+        )
+        report = empirical_paging_report(hexgrid, 2, 2, dist)
+        assert not report.plans_equal
+        assert report.improvement > 0.03
+        assert report.optimal_cells < report.sdf_cells
+
+    def test_no_drift_recovers_sdf(self, hexgrid):
+        dist = empirical_ring_distribution(
+            hexgrid,
+            threshold=2,
+            mobility=MobilityParams(move_probability=0.05, call_probability=0.1),
+            walk=CTRWSpec(residence=GeometricResidence(0.05)),
+            slots=4000,
+            terminals=256,
+            warmup_slots=500,
+            seed=0,
+        )
+        report = empirical_paging_report(hexgrid, 2, 2, dist)
+        assert report.plans_equal
+        assert report.improvement == pytest.approx(0.0)
+
+    def test_sdf_plan_is_the_papers(self, hexgrid):
+        report = empirical_paging_report(hexgrid, 2, 2, (0.5, 0.3, 0.2))
+        assert report.sdf_plan.subareas == sdf_partition(2, 2).subareas
+
+    def test_distribution_shape_validated(self, hexgrid):
+        with pytest.raises(ParameterError):
+            empirical_paging_report(hexgrid, 2, 2, (0.5, 0.5))
+
+    def test_single_cycle_plans_always_equal(self, hexgrid):
+        # m = 1 forces the blanket plan on both sides.
+        report = empirical_paging_report(hexgrid, 2, 1, (0.2, 0.3, 0.5))
+        assert report.plans_equal

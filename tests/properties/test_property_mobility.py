@@ -1,0 +1,160 @@
+"""Property-based tests for the CTRW mobility layer.
+
+Three law families over randomly drawn residence distributions and
+operating points: sampled moments must match each distribution's
+declared spec moments, CTRW with geometric residence must degenerate
+to the plain random walk at a matched rate, and both engines must be
+deterministic under a fixed seed.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import HexTopology
+from repro.core.parameters import CostParams, MobilityParams
+from repro.mobility.ctrw import CTRWSpec, CTRWWalk
+from repro.mobility.residence import (
+    DeterministicResidence,
+    GeometricResidence,
+    HyperexponentialResidence,
+    TruncatedParetoResidence,
+    residence_from_spec,
+)
+
+pytestmark = pytest.mark.slow
+
+geometric = st.floats(min_value=0.02, max_value=0.9).map(GeometricResidence)
+deterministic = st.integers(min_value=1, max_value=40).map(DeterministicResidence)
+hyper = st.tuples(
+    st.floats(min_value=2.0, max_value=30.0),
+    st.floats(min_value=1.5, max_value=12.0),
+).map(lambda mc: HyperexponentialResidence.fit(*mc))
+pareto = st.tuples(
+    st.floats(min_value=1.1, max_value=2.5),
+    st.floats(min_value=1.0, max_value=4.0),
+    st.floats(min_value=20.0, max_value=400.0),
+).map(lambda amx: TruncatedParetoResidence(amx[0], amx[1], amx[2]))
+
+residences = st.one_of(geometric, deterministic, hyper, pareto)
+
+
+class TestSampleMomentsMatchSpec:
+    @given(residence=residences, seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_empirical_mean_and_variance(self, residence, seed):
+        # The declared mean()/variance() are exact moments of the
+        # realized discrete distribution, so the sample moments of the
+        # shared from_uniforms transform must converge on them.
+        rng = np.random.default_rng(seed)
+        n = 60_000
+        draws = residence.from_uniforms(rng.random(n), rng.random(n))
+        assert draws.min() >= 1
+        mean = residence.mean()
+        sd = math_sqrt(residence.variance())
+        # CLT band: 6 standard errors, plus a floor for lattice effects.
+        band = max(6.0 * sd / math_sqrt(n), 1e-9 + 0.01 * mean)
+        assert abs(draws.mean() - mean) <= band, (draws.mean(), mean, band)
+        if sd > 0:
+            assert draws.var() == pytest.approx(
+                residence.variance(), rel=0.25
+            )
+        else:
+            assert draws.var() == 0.0
+
+    @given(residence=residences)
+    @settings(max_examples=25, deadline=None)
+    def test_spec_roundtrip(self, residence):
+        rebuilt = residence_from_spec(residence.spec())
+        assert rebuilt == residence
+        assert rebuilt.mean() == pytest.approx(residence.mean())
+        assert rebuilt.variance() == pytest.approx(residence.variance())
+
+
+def math_sqrt(x):
+    return float(np.sqrt(x))
+
+
+operating_points = st.tuples(
+    st.floats(min_value=0.05, max_value=0.6),
+    st.floats(min_value=0.01, max_value=0.2),
+    st.integers(min_value=1, max_value=3),
+)
+
+
+class TestGeometricDegeneracy:
+    @given(point=operating_points, seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=8, deadline=None)
+    def test_ctrw_exp_matches_uniform_walk_statistically(self, point, seed):
+        # CTRW with geometric residence IS the uniform walk: over a
+        # common slot budget the two vectorized paths must agree within
+        # their joint confidence band plus the standard 5% criterion.
+        from repro.simulation.vectorized import VectorizedDistanceEngine
+
+        q, c, d = point
+        slots, terminals = 3000, 96
+        kwargs = dict(
+            threshold=d,
+            mobility=MobilityParams(move_probability=q, call_probability=c),
+            costs=CostParams(update_cost=50.0, poll_cost=10.0),
+            terminals=terminals,
+            max_delay=2,
+            seed=seed,
+        )
+        ctrw = VectorizedDistanceEngine(
+            HexTopology(), walk=CTRWSpec(residence=GeometricResidence(q)), **kwargs
+        ).run(slots)
+        uniform = VectorizedDistanceEngine(
+            HexTopology(), event_mode="independent", backend="auto", **kwargs
+        ).run(slots)
+        band = (
+            ctrw.total_cost_ci()
+            + uniform.total_cost_ci()
+            + 0.05 * max(ctrw.mean_total_cost, uniform.mean_total_cost)
+        )
+        assert abs(ctrw.mean_total_cost - uniform.mean_total_cost) <= band
+
+
+class TestSeedDeterminism:
+    @given(
+        residence=residences,
+        seed=st.integers(min_value=0, max_value=10_000),
+        drift=st.floats(min_value=0.0, max_value=0.8),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_vectorized_engine_bitwise(self, residence, seed, drift):
+        from repro.simulation.vectorized import VectorizedDistanceEngine
+
+        def run():
+            engine = VectorizedDistanceEngine(
+                HexTopology(),
+                threshold=2,
+                mobility=MobilityParams(move_probability=0.2, call_probability=0.05),
+                costs=CostParams(update_cost=50.0, poll_cost=10.0),
+                terminals=32,
+                max_delay=2,
+                seed=seed,
+                walk=CTRWSpec(residence=residence, drift=drift),
+            )
+            return engine.run(800)
+
+        a, b = run(), run()
+        assert a.mean_total_cost == b.mean_total_cost
+        assert a.mean_update_cost == b.mean_update_cost
+        assert a.mean_paging_cost == b.mean_paging_cost
+
+    @given(residence=residences, seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_per_cell_walker_bitwise(self, residence, seed):
+        def run():
+            rng = np.random.default_rng(seed)
+            walker = CTRWWalk(HexTopology(), residence, rng=rng)
+            positions = []
+            for _ in range(400):
+                if walker.move_due():
+                    walker.move()
+                positions.append(walker.position)
+            return positions
+
+        assert run() == run()
